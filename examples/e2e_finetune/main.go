@@ -1,0 +1,42 @@
+// e2e_finetune reproduces the paper's performance-evaluation setting at sim
+// scale: fine-tune on the E2E-style generation corpus under every PEFT
+// method, with the per-phase breakdown (forward / backward / optimizer /
+// prediction) that Table I and Figure 10 report.
+package main
+
+import (
+	"fmt"
+
+	"longexposure"
+	"longexposure/internal/peft"
+)
+
+func main() {
+	spec := longexposure.Sim(longexposure.OPT1p3B())
+	corpus := longexposure.NewE2ECorpus(spec.Config.Vocab, 8, 11)
+	batches := longexposure.Batches(corpus.Generate(16, 5), 2, 128)
+	calib := [][][]int{batches[0].Inputs, batches[1].Inputs}
+
+	fmt.Println("== E2E fine-tuning phase breakdown (sim-OPT-1.3B, ms/step) ==")
+	fmt.Printf("%-24s %9s %9s %9s %9s %9s\n", "configuration", "forward", "backward", "optim", "predict", "total")
+
+	for _, method := range []longexposure.Method{peft.FullFT, peft.LoRA, peft.Adapter, peft.BitFit} {
+		cfg := longexposure.Config{Spec: spec, Method: method, Blk: 8, Seed: 5, LR: 1e-3, Prime: true}
+
+		base := longexposure.NewBaseline(cfg)
+		bres := base.Run(batches, 1)
+		bt := bres.MeanStepTime()
+		fmt.Printf("%-24s %9.1f %9.1f %9.1f %9s %9.1f\n",
+			method.String(), msf(bt.Forward), msf(bt.Backward), msf(bt.Optim), "-", msf(bt.Total()))
+
+		sys := longexposure.New(cfg)
+		sys.PretrainPredictors(calib, longexposure.TrainConfig{Epochs: 12})
+		lres := sys.Engine().Run(batches, 1)
+		lt := lres.MeanStepTime()
+		fmt.Printf("%-24s %9.1f %9.1f %9.1f %9.1f %9.1f   (%.2fx)\n",
+			method.String()+"+LongExposure", msf(lt.Forward), msf(lt.Backward), msf(lt.Optim), msf(lt.Predict), msf(lt.Total()),
+			bt.Total().Seconds()/lt.Total().Seconds())
+	}
+}
+
+func msf(d interface{ Seconds() float64 }) float64 { return d.Seconds() * 1000 }

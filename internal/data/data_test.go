@@ -1,0 +1,235 @@
+package data
+
+import (
+	"testing"
+
+	"longexposure/internal/nn"
+)
+
+func TestLMExampleSupervisionRegion(t *testing.T) {
+	prompt := []int{10, 11}
+	completion := []int{20, 21, 22}
+	e := lmExample(prompt, completion)
+	// seq = BOS 10 11 20 21 22 ; input drops last.
+	wantInput := []int{TokBOS, 10, 11, 20, 21}
+	if len(e.Input) != len(wantInput) {
+		t.Fatalf("input length %d", len(e.Input))
+	}
+	for i, v := range wantInput {
+		if e.Input[i] != v {
+			t.Fatalf("input[%d] = %d, want %d", i, e.Input[i], v)
+		}
+	}
+	wantTarget := []int{nn.IgnoreIndex, nn.IgnoreIndex, 20, 21, 22}
+	for i, v := range wantTarget {
+		if e.Target[i] != v {
+			t.Fatalf("target[%d] = %d, want %d", i, e.Target[i], v)
+		}
+	}
+}
+
+func TestPadToAndBatches(t *testing.T) {
+	e := Example{Input: []int{1, 2}, Target: []int{3, 4}}
+	p := PadTo(e, 5)
+	if len(p.Input) != 5 || p.Input[4] != TokPad {
+		t.Fatalf("PadTo input = %v", p.Input)
+	}
+	if p.Target[4] != nn.IgnoreIndex {
+		t.Fatalf("PadTo target = %v", p.Target)
+	}
+
+	examples := make([]Example, 7)
+	for i := range examples {
+		examples[i] = e
+	}
+	bs := Batches(examples, 2, 5)
+	if len(bs) != 3 {
+		t.Fatalf("got %d batches, want 3 (ragged tail dropped)", len(bs))
+	}
+	if len(bs[0].Inputs) != 2 || len(bs[0].Inputs[0]) != 5 {
+		t.Fatal("batch shapes wrong")
+	}
+}
+
+func TestE2EDeterministicAndConsistent(t *testing.T) {
+	c := NewE2ECorpus(128, 3, 42)
+	a := c.Generate(5, 7)
+	b := c.Generate(5, 7)
+	if len(a) != 5 {
+		t.Fatalf("generated %d", len(a))
+	}
+	for i := range a {
+		if len(a[i].Input) != len(b[i].Input) {
+			t.Fatal("nondeterministic lengths")
+		}
+		for j := range a[i].Input {
+			if a[i].Input[j] != b[i].Input[j] {
+				t.Fatal("nondeterministic inputs")
+			}
+		}
+	}
+	// Verbalization consistency: the same slot key always maps to the same
+	// first completion token. Find two examples sharing a key.
+	c2 := NewE2ECorpus(64, 1, 1)
+	seen := map[int]int{} // key → verb token
+	for _, e := range c2.Generate(200, 3) {
+		key := e.Input[1] // BOS key val SEP ...
+		// First supervised target token after the SEP position.
+		var verb int
+		for i, tg := range e.Target {
+			if tg != nn.IgnoreIndex {
+				verb = e.Target[i]
+				break
+			}
+		}
+		if prev, ok := seen[key]; ok && prev != verb {
+			t.Fatalf("key %d verbalized as both %d and %d", key, prev, verb)
+		}
+		seen[key] = verb
+	}
+}
+
+func TestAlpacaTemplatesLearnableStructure(t *testing.T) {
+	c := NewAlpacaCorpus(96, 4)
+	examples := c.Generate(100, 11)
+	if len(examples) != 100 {
+		t.Fatal("wrong count")
+	}
+	reversed := 0
+	for _, e := range examples {
+		// Input: BOS tmpl s0 s1 s2 s3 SEP r0 r1 r2 (input drops final token)
+		tmpl := e.Input[1] - TokBase
+		span := e.Input[2:6]
+		if e.Input[6] != TokSep {
+			t.Fatalf("SEP not where expected: %v", e.Input)
+		}
+		// Recover the full response from the targets.
+		var resp []int
+		for _, tg := range e.Target {
+			if tg != nn.IgnoreIndex && tg != TokEOS {
+				resp = append(resp, tg)
+			}
+		}
+		if len(resp) != 4 {
+			t.Fatalf("response length %d", len(resp))
+		}
+		if tmpl == 1 { // reverse
+			reversed++
+			for j := range span {
+				if resp[j] != span[len(span)-1-j] {
+					t.Fatalf("reverse template broken: span %v resp %v", span, resp)
+				}
+			}
+		}
+		if tmpl == 0 { // copy
+			for j := range span {
+				if resp[j] != span[j] {
+					t.Fatalf("copy template broken")
+				}
+			}
+		}
+	}
+	if reversed == 0 {
+		t.Fatal("no reverse examples in 100 draws")
+	}
+}
+
+func TestTasksShapeAndDeterminism(t *testing.T) {
+	for _, task := range Tasks() {
+		a := task.Generate(20, 64, 5)
+		b := task.Generate(20, 64, 5)
+		for i := range a {
+			if a[i].Label != b[i].Label {
+				t.Fatalf("%s: nondeterministic labels", task.Name)
+			}
+			e := a[i]
+			if e.Label < 0 || e.Label >= task.Choices {
+				t.Fatalf("%s: label %d outside %d choices", task.Name, e.Label, task.Choices)
+			}
+			if e.AnswerPos != len(e.Target)-1 {
+				t.Fatalf("%s: answer not at final position", task.Name)
+			}
+			if e.Target[e.AnswerPos] != e.Choices[e.Label] {
+				t.Fatalf("%s: target/label mismatch", task.Name)
+			}
+			for j := 0; j < e.AnswerPos; j++ {
+				if e.Target[j] != nn.IgnoreIndex {
+					t.Fatalf("%s: prompt position %d supervised", task.Name, j)
+				}
+			}
+		}
+	}
+}
+
+func TestTaskLabelsReflectRules(t *testing.T) {
+	vocab := 64
+	// PIQA: label 1 ⇔ first candidate is the majority evidence token.
+	for _, e := range TaskByNameMust("PIQA").Generate(50, vocab, 9) {
+		a, b := e.Input[1], e.Input[2]
+		counts := map[int]int{}
+		for _, tok := range e.Input[4:] { // evidence region (skip BOS a b SEP)
+			if tok != TokSep {
+				counts[tok]++
+			}
+		}
+		want := 0
+		if counts[a] > counts[b] {
+			want = 1
+		}
+		if e.Label != want {
+			t.Fatalf("PIQA label %d, majority says %d (a=%d#%d b=%d#%d)", e.Label, want, a, counts[a], b, counts[b])
+		}
+	}
+	// Winogrande: label 1 ⇔ slot token equals referent.
+	for _, e := range TaskByNameMust("Winogrande").Generate(50, vocab, 10) {
+		want := 0
+		if e.Input[3] == e.Input[1] {
+			want = 1
+		}
+		if e.Label != want {
+			t.Fatal("Winogrande rule broken")
+		}
+	}
+	// HellaSwag: label = stride − 1.
+	for _, e := range TaskByNameMust("HellaSwag").Generate(50, vocab, 11) {
+		contentN := vocab - TokBase
+		d := ((e.Input[2] - e.Input[1]) + contentN) % contentN
+		if e.Label != d-1 {
+			t.Fatalf("HellaSwag stride %d label %d", d, e.Label)
+		}
+	}
+}
+
+func TaskByNameMust(name string) Task {
+	t, err := TaskByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func TestTaskByNameUnknown(t *testing.T) {
+	if _, err := TaskByName("nope"); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+	if len(Tasks()) != 5 {
+		t.Fatalf("Table III needs 5 tasks, got %d", len(Tasks()))
+	}
+}
+
+func TestLabelBalance(t *testing.T) {
+	// Generators must be roughly balanced or accuracy numbers are
+	// meaningless.
+	for _, task := range Tasks() {
+		counts := make([]int, task.Choices)
+		for _, e := range task.Generate(400, 64, 13) {
+			counts[e.Label]++
+		}
+		for c, n := range counts {
+			expected := 400 / task.Choices
+			if n < expected/2 {
+				t.Fatalf("%s: class %d has only %d of ~%d", task.Name, c, n, expected)
+			}
+		}
+	}
+}

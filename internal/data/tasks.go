@@ -1,0 +1,211 @@
+package data
+
+import (
+	"fmt"
+
+	"longexposure/internal/tensor"
+)
+
+// Task is one downstream evaluation task (Table III analogue): a seeded
+// generator of classification examples where the answer is a single token
+// chosen from a small candidate set, predicted at the sequence's final
+// position.
+type Task struct {
+	Name        string
+	Description string
+	Choices     int
+	gen         func(rng *tensor.RNG, vocab int) Example
+}
+
+// Generate produces n examples for a model vocabulary.
+func (t Task) Generate(n int, vocab int, seed uint64) []Example {
+	rng := tensor.NewRNG(seed)
+	out := make([]Example, n)
+	for i := range out {
+		out[i] = t.gen(rng, vocab)
+	}
+	return out
+}
+
+// classify assembles a classification example: prompt + SEP, answer token
+// supervised at the final position.
+func classify(prompt []int, label int, choices []int) Example {
+	input := append([]int{TokBOS}, prompt...)
+	input = append(input, TokSep)
+	target := make([]int, len(input))
+	for i := range target {
+		target[i] = -1 // nn.IgnoreIndex
+	}
+	target[len(target)-1] = choices[label]
+	return Example{Input: input, Target: target, Label: label, Choices: choices, AnswerPos: len(target) - 1}
+}
+
+var binaryChoices = []int{TokNo, TokYes}
+
+func fourChoices() []int {
+	return []int{TokChoiceBase, TokChoiceBase + 1, TokChoiceBase + 2, TokChoiceBase + 3}
+}
+
+// Tasks returns the five downstream tasks in Table III order. Each mirrors
+// the *shape* of its namesake (binary or 4-way choice over a structured
+// prompt) with a rule a small transformer can learn.
+func Tasks() []Task {
+	return []Task{
+		{
+			Name:        "PIQA",
+			Description: "Physical commonsense reasoning (majority-evidence choice)",
+			Choices:     2,
+			gen: func(rng *tensor.RNG, vocab int) Example {
+				// Two candidate tokens; the prompt contains more copies of
+				// the "physically sensible" one.
+				a := TokBase + rng.Intn(vocab-TokBase)
+				b := TokBase + rng.Intn(vocab-TokBase)
+				for b == a {
+					b = TokBase + rng.Intn(vocab-TokBase)
+				}
+				label := rng.Intn(2)
+				maj, minr := a, b
+				if label == 0 {
+					maj, minr = b, a
+				}
+				prompt := []int{a, b, TokSep}
+				for i := 0; i < 6; i++ {
+					prompt = append(prompt, maj)
+				}
+				for i := 0; i < 3; i++ {
+					prompt = append(prompt, minr)
+				}
+				// Shuffle the evidence region.
+				ev := prompt[3:]
+				for i := len(ev) - 1; i > 0; i-- {
+					j := rng.Intn(i + 1)
+					ev[i], ev[j] = ev[j], ev[i]
+				}
+				// label==1 ⇔ candidate a is the majority token.
+				if maj == a {
+					label = 1
+				} else {
+					label = 0
+				}
+				return classify(prompt, label, binaryChoices)
+			},
+		},
+		{
+			Name:        "Winogrande",
+			Description: "Physical interactions understanding (referent matching)",
+			Choices:     2,
+			gen: func(rng *tensor.RNG, vocab int) Example {
+				// A referent token; the "pronoun" slot matches it or not.
+				ref := TokBase + rng.Intn(vocab-TokBase)
+				other := TokBase + rng.Intn(vocab-TokBase)
+				for other == ref {
+					other = TokBase + rng.Intn(vocab-TokBase)
+				}
+				label := rng.Intn(2)
+				slot := other
+				if label == 1 {
+					slot = ref
+				}
+				prompt := []int{ref, TokSep, slot}
+				return classify(prompt, label, binaryChoices)
+			},
+		},
+		{
+			Name:        "RTE",
+			Description: "Natural language understanding (token entailment)",
+			Choices:     2,
+			gen: func(rng *tensor.RNG, vocab int) Example {
+				// Premise of 6 tokens; hypothesis of 2. Entailed iff both
+				// hypothesis tokens occur in the premise.
+				prem := make([]int, 6)
+				for i := range prem {
+					prem[i] = TokBase + rng.Intn(vocab-TokBase)
+				}
+				label := rng.Intn(2)
+				hyp := make([]int, 2)
+				if label == 1 {
+					hyp[0] = prem[rng.Intn(len(prem))]
+					hyp[1] = prem[rng.Intn(len(prem))]
+				} else {
+					for i := range hyp {
+						hyp[i] = TokBase + rng.Intn(vocab-TokBase)
+					}
+					// Ensure at least one token is really absent.
+					present := func(tok int) bool {
+						for _, p := range prem {
+							if p == tok {
+								return true
+							}
+						}
+						return false
+					}
+					for present(hyp[0]) {
+						hyp[0] = TokBase + rng.Intn(vocab-TokBase)
+					}
+				}
+				prompt := append(append([]int{}, prem...), TokSep)
+				prompt = append(prompt, hyp...)
+				return classify(prompt, label, binaryChoices)
+			},
+		},
+		{
+			Name:        "COPA",
+			Description: "Commonsense causal reasoning (effect = cause shifted)",
+			Choices:     2,
+			gen: func(rng *tensor.RNG, vocab int) Example {
+				// Cause span; candidate effect is cause+1 (plausible) or
+				// random (implausible).
+				contentN := vocab - TokBase
+				cause := make([]int, 3)
+				for i := range cause {
+					cause[i] = TokBase + rng.Intn(contentN)
+				}
+				label := rng.Intn(2)
+				effect := make([]int, 3)
+				if label == 1 {
+					for i, v := range cause {
+						effect[i] = TokBase + (v-TokBase+1)%contentN
+					}
+				} else {
+					for i := range effect {
+						effect[i] = TokBase + rng.Intn(contentN)
+					}
+					// Guarantee a mismatch at position 0.
+					for effect[0] == TokBase+(cause[0]-TokBase+1)%contentN {
+						effect[0] = TokBase + rng.Intn(contentN)
+					}
+				}
+				prompt := append(append([]int{}, cause...), TokSep)
+				prompt = append(prompt, effect...)
+				return classify(prompt, label, binaryChoices)
+			},
+		},
+		{
+			Name:        "HellaSwag",
+			Description: "Natural language commonsense (sequence continuation)",
+			Choices:     4,
+			gen: func(rng *tensor.RNG, vocab int) Example {
+				// Arithmetic progression; the label encodes the stride,
+				// which the model reads off the prompt.
+				contentN := vocab - TokBase
+				stride := 1 + rng.Intn(4) // 1..4 → label 0..3
+				start := rng.Intn(contentN)
+				prompt := make([]int, 5)
+				for i := range prompt {
+					prompt[i] = TokBase + (start+i*stride)%contentN
+				}
+				return classify(prompt, stride-1, fourChoices())
+			},
+		},
+	}
+}
+
+// TaskByName finds a task.
+func TaskByName(name string) (Task, error) {
+	for _, t := range Tasks() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Task{}, fmt.Errorf("data: unknown task %q", name)
+}

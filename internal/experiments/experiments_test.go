@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var quick = Options{Quick: true}
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "table4",
+		"fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"ablations"}
+	for _, id := range want {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("missing driver for %s", id)
+		}
+	}
+	if len(Registry) != len(want) {
+		t.Errorf("registry has %d drivers, want %d", len(Registry), len(want))
+	}
+	if _, err := Run("nope", quick); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestEveryDriverProducesWellFormedReport(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, err := Run(id, quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.ID != id {
+				t.Fatalf("report id %q", r.ID)
+			}
+			if len(r.Sections) == 0 {
+				t.Fatal("no sections")
+			}
+			for _, s := range r.Sections {
+				if len(s.Rows) == 0 {
+					t.Fatalf("section %q empty", s.Name)
+				}
+				for _, row := range s.Rows {
+					if len(row) != len(s.Headers) {
+						t.Fatalf("section %q: row width %d != headers %d", s.Name, len(row), len(s.Headers))
+					}
+				}
+			}
+			md := r.Markdown()
+			if !strings.Contains(md, r.Title) {
+				t.Fatal("markdown missing title")
+			}
+		})
+	}
+}
+
+// parse "1.23x" → 1.23
+func parseSpeedup(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad speedup cell %q", s)
+	}
+	return v
+}
+
+func TestFig7SpeedupsPositiveAndGrowWithSeq(t *testing.T) {
+	r := Fig7(quick)
+	a100 := r.Sections[0]
+	// Rows come in (model, seq 512), (model, seq 1024) pairs; last column
+	// is the average speedup.
+	last := len(a100.Headers) - 1
+	for i := 0; i+1 < len(a100.Rows); i += 2 {
+		s512 := parseSpeedup(t, a100.Rows[i][last])
+		s1024 := parseSpeedup(t, a100.Rows[i+1][last])
+		if s512 <= 1 {
+			t.Errorf("%s@512: speedup %.2f ≤ 1", a100.Rows[i][0], s512)
+		}
+		if s1024 <= s512 {
+			t.Errorf("%s: speedup did not grow with seq (%.2f → %.2f)", a100.Rows[i][0], s512, s1024)
+		}
+	}
+}
+
+func TestFig8MemoryReductionPositive(t *testing.T) {
+	r := Fig8(quick)
+	for _, sec := range r.Sections {
+		for _, row := range sec.Rows {
+			red := strings.TrimSuffix(row[len(row)-1], "x")
+			v, err := strconv.ParseFloat(red, 64)
+			if err != nil {
+				t.Fatalf("bad reduction cell %q", red)
+			}
+			if v <= 1 {
+				t.Errorf("%s seq %s: reduction %.2f ≤ 1", sec.Name, row[0], v)
+			}
+		}
+	}
+	// The longest dense sequence must OOM on the A100 for OPT-1.3B.
+	last := r.Sections[1].Rows[len(r.Sections[1].Rows)-1]
+	if !strings.Contains(last[1], "OOM") {
+		t.Errorf("dense OPT-1.3B@4096 did not OOM: %v", last)
+	}
+}
+
+func TestFig9HeadSpecificBeatsUniform(t *testing.T) {
+	r := Fig9(quick)
+	attn := r.Sections[0]
+	for _, row := range attn.Rows {
+		shadowy, _ := strconv.ParseFloat(row[1], 64)
+		le, _ := strconv.ParseFloat(row[4], 64)
+		if le < shadowy-1e-9 {
+			t.Errorf("layer %s: LE sparsity %.3f below uniform %.3f", row[0], le, shadowy)
+		}
+	}
+	// MLP threshold sweep must be monotone non-decreasing across columns.
+	mlp := r.Sections[1]
+	for _, row := range mlp.Rows {
+		prev := -1.0
+		for _, cell := range row[2:] {
+			v, _ := strconv.ParseFloat(cell, 64)
+			if v+1e-9 < prev {
+				t.Errorf("layer %s: threshold sweep not monotone: %v", row[0], row[2:])
+			}
+			prev = v
+		}
+	}
+}
+
+func TestFig11LongExposureTracksDense(t *testing.T) {
+	r := Fig11(quick)
+	loss := r.Sections[0]
+	final := len(loss.Headers) - 1
+	get := func(i int) float64 {
+		v, err := strconv.ParseFloat(loss.Rows[i][final], 64)
+		if err != nil {
+			t.Fatalf("bad loss cell %q", loss.Rows[i][final])
+		}
+		return v
+	}
+	dense, le := get(0), get(1)
+	if le > dense*1.5+0.2 {
+		t.Errorf("LE final loss %.3f strays from dense %.3f", le, dense)
+	}
+}
+
+func TestFig12SpeedupAtHighSparsity(t *testing.T) {
+	r := Fig12(quick)
+	for _, sec := range r.Sections[:2] {
+		lastRow := sec.Rows[len(sec.Rows)-1] // 95% sparsity
+		s := parseSpeedup(t, lastRow[len(lastRow)-1])
+		if s < 1.5 {
+			t.Errorf("%s: 95%% sparsity speedup %.2f < 1.5", sec.Name, s)
+		}
+	}
+}
+
+func TestFig14NearLinearEfficiency(t *testing.T) {
+	r := Fig14(quick)
+	for _, sec := range r.Sections[:3] { // modeled sections
+		for _, row := range sec.Rows {
+			eff, err := strconv.ParseFloat(row[len(row)-1], 64)
+			if err != nil {
+				t.Fatalf("bad efficiency cell %q", row[len(row)-1])
+			}
+			if eff < 0.7 {
+				t.Errorf("%s %s: 4-GPU efficiency %.2f", sec.Name, row[0], eff)
+			}
+		}
+	}
+	// Real validation: replica drift must be zero.
+	valid := r.Sections[len(r.Sections)-1]
+	if valid.Rows[2][1] != "0.000" {
+		t.Errorf("replica drift = %s", valid.Rows[2][1])
+	}
+}
+
+func TestTable1OptimizerShareCollapses(t *testing.T) {
+	r := Table1(quick)
+	modeled := r.Sections[1]
+	// Row 0 is FullFT, row 1 LoRA; optimizer column is index 3 of the form
+	// "x (y%)". Extract the percentage.
+	sharePct := func(cell string) float64 {
+		open := strings.Index(cell, "(")
+		closep := strings.Index(cell, "%")
+		v, err := strconv.ParseFloat(cell[open+1:closep], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", cell)
+		}
+		return v
+	}
+	full := sharePct(modeled.Rows[0][3])
+	lora := sharePct(modeled.Rows[1][3])
+	if full < 5 {
+		t.Errorf("FullFT optimizer share %.1f%% too small", full)
+	}
+	if lora > 2 {
+		t.Errorf("LoRA optimizer share %.1f%% too large", lora)
+	}
+}
+
+func TestTable4AccuracyPreserved(t *testing.T) {
+	r := Table4(quick)
+	// The worst-drop note is first; parse the percentage.
+	note := r.Notes[0]
+	idx := strings.Index(note, ":")
+	pctIdx := strings.Index(note[idx:], "%")
+	v, err := strconv.ParseFloat(strings.TrimSpace(note[idx+1:idx+pctIdx]), 64)
+	if err != nil {
+		t.Fatalf("cannot parse worst drop from %q", note)
+	}
+	if v > 15 {
+		t.Errorf("worst accuracy drop %.1f%% too large even for quick mode", v)
+	}
+}
+
+func TestRunAllStableOrder(t *testing.T) {
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatal("IDs not sorted")
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"longexposure/internal/gpusim"
+	"longexposure/internal/model"
+	"longexposure/internal/nn"
+	"longexposure/internal/peft"
+)
+
+// Fig8 regenerates Figure 8: the memory footprint of OPT fine-tuning on the
+// A100 across sequence lengths — dense baseline, Long Exposure, and Long
+// Exposure (optimal) with inactive MLP weights offloaded to the host.
+func Fig8(o Options) *Report {
+	r := &Report{ID: "fig8", Title: "Memory footprints of OPT fine-tuning on A100 (modeled)"}
+	cal := measureDensities(o, nn.ActReLU)
+	dev := gpusim.A100()
+
+	specs := []model.Spec{model.OPT350M(), model.OPT1p3B()}
+	seqs := []int{512, 1024, 2048, 4096}
+
+	for _, spec := range specs {
+		var rows [][]string
+		for _, seq := range seqs {
+			dense := gpusim.StepShape{Spec: spec, Batch: 4, Seq: seq, Method: peft.LoRA}
+			le := dense
+			le.UseLongExposure = true
+			le.AttnDensity = cal.AttnDensity
+			le.MLPDensity = cal.MLPDensity
+
+			fD := gpusim.Footprint(dense, false)
+			fL := gpusim.Footprint(le, false)
+			fO := gpusim.Footprint(le, true)
+
+			row := []string{itoa(seq),
+				gib(dev, fD), gib(dev, fL), gib(dev, fO),
+				fmt.Sprintf("%.2fx", float64(fD.Total())/float64(fO.Total())),
+			}
+			rows = append(rows, row)
+		}
+		r.AddSection(spec.Config.Name+" (batch 4)",
+			[]string{"Seq", "PEFT dense (GiB)", "LongExposure", "LongExposure(optimal)", "Reduction"}, rows)
+	}
+
+	r.AddNote("OOM marks footprints beyond the A100's 80 GiB. Head-specific masks turn the O(s²) attention activations into O(s·k); offloading inactive MLP blocks trims resident parameters further.")
+	r.AddNote("Paper Fig 8 reference: up to 2.77x reduction (OPT-350M) and 1.69x (OPT-1.3B); dense baselines OOM first as sequences grow.")
+	return r
+}
+
+func gib(dev gpusim.Device, m gpusim.MemBreakdown) string {
+	s := fmt.Sprintf("%.1f", gpusim.GiB(m.Total()))
+	if !gpusim.FitsOn(dev, m) {
+		return s + " (OOM)"
+	}
+	return s
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Driver regenerates one paper artifact.
+type Driver func(Options) *Report
+
+// Registry maps experiment ids to drivers.
+var Registry = map[string]Driver{
+	"ablations": Ablations,
+	"fig4":      Fig4,
+	"table1":    Table1,
+	"table2":    Table2,
+	"table3":    Table3,
+	"table4":    Table4,
+	"fig7":      Fig7,
+	"fig8":      Fig8,
+	"fig9":      Fig9,
+	"fig10":     Fig10,
+	"fig11":     Fig11,
+	"fig12":     Fig12,
+	"fig13":     Fig13,
+	"fig14":     Fig14,
+}
+
+// IDs lists the registered experiment ids in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, o Options) (*Report, error) {
+	d, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return d(o), nil
+}
+
+// RunAll executes every experiment in a stable order.
+func RunAll(o Options) []*Report {
+	var out []*Report
+	for _, id := range IDs() {
+		out = append(out, Registry[id](o))
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII). Each driver returns a Report that renders as markdown;
+// cmd/longexp prints them and the root bench suite wraps them in testing.B
+// benchmarks.
+//
+// Two evidence sources feed the reports, always labelled: `measured` rows
+// come from real CPU execution of the engine/operators at sim scale;
+// `modeled` rows come from internal/gpusim kernel traces at paper scale,
+// parameterized by densities measured on the sim runs (DESIGN.md §2).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Section is one table of a report.
+type Section struct {
+	Name    string
+	Headers []string
+	Rows    [][]string
+}
+
+// Report is one regenerated paper artifact.
+type Report struct {
+	ID       string // e.g. "table1", "fig7"
+	Title    string
+	Sections []Section
+	Notes    []string
+}
+
+// AddSection appends a table.
+func (r *Report) AddSection(name string, headers []string, rows [][]string) {
+	r.Sections = append(r.Sections, Section{Name: name, Headers: headers, Rows: rows})
+}
+
+// AddNote appends a free-form note (assumptions, paper comparison).
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Markdown renders the report.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", r.ID, r.Title)
+	for _, s := range r.Sections {
+		if s.Name != "" {
+			fmt.Fprintf(&b, "### %s\n\n", s.Name)
+		}
+		writeTable(&b, s.Headers, s.Rows)
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "> %s\n", n)
+	}
+	if len(r.Notes) > 0 {
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func writeTable(b *strings.Builder, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	pad := func(s string, w int) string { return s + strings.Repeat(" ", w-len(s)) }
+	b.WriteString("|")
+	for i, h := range headers {
+		b.WriteString(" " + pad(h, widths[i]) + " |")
+	}
+	b.WriteString("\n|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2) + "|")
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		b.WriteString("|")
+		for i, c := range row {
+			w := len(c)
+			if i < len(widths) {
+				w = widths[i]
+			}
+			b.WriteString(" " + pad(c, w) + " |")
+		}
+		b.WriteString("\n")
+	}
+}
+
+// Formatting helpers shared by the drivers.
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000)
+}
+
+func msF(seconds float64) string {
+	return fmt.Sprintf("%.1f", seconds*1000)
+}
+
+func pct(part, total float64) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*part/total)
+}
+
+func speedup(base, opt float64) string {
+	if opt == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", base/opt)
+}
+
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+func pctv(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }

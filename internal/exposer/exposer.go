@@ -1,0 +1,293 @@
+// Package exposer implements the Shadowy-sparsity Exposer (paper §IV): the
+// component that recovers sparsity hidden by the overlap of per-token
+// patterns ("shadowy sparsity").
+//
+// Attention side: instead of one uniform mask covering every head's critical
+// scores (the shadowy baseline), the exposer derives a *head-specific* block
+// mask per head and categorizes it into the operator pool's atomic patterns.
+//
+// MLP side: overall activations look dense because different tokens activate
+// different neurons; the exposer ranks neuron blocks by importance
+// (activation frequency × magnitude) and filters out blocks below a
+// threshold defined as a fraction of the peak block importance, turning
+// scattered activation sparsity into structured block-wise sparsity.
+package exposer
+
+import (
+	"fmt"
+
+	"longexposure/internal/sparse"
+	"longexposure/internal/tensor"
+)
+
+// Config tunes the exposer.
+type Config struct {
+	Blk           int     // block size in tokens / neurons
+	AttnThreshold float64 // keep a block if its peak prob ≥ θ · row peak (default 0.1)
+	MLPThreshold  float64 // keep a neuron block if importance ≥ θ · peak (default 0.02, Fig 9's "2%")
+	MinRecall     float64 // pool match must cover this fraction of needed blocks (default 0.9)
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Blk == 0 {
+		c.Blk = 16
+	}
+	if c.AttnThreshold == 0 {
+		c.AttnThreshold = 0.1
+	}
+	if c.MLPThreshold == 0 {
+		c.MLPThreshold = 0.02
+	}
+	if c.MinRecall == 0 {
+		c.MinRecall = 0.85
+	}
+	return c
+}
+
+// Exposer derives sparse patterns from dense activations. It owns the
+// offline pattern pool and its pre-computed layouts.
+type Exposer struct {
+	cfg      Config
+	pool     *sparse.Pool
+	patterns []sparse.Pattern
+}
+
+// New constructs an exposer over the default atomic pattern pool.
+func New(cfg Config) *Exposer {
+	return &Exposer{
+		cfg:      cfg.withDefaults(),
+		pool:     sparse.NewPool(),
+		patterns: sparse.DefaultPool(),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (e *Exposer) Config() Config { return e.cfg }
+
+// Pool exposes the layout pool for reuse by the predictor.
+func (e *Exposer) Pool() *sparse.Pool { return e.pool }
+
+// Patterns exposes the atomic pattern list.
+func (e *Exposer) Patterns() []sparse.Pattern { return e.patterns }
+
+// HeadMask derives the needed-block mask of one head from its dense
+// probability matrix [s, s]: block (br, bc) is needed if it holds a
+// probability ≥ θ times the peak probability of any row crossing it.
+// The diagonal is always needed (causal self-attention).
+func (e *Exposer) HeadMask(probs *tensor.Tensor) *sparse.Layout {
+	mask, _ := e.HeadMaskWithMass(probs)
+	return mask
+}
+
+// HeadMaskWithMass additionally returns the attention-mass distribution
+// over the block grid (length nb·nb, normalized to sum 1): how much of the
+// probability mass each block carries. The mass weights pool matching —
+// a candidate pattern must retain most of the *mass*, not most of the
+// block count, so low-mass straggler blocks don't force a dense fallback.
+func (e *Exposer) HeadMaskWithMass(probs *tensor.Tensor) (*sparse.Layout, []float64) {
+	s := probs.Dim(0)
+	blk := e.cfg.Blk
+	if s%blk != 0 {
+		panic(fmt.Sprintf("exposer: seq %d not a multiple of blk %d", s, blk))
+	}
+	nb := s / blk
+	needed := make([]bool, nb*nb)
+	mass := make([]float64, nb*nb)
+	theta := float32(e.cfg.AttnThreshold)
+	var total float64
+	for i := 0; i < s; i++ {
+		row := probs.Row(i)
+		var peak float32
+		for j := 0; j <= i; j++ {
+			if row[j] > peak {
+				peak = row[j]
+			}
+		}
+		cut := theta * peak
+		br := i / blk
+		for j := 0; j <= i; j++ {
+			if row[j] >= cut {
+				needed[br*nb+j/blk] = true
+			}
+			mass[br*nb+j/blk] += float64(row[j])
+			total += float64(row[j])
+		}
+	}
+	if total > 0 {
+		for i := range mass {
+			mass[i] /= total
+		}
+	}
+	for b := 0; b < nb; b++ {
+		needed[b*nb+b] = true
+	}
+	mask := sparse.NewLayout(nb, func(br, bc int) bool { return bc <= br && needed[br*nb+bc] })
+	return mask, mass
+}
+
+// HeadMasks derives one needed-block mask per head, reducing over the batch
+// (a block needed by any batch element is needed). probs is indexed
+// batch*heads + head, as nn.MultiHeadAttention.DenseProbs returns it.
+func (e *Exposer) HeadMasks(probs []*tensor.Tensor, batch, heads int) []*sparse.Layout {
+	masks, _ := e.HeadMasksWithMass(probs, batch, heads)
+	return masks
+}
+
+// HeadMasksWithMass batch-reduces masks (union) and masses (mean) per head.
+func (e *Exposer) HeadMasksWithMass(probs []*tensor.Tensor, batch, heads int) ([]*sparse.Layout, [][]float64) {
+	masks := make([]*sparse.Layout, heads)
+	masses := make([][]float64, heads)
+	for h := 0; h < heads; h++ {
+		var acc *sparse.Layout
+		var accMass []float64
+		for b := 0; b < batch; b++ {
+			m, mm := e.HeadMaskWithMass(probs[b*heads+h])
+			if acc == nil {
+				acc, accMass = m, mm
+			} else {
+				acc = acc.Union(m)
+				for i := range accMass {
+					accMass[i] += mm[i]
+				}
+			}
+		}
+		if batch > 1 {
+			inv := 1 / float64(batch)
+			for i := range accMass {
+				accMass[i] *= inv
+			}
+		}
+		masks[h], masses[h] = acc, accMass
+	}
+	return masks, masses
+}
+
+// UniformMask is the shadowy baseline: a single mask that must cover the
+// significant scores of *all* heads — the union of the per-head masks. Its
+// density is what Figure 9 calls "Shadowy".
+func UniformMask(heads []*sparse.Layout) *sparse.Layout {
+	acc := heads[0]
+	for _, h := range heads[1:] {
+		acc = acc.Union(h)
+	}
+	return acc
+}
+
+// MatchToPool categorizes a needed-block mask into the best atomic pattern:
+// among pool patterns whose recall meets MinRecall, pick the sparsest; if
+// none qualifies, fall back to dense. Recall is mass-weighted when mass is
+// non-nil (covered attention mass / total mass), otherwise block-count
+// based. Returning a pool member is what lets the operator reuse its
+// pre-computed layout tables — the offline/online split of §VI-A.
+func (e *Exposer) MatchToPool(mask *sparse.Layout, mass []float64) (sparse.Pattern, *sparse.Layout) {
+	nb := mask.NB()
+	best := sparse.Pattern{Kind: sparse.KindDense}
+	bestLayout := e.pool.Get(best, nb)
+	bestNNZ := bestLayout.NNZ()
+	var totalMass float64
+	for _, v := range mass {
+		totalMass += v
+	}
+	for _, p := range e.patterns {
+		l := e.pool.Get(p, nb)
+		recall := 1.0
+		switch {
+		case mass != nil && totalMass > 0:
+			var covered float64
+			for br := 0; br < nb; br++ {
+				for _, bc := range l.RowBlocks(br) {
+					covered += mass[br*nb+int(bc)]
+				}
+			}
+			recall = covered / totalMass
+		case mask.NNZ() > 0:
+			recall = float64(l.Overlap(mask)) / float64(mask.NNZ())
+		}
+		if recall < e.cfg.MinRecall {
+			continue
+		}
+		if l.NNZ() < bestNNZ {
+			best, bestLayout, bestNNZ = p, l, l.NNZ()
+		}
+	}
+	return best, bestLayout
+}
+
+// ExposeAttention is the full attention pipeline: per-head masks with mass
+// → mass-weighted pool categorization → per-head layouts ready for the
+// sparse operators. It returns the chosen patterns alongside the layouts.
+func (e *Exposer) ExposeAttention(probs []*tensor.Tensor, batch, heads int) ([]sparse.Pattern, []*sparse.Layout) {
+	masks, masses := e.HeadMasksWithMass(probs, batch, heads)
+	pats := make([]sparse.Pattern, heads)
+	layouts := make([]*sparse.Layout, heads)
+	for h, m := range masks {
+		pats[h], layouts[h] = e.MatchToPool(m, masses[h])
+	}
+	return pats, layouts
+}
+
+// NeuronBlockImportance scores each neuron block from a post-ReLU hidden
+// activation matrix [tokens, H]: importance of a neuron is the mean of its
+// activation magnitudes over tokens (frequency and value combined, §IV-B),
+// and a block scores the mean of its neurons.
+func NeuronBlockImportance(hidden *tensor.Tensor, blk int) []float64 {
+	tokens, H := hidden.Dim(0), hidden.Dim(1)
+	nBlk := (H + blk - 1) / blk
+	imp := make([]float64, nBlk)
+	for i := 0; i < tokens; i++ {
+		row := hidden.Data[i*H : (i+1)*H]
+		for h, v := range row {
+			if v > 0 {
+				imp[h/blk] += float64(v)
+			} else if v < 0 {
+				imp[h/blk] -= float64(v)
+			}
+		}
+	}
+	for b := range imp {
+		width := blk
+		if (b+1)*blk > H {
+			width = H - b*blk
+		}
+		imp[b] /= float64(tokens * width)
+	}
+	return imp
+}
+
+// FilterNeuronBlocks applies the threshold filter: blocks whose importance
+// is below θ · peak are treated as inactive. The returned indices are
+// sorted ascending (the order the sparse kernels stream them in).
+func (e *Exposer) FilterNeuronBlocks(hidden *tensor.Tensor) []int {
+	imp := NeuronBlockImportance(hidden, e.cfg.Blk)
+	var peak float64
+	for _, v := range imp {
+		if v > peak {
+			peak = v
+		}
+	}
+	cut := e.cfg.MLPThreshold * peak
+	var out []int
+	for b, v := range imp {
+		if v >= cut && v > 0 {
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 { // never return an empty plan: keep the peak block
+		best := 0
+		for b, v := range imp {
+			if v > imp[best] {
+				best = b
+			}
+		}
+		out = []int{best}
+	}
+	return out
+}
+
+// FilterNeuronBlocksAt applies the filter with an explicit threshold,
+// for the Figure 9 threshold sweep.
+func FilterNeuronBlocksAt(hidden *tensor.Tensor, blk int, threshold float64) []int {
+	e := New(Config{Blk: blk, MLPThreshold: threshold})
+	return e.FilterNeuronBlocks(hidden)
+}

@@ -1,0 +1,78 @@
+package exposer
+
+import (
+	"math"
+	"testing"
+
+	"longexposure/internal/sparse"
+	"longexposure/internal/tensor"
+)
+
+func TestHeadMaskWithMassNormalized(t *testing.T) {
+	e := New(Config{Blk: 4})
+	probs := syntheticProbs(16, 4, [][2]int{{2, 0}, {3, 1}})
+	_, mass := e.HeadMaskWithMass(probs)
+	var sum float64
+	for _, v := range mass {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("mass sums to %v", sum)
+	}
+	// Mass concentrates on the hot blocks.
+	nb := 4
+	if mass[2*nb+0] < mass[3*nb+0] {
+		t.Fatal("hot block (2,0) lighter than cold block (3,0)")
+	}
+}
+
+func TestMassWeightedMatchIgnoresLowMassStragglers(t *testing.T) {
+	// Needed mask: a local band plus one straggler block carrying almost no
+	// mass. Count-based matching must fall back to dense (the straggler
+	// breaks local patterns' recall); mass-based matching must pick local.
+	nb := 8
+	needed := sparse.NewLayout(nb, func(br, bc int) bool {
+		if bc > br {
+			return false
+		}
+		return br-bc <= 1 || (br == 7 && bc == 2) // band + straggler
+	})
+	mass := make([]float64, nb*nb)
+	for br := 0; br < nb; br++ {
+		for bc := 0; bc <= br; bc++ {
+			if br-bc <= 1 {
+				mass[br*nb+bc] = 1
+			}
+		}
+	}
+	mass[7*nb+2] = 1e-6 // straggler has negligible mass
+
+	e := New(Config{Blk: 4, MinRecall: 0.95})
+	patMass, layoutMass := e.MatchToPool(needed, mass)
+	patCount, _ := e.MatchToPool(needed, nil)
+
+	if patMass.Kind == sparse.KindDense {
+		t.Fatalf("mass-weighted match fell back to dense")
+	}
+	if layoutMass.Density() >= 0.9*e.pool.Get(sparse.Pattern{Kind: sparse.KindDense}, nb).Density() {
+		t.Fatal("mass-weighted match not sparser than dense")
+	}
+	if patCount.Kind != sparse.KindDense {
+		t.Fatalf("count-based match unexpectedly found %v — straggler should break recall", patCount)
+	}
+}
+
+func TestHeadMasksWithMassBatchMean(t *testing.T) {
+	e := New(Config{Blk: 4})
+	p1 := syntheticProbs(8, 4, [][2]int{{1, 0}})
+	p2 := syntheticProbs(8, 4, nil)
+	_, masses := e.HeadMasksWithMass([]*tensor.Tensor{p1, p2}, 2, 1)
+	var sum float64
+	for _, v := range masses[0] {
+		sum += v
+	}
+	// Mean of two normalized distributions stays normalized.
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("batch-mean mass sums to %v", sum)
+	}
+}

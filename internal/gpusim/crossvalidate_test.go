@@ -1,0 +1,62 @@
+package gpusim
+
+import (
+	"testing"
+
+	"longexposure/internal/model"
+	"longexposure/internal/nn"
+	"longexposure/internal/peft"
+	"longexposure/internal/tensor"
+)
+
+// TestTrainableParamsMatchesRealPEFT cross-validates the cost model's
+// analytic trainable-parameter counts against the real engine: build an
+// actual model, apply each PEFT method, and compare the optimizer-visible
+// count with gpusim's formula on the same configuration. This pins the
+// modeled optimizer/memory numbers to the implementation.
+func TestTrainableParamsMatchesRealPEFT(t *testing.T) {
+	spec := model.Spec{Family: model.FamilyOPT, Config: nn.Config{
+		Name: "xval", Vocab: 96, Dim: 32, Layers: 3, Heads: 4,
+		Hidden: 128, MaxSeq: 64, Act: nn.ActReLU,
+	}}
+	opts := peft.Options{LoRARank: 4, Bottleneck: 8, PromptTokens: 6}
+
+	for _, m := range []peft.Method{peft.LoRA, peft.Adapter, peft.PTuning} {
+		rng := tensor.NewRNG(1)
+		mod := nn.NewTransformer(spec.Config, rng)
+		peft.Apply(mod, m, opts, rng.Split())
+		_, real := mod.NumParams()
+
+		modeled := TrainableParams(StepShape{
+			Spec: spec, Method: m,
+			LoRARank: opts.LoRARank, Bottleneck: opts.Bottleneck, PromptTokens: opts.PromptTokens,
+		})
+		if int64(real) != modeled {
+			t.Errorf("%v: real %d vs modeled %d trainables", m, real, modeled)
+		}
+	}
+
+	// FullFT: the analytic count uses Spec.ParamCount, which must match a
+	// real model's total.
+	rng := tensor.NewRNG(2)
+	mod := nn.NewTransformer(spec.Config, rng)
+	total, _ := mod.NumParams()
+	if int64(total) != spec.ParamCount() {
+		t.Errorf("ParamCount analytic %d vs real %d", spec.ParamCount(), total)
+	}
+
+	// BitFit's modeled count may differ slightly in the head-bias term;
+	// require agreement within 2%.
+	rng = tensor.NewRNG(3)
+	mod = nn.NewTransformer(spec.Config, rng)
+	peft.Apply(mod, peft.BitFit, opts, rng.Split())
+	_, realBF := mod.NumParams()
+	modeledBF := TrainableParams(StepShape{Spec: spec, Method: peft.BitFit})
+	diff := float64(realBF) - float64(modeledBF)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff/float64(realBF) > 0.02 {
+		t.Errorf("BitFit: real %d vs modeled %d (%.1f%% off)", realBF, modeledBF, 100*diff/float64(realBF))
+	}
+}

@@ -1,0 +1,270 @@
+package gpusim
+
+import (
+	"testing"
+
+	"longexposure/internal/model"
+	"longexposure/internal/peft"
+)
+
+func leShape(spec model.Spec, batch, seq int, method peft.Method) StepShape {
+	return StepShape{
+		Spec: spec, Batch: batch, Seq: seq, Method: method,
+		UseLongExposure: true,
+		AttnDensity:     0.22, // measured-range densities (Fig 9)
+		MLPDensity:      0.35,
+	}
+}
+
+func denseShape(spec model.Spec, batch, seq int, method peft.Method) StepShape {
+	return StepShape{Spec: spec, Batch: batch, Seq: seq, Method: method}
+}
+
+func TestRooflineBasics(t *testing.T) {
+	d := A100()
+	// A compute-bound kernel's time scales with FLOPs.
+	k1 := Kernel{Kind: KDenseGEMM, FLOPs: 1e12, Bytes: 1e6}
+	k2 := Kernel{Kind: KDenseGEMM, FLOPs: 2e12, Bytes: 1e6}
+	t1, t2 := d.Time(k1), d.Time(k2)
+	ratio := float64(t2) / float64(t1)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("compute scaling ratio %v", ratio)
+	}
+	// A memory-bound kernel's time scales with bytes.
+	k3 := Kernel{Kind: KElementwise, FLOPs: 1, Bytes: 1e9}
+	k4 := Kernel{Kind: KElementwise, FLOPs: 1, Bytes: 2e9}
+	ratio = float64(d.Time(k4)) / float64(d.Time(k3))
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("memory scaling ratio %v", ratio)
+	}
+}
+
+func TestKernelOverheadFloor(t *testing.T) {
+	d := A100()
+	tiny := Kernel{Kind: KDenseGEMM, FLOPs: 10, Bytes: 10, Launches: 5}
+	if got := d.Time(tiny); got < 5*d.KernelOverhead {
+		t.Fatalf("launch overhead not charged: %v", got)
+	}
+}
+
+func TestUnstructuredSlowerThanDenseAtModestSparsity(t *testing.T) {
+	// Fig 9's 'Shadowy' finding: unstructured sparsity at ~50% density
+	// loses to the dense kernel.
+	d := A100()
+	dense := ScoreKernels("s", 4, 32, 1024, 64, 1.0, KDenseGEMM)
+	shadow := ScoreKernels("s", 4, 32, 1024, 64, 0.5, KUnstructured)
+	if d.Time(shadow) <= d.Time(dense) {
+		t.Fatalf("unstructured %v not slower than dense %v", d.Time(shadow), d.Time(dense))
+	}
+	// But the block-sparse kernel at the same density wins.
+	blockSparse := ScoreKernels("s", 4, 32, 1024, 64, 0.5, KBlockSparse)
+	if d.Time(blockSparse) >= d.Time(dense) {
+		t.Fatalf("block-sparse %v not faster than dense %v", d.Time(blockSparse), d.Time(dense))
+	}
+}
+
+func TestOperatorTimeLinearInDensity(t *testing.T) {
+	// Fig 12: dynamic operator time ≈ linear in sparsity ratio.
+	d := A100()
+	t25 := d.Time(ScoreKernels("s", 4, 32, 1024, 64, 0.25, KBlockSparse)).Seconds()
+	t50 := d.Time(ScoreKernels("s", 4, 32, 1024, 64, 0.50, KBlockSparse)).Seconds()
+	t100 := d.Time(ScoreKernels("s", 4, 32, 1024, 64, 1.0, KBlockSparse)).Seconds()
+	if r := t50 / t25; r < 1.6 || r > 2.4 {
+		t.Fatalf("density 0.5/0.25 time ratio %v", r)
+	}
+	if r := t100 / t50; r < 1.6 || r > 2.4 {
+		t.Fatalf("density 1.0/0.5 time ratio %v", r)
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	// Table I's structure: backward > forward for every method; the
+	// optimizer step is a large share for full fine-tuning and negligible
+	// for PEFT.
+	d := A100()
+	spec := model.OPT1p3B()
+	for _, m := range peft.AllMethods() {
+		f, b, o, _ := StepTimes(d, denseShape(spec, 4, 512, m))
+		if b <= f {
+			t.Errorf("%v: backward %.4f ≤ forward %.4f", m, b, f)
+		}
+		share := o / (f + b + o)
+		if m == peft.FullFT && share < 0.05 {
+			t.Errorf("FullFT optimizer share %.3f too small", share)
+		}
+		if m != peft.FullFT && share > 0.02 {
+			t.Errorf("%v optimizer share %.3f too large", m, share)
+		}
+	}
+}
+
+func TestSpeedupGrowsWithSequenceLength(t *testing.T) {
+	// Fig 7's headline: the 512→1024 speedup jump (O(s²) → O(s)).
+	d := A100()
+	spec := model.OPT1p3B()
+	speedup := func(seq int) float64 {
+		dense := StepTotal(d, denseShape(spec, 4, seq, peft.LoRA))
+		le := StepTotal(d, leShape(spec, 4, seq, peft.LoRA))
+		return dense / le
+	}
+	s512, s1024 := speedup(512), speedup(1024)
+	if s512 <= 1 {
+		t.Fatalf("no speedup at 512: %v", s512)
+	}
+	if s1024 <= s512 {
+		t.Fatalf("speedup did not grow with seq: %.2f → %.2f", s512, s1024)
+	}
+	if s1024 < 1.3 || s1024 > 5 {
+		t.Fatalf("seq-1024 speedup %.2f outside plausible band", s1024)
+	}
+}
+
+func TestGPT2AttentionOnlySpeedupSmaller(t *testing.T) {
+	// Fig 13: GeLU models only get attention optimizations, so the speedup
+	// is positive but smaller than OPT's.
+	d := A100()
+	gpt := model.GPT2Large()
+	opt := model.OPT1p3B()
+	sp := func(spec model.Spec) float64 {
+		return StepTotal(d, denseShape(spec, 4, 1024, peft.LoRA)) /
+			StepTotal(d, leShape(spec, 4, 1024, peft.LoRA))
+	}
+	g, o := sp(gpt), sp(opt)
+	if g <= 1 {
+		t.Fatalf("GPT-2 got no speedup: %v", g)
+	}
+	if g >= o {
+		t.Fatalf("GPT-2 speedup %.2f not smaller than OPT %.2f", g, o)
+	}
+}
+
+func TestPredictorOverheadSmall(t *testing.T) {
+	// §V-C: predictor overhead must be a small fraction of the step.
+	d := A100()
+	s := leShape(model.OPT1p3B(), 4, 1024, peft.LoRA)
+	f, b, o, p := StepTimes(d, s)
+	if p <= 0 {
+		t.Fatal("no predictor time under Long Exposure")
+	}
+	if share := p / (f + b + o + p); share > 0.1 {
+		t.Fatalf("predictor share %.3f too large", share)
+	}
+	// Dense runs have no predictor.
+	if pt := PredictTrace(denseShape(model.OPT1p3B(), 4, 1024, peft.LoRA)); pt != nil {
+		t.Fatal("dense shape produced a predictor trace")
+	}
+}
+
+func TestTrainableParamCounts(t *testing.T) {
+	spec := model.OPT1p3B()
+	total := spec.ParamCount()
+	lora := TrainableParams(StepShape{Spec: spec, Method: peft.LoRA, LoRARank: 8})
+	if ratio := float64(lora) / float64(total); ratio > 0.01 {
+		t.Fatalf("LoRA trainable ratio %.4f too large", ratio)
+	}
+	full := TrainableParams(StepShape{Spec: spec, Method: peft.FullFT})
+	if full != total {
+		t.Fatalf("FullFT trainable %d != total %d", full, total)
+	}
+	bitfit := TrainableParams(StepShape{Spec: spec, Method: peft.BitFit})
+	if bitfit <= 0 || bitfit >= lora*100 {
+		t.Fatalf("BitFit count %d implausible", bitfit)
+	}
+}
+
+func TestMemoryFootprintShapes(t *testing.T) {
+	spec := model.OPT1p3B()
+	// Dense activations grow ~quadratically with seq; Long Exposure's grow
+	// much slower (Fig 8).
+	dense512 := Footprint(denseShape(spec, 4, 512, peft.LoRA), false)
+	dense2048 := Footprint(denseShape(spec, 4, 2048, peft.LoRA), false)
+	le2048 := Footprint(leShape(spec, 4, 2048, peft.LoRA), false)
+
+	dGrowth := float64(dense2048.Activations) / float64(dense512.Activations)
+	if dGrowth < 6 {
+		t.Fatalf("dense activation growth 512→2048 = %.1f, want ≳ quadratic-ish", dGrowth)
+	}
+	if le2048.Total() >= dense2048.Total() {
+		t.Fatal("Long Exposure uses no less memory")
+	}
+	reduction := float64(dense2048.Total()) / float64(le2048.Total())
+	if reduction < 1.2 || reduction > 6 {
+		t.Fatalf("memory reduction %.2f outside plausible band", reduction)
+	}
+
+	// Optimal mode (MLP offload) saves further parameter memory.
+	leOpt := Footprint(leShape(spec, 4, 2048, peft.LoRA), true)
+	if leOpt.Params >= le2048.Params {
+		t.Fatal("offload did not shrink resident parameters")
+	}
+
+	// FullFT optimizer state dwarfs LoRA's.
+	fullState := Footprint(denseShape(spec, 4, 512, peft.FullFT), false).OptState
+	loraState := Footprint(denseShape(spec, 4, 512, peft.LoRA), false).OptState
+	if fullState < 100*loraState {
+		t.Fatalf("FullFT state %d not ≫ LoRA state %d", fullState, loraState)
+	}
+}
+
+func TestOOMAtLongSequences(t *testing.T) {
+	// Fig 7/8 OOM cells: dense fine-tuning of OPT-2.7B at long sequences
+	// must not fit the 48GB A6000 while Long Exposure fits more cases.
+	spec := model.OPT2p7B()
+	dev := A6000()
+	dense := Footprint(denseShape(spec, 4, 2048, peft.LoRA), false)
+	if FitsOn(dev, dense) {
+		t.Fatalf("dense OPT-2.7B@2048 fits 48GB (%.1f GiB) — OOM cell missing", GiB(dense.Total()))
+	}
+	le := Footprint(leShape(spec, 4, 2048, peft.LoRA), true)
+	if GiB(le.Total()) >= GiB(dense.Total()) {
+		t.Fatal("LE footprint not smaller")
+	}
+}
+
+func TestMultiGPUNearLinearScaling(t *testing.T) {
+	// Fig 14: PEFT gradients are tiny, so strong scaling is near linear.
+	d := A100()
+	s := denseShape(model.OPT350M(), 8, 512, peft.LoRA)
+	for _, g := range []int{2, 4} {
+		eff := ScalingEfficiency(d, s, g)
+		if eff < 0.8 || eff > 1.05 {
+			t.Fatalf("%d GPUs: efficiency %.3f", g, eff)
+		}
+	}
+	// Full fine-tuning over PCIe scales worse than LoRA over PCIe.
+	pcie := A6000()
+	effFull := ScalingEfficiency(pcie, denseShape(model.OPT350M(), 8, 512, peft.FullFT), 4)
+	effLoRA := ScalingEfficiency(pcie, denseShape(model.OPT350M(), 8, 512, peft.LoRA), 4)
+	if effFull >= effLoRA {
+		t.Fatalf("FullFT scaling %.3f not worse than LoRA %.3f on PCIe", effFull, effLoRA)
+	}
+}
+
+func TestAllReduceModel(t *testing.T) {
+	d := A100()
+	if AllReduceTime(d, 1<<30, 1) != 0 {
+		t.Fatal("single GPU should not communicate")
+	}
+	t2 := AllReduceTime(d, 1<<30, 2)
+	t4 := AllReduceTime(d, 1<<30, 4)
+	if t2 <= 0 || t4 <= t2 {
+		t.Fatalf("all-reduce times not increasing: %v, %v", t2, t4)
+	}
+}
+
+func TestA6000SlowerThanA100ForBandwidthBound(t *testing.T) {
+	// The A6000 has ~half the HBM bandwidth; memory-bound phases must be
+	// slower there.
+	k := Kernel{Kind: KElementwise, Bytes: 1e9}
+	if A6000().Time(k) <= A100().Time(k) {
+		t.Fatal("A6000 not slower on memory-bound work")
+	}
+}
+
+func TestGeLUForcesDenseMLP(t *testing.T) {
+	s := StepShape{Spec: model.GPT2Large(), Batch: 4, Seq: 512, Method: peft.LoRA,
+		UseLongExposure: true, AttnDensity: 0.3, MLPDensity: 0.2}
+	if got := s.withDefaults().MLPDensity; got != 1 {
+		t.Fatalf("GeLU model MLP density forced to %v, want 1", got)
+	}
+}

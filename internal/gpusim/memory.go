@@ -1,0 +1,76 @@
+package gpusim
+
+import "longexposure/internal/peft"
+
+// MemBreakdown itemizes the GPU-resident memory of one fine-tuning step —
+// the Figure 8 model.
+type MemBreakdown struct {
+	Params      int64 // fp16 backbone + injected parameters
+	Grads       int64 // fp16 gradients of trainable parameters
+	OptState    int64 // fp32 master copy + Adam moments of trainables
+	Activations int64 // saved-for-backward tensors
+	Workspace   int64 // allocator slack / temporary buffers
+}
+
+// Total sums the breakdown.
+func (m MemBreakdown) Total() int64 {
+	return m.Params + m.Grads + m.OptState + m.Activations + m.Workspace
+}
+
+// GiB renders a byte count in binary gigabytes.
+func GiB(b int64) float64 { return float64(b) / (1 << 30) }
+
+// Footprint models the resident memory of one step. offloadMLP enables the
+// "Long Exposure (optimal)" mode: inactive MLP weight blocks live on the
+// host and only predicted-active blocks are resident (§VII-B, Figure 8).
+func Footprint(shape StepShape, offloadMLP bool) MemBreakdown {
+	s := shape.withDefaults()
+	cfg := s.Spec.Config
+	d := int64(cfg.Dim)
+	h := int64(cfg.Hidden)
+	L := int64(cfg.Layers)
+	v := int64(cfg.Vocab)
+	seq := int64(s.Seq)
+	if s.Method == peft.PTuning {
+		seq += int64(s.PromptTokens)
+	}
+	b := int64(s.Batch)
+	t := b * seq
+	heads := int64(cfg.Heads)
+
+	var m MemBreakdown
+
+	// Parameters (fp16). MLP weights may be partially offloaded.
+	total := s.Spec.ParamCount()
+	mlpW := L * 2 * d * h
+	m.Params = 2 * total
+	if offloadMLP && s.UseLongExposure && s.MLPDensity < 1 {
+		resident := int64(float64(mlpW) * s.MLPDensity)
+		m.Params -= 2 * (mlpW - resident)
+	}
+
+	// Trainable-side state.
+	trainable := TrainableParams(s)
+	m.Grads = 2 * trainable
+	m.OptState = 12 * trainable // fp32 master + m + v
+
+	// Activations saved for backward, per layer:
+	//   ln outs, q/k/v, context, residuals ≈ 8 token-major tensors,
+	//   attention probabilities (the O(s²) term the sparse masks shrink),
+	//   MLP hidden (density-scaled).
+	probsFrac := 1.0
+	if s.UseLongExposure {
+		probsFrac = s.AttnDensity
+	}
+	perLayer := 8*t*d*4 +
+		int64(float64(b*heads*seq*seq*4)*probsFrac) +
+		int64(float64(t*h*4)*s.MLPDensity)
+	m.Activations = L*perLayer + t*v*4 // plus logits
+
+	m.Workspace = (m.Params + m.Activations) / 20
+	return m
+}
+
+// FitsOn reports whether the footprint fits the device (the OOM cells of
+// Figures 7 and 8).
+func FitsOn(d Device, m MemBreakdown) bool { return m.Total() <= d.MemBytes }

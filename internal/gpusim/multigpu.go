@@ -1,0 +1,45 @@
+package gpusim
+
+import "time"
+
+// Multi-GPU model (Figure 14): synchronous data parallelism with a ring
+// all-reduce over the trainable gradients. Long Exposure's optimizations
+// are all compute-side, so they add no communication — which is why the
+// paper observes linear strong scaling.
+
+// AllReduceTime prices a ring all-reduce of n bytes across g GPUs:
+// 2·(g−1)/g · n / linkBW plus a per-hop latency term.
+func AllReduceTime(d Device, bytes int64, gpus int) time.Duration {
+	if gpus <= 1 {
+		return 0
+	}
+	vol := 2 * float64(gpus-1) / float64(gpus) * float64(bytes)
+	t := vol / d.LinkBW
+	latency := time.Duration(2*(gpus-1)) * 10 * time.Microsecond
+	return time.Duration(t*float64(time.Second)) + latency
+}
+
+// DataParallelStep prices one synchronous data-parallel step with the
+// global batch sharded across gpus (strong scaling: per-GPU batch shrinks).
+// Returns the per-step wall-clock.
+func DataParallelStep(d Device, s StepShape, gpus int) time.Duration {
+	shard := s
+	shard.Batch = s.Batch / gpus
+	if shard.Batch < 1 {
+		shard.Batch = 1
+	}
+	compute := StepTotal(d, shard)
+	gradBytes := 2 * TrainableParams(s) // fp16 gradients on the wire
+	comm := AllReduceTime(d, gradBytes, gpus)
+	return time.Duration(compute*float64(time.Second)) + comm
+}
+
+// ScalingEfficiency returns t(1)/(g·t(g)) — 1.0 is perfect strong scaling.
+func ScalingEfficiency(d Device, s StepShape, gpus int) float64 {
+	t1 := DataParallelStep(d, s, 1).Seconds()
+	tg := DataParallelStep(d, s, gpus).Seconds()
+	if tg == 0 {
+		return 0
+	}
+	return t1 / (float64(gpus) * tg)
+}

@@ -1,0 +1,94 @@
+package gpusim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"longexposure/internal/model"
+	"longexposure/internal/peft"
+)
+
+// Property: kernel time is monotone in FLOPs and in bytes, for every kind
+// and both devices.
+func TestQuickTimeMonotone(t *testing.T) {
+	kinds := []KernelKind{KDenseGEMM, KBlockSparse, KNeuronSparse, KUnstructured, KElementwise, KPredictor}
+	devices := []Device{A100(), A6000()}
+	f := func(fl uint32, by uint32) bool {
+		flops := float64(fl%1000000) * 1e6
+		bytes := float64(by%1000000) * 1e3
+		for _, kind := range kinds {
+			for _, d := range devices {
+				base := Kernel{Kind: kind, FLOPs: flops, Bytes: bytes}
+				moreF := base
+				moreF.FLOPs *= 2
+				moreB := base
+				moreB.Bytes *= 2
+				if d.Time(moreF) < d.Time(base) || d.Time(moreB) < d.Time(base) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: memory footprint is monotone in sequence length and batch size.
+func TestQuickFootprintMonotone(t *testing.T) {
+	spec := model.OPT350M()
+	f := func(sRaw, bRaw uint8) bool {
+		seq := 128 + int(sRaw)%1024
+		batch := 1 + int(bRaw)%8
+		base := Footprint(StepShape{Spec: spec, Batch: batch, Seq: seq, Method: peft.LoRA}, false)
+		longer := Footprint(StepShape{Spec: spec, Batch: batch, Seq: seq * 2, Method: peft.LoRA}, false)
+		wider := Footprint(StepShape{Spec: spec, Batch: batch * 2, Seq: seq, Method: peft.LoRA}, false)
+		return longer.Total() > base.Total() && wider.Total() > base.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Long Exposure's step never costs more than dense at equal
+// shape when densities are below 1 (the operators are strictly
+// work-proportional in the model).
+func TestQuickLEStepNeverSlower(t *testing.T) {
+	d := A100()
+	spec := model.OPT1p3B()
+	f := func(aRaw, mRaw uint8) bool {
+		attn := 0.1 + 0.8*float64(aRaw)/255
+		mlp := 0.1 + 0.8*float64(mRaw)/255
+		dense := StepTotal(d, StepShape{Spec: spec, Batch: 4, Seq: 1024, Method: peft.LoRA})
+		le := StepTotal(d, StepShape{
+			Spec: spec, Batch: 4, Seq: 1024, Method: peft.LoRA,
+			UseLongExposure: true, AttnDensity: attn, MLPDensity: mlp,
+		})
+		return le <= dense*1.02 // small tolerance for predictor overhead
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: speedup is monotone — lower densities never slow the modeled
+// step down.
+func TestQuickSpeedupMonotoneInDensity(t *testing.T) {
+	d := A100()
+	spec := model.OPT1p3B()
+	f := func(raw uint8) bool {
+		lo := 0.1 + 0.4*float64(raw)/255
+		hi := lo + 0.3
+		mk := func(density float64) float64 {
+			return StepTotal(d, StepShape{
+				Spec: spec, Batch: 4, Seq: 1024, Method: peft.LoRA,
+				UseLongExposure: true, AttnDensity: density, MLPDensity: density,
+			})
+		}
+		return mk(lo) <= mk(hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,382 @@
+package gpusim
+
+import (
+	"longexposure/internal/model"
+	"longexposure/internal/peft"
+)
+
+// StepShape describes one fine-tuning step for trace construction: the
+// model, batch geometry, PEFT method, and the sparsity the Long Exposure
+// pipeline achieved (densities are *measured* on sim-scale runs and fed in
+// here — gpusim never invents sparsity).
+type StepShape struct {
+	Spec   model.Spec
+	Batch  int
+	Seq    int
+	Method peft.Method
+
+	// PEFT module sizes.
+	LoRARank     int
+	Bottleneck   int
+	PromptTokens int
+
+	// Long Exposure knobs.
+	UseLongExposure bool
+	Blk             int
+	// AttnDensity is active blocks / full S²-grid blocks, averaged over
+	// heads (a causal-dense layout is ≈0.5; the dense baseline computes 1.0).
+	AttnDensity float64
+	// MLPDensity is the active-neuron fraction (1.0 for dense and for GeLU
+	// models, which never run sparse MLPs).
+	MLPDensity float64
+	// PredictorRank is the low-rank width of the attention predictors.
+	PredictorRank int
+}
+
+// withDefaults normalizes the shape.
+func (s StepShape) withDefaults() StepShape {
+	if s.LoRARank == 0 {
+		s.LoRARank = 8
+	}
+	if s.Bottleneck == 0 {
+		s.Bottleneck = 64
+	}
+	if s.PromptTokens == 0 {
+		s.PromptTokens = 16
+	}
+	if s.Blk == 0 {
+		s.Blk = 32
+	}
+	if s.AttnDensity == 0 {
+		s.AttnDensity = 1
+	}
+	if s.MLPDensity == 0 {
+		s.MLPDensity = 1
+	}
+	if !s.Spec.SupportsMLPSparsity() {
+		s.MLPDensity = 1
+	}
+	if s.PredictorRank == 0 {
+		s.PredictorRank = 16
+	}
+	if !s.UseLongExposure {
+		s.AttnDensity = 1
+		s.MLPDensity = 1
+	}
+	return s
+}
+
+// tokens returns B·S (prompt tokens included for P-Tuning).
+func (s StepShape) tokens() float64 {
+	seq := s.Seq
+	if s.Method == peft.PTuning {
+		seq += s.PromptTokens
+	}
+	return float64(s.Batch * seq)
+}
+
+const (
+	bytesF16 = 2.0
+	bytesF32 = 4.0
+)
+
+// gemm builds a dense-GEMM kernel for C[m,n] = A[m,k]·B[k,n] with fp16
+// weights streaming (weightBytes) and fp32 activations.
+func gemm(name string, m, k, n float64, kind KernelKind) Kernel {
+	return Kernel{
+		Name:     name,
+		Kind:     kind,
+		FLOPs:    2 * m * k * n,
+		Bytes:    k*n*bytesF16 + (m*k+m*n)*bytesF32,
+		Launches: 1,
+	}
+}
+
+// ScoreKernels models one attention-score-shaped operation (Q·Kᵀ or P·V and
+// their backward analogues) at the given block density and execution kind.
+// Exposed for the Figure 9/12 per-operator experiments.
+func ScoreKernels(name string, batch, heads, seq, headDim int, density float64, kind KernelKind) Kernel {
+	bh := float64(batch * heads)
+	s := float64(seq)
+	hd := float64(headDim)
+	return Kernel{
+		Name:     name,
+		Kind:     kind,
+		FLOPs:    2 * bh * s * s * hd * density,
+		Bytes:    bh * (2*s*hd*bytesF32 + s*s*bytesF32*density),
+		Launches: 1,
+	}
+}
+
+// MLPKernels models one FC-shaped operation at the given neuron density and
+// kind. Exposed for the Figure 9/12 per-operator experiments.
+func MLPKernels(name string, tokens, d, h int, density float64, kind KernelKind) Kernel {
+	t, dd, hh := float64(tokens), float64(d), float64(h)
+	return Kernel{
+		Name:     name,
+		Kind:     kind,
+		FLOPs:    2 * t * dd * hh * density,
+		Bytes:    dd*hh*bytesF16*density + t*dd*bytesF32 + t*hh*bytesF32*density,
+		Launches: 1,
+	}
+}
+
+// elementwise builds a streaming kernel over n fp32 elements with the given
+// read+write multiplier.
+func elementwise(name string, n, passes float64) Kernel {
+	return Kernel{Name: name, Kind: KElementwise, FLOPs: 5 * n, Bytes: passes * n * bytesF32, Launches: 1}
+}
+
+// attnKind returns the execution kind of score-shaped kernels.
+func (s StepShape) attnKind() KernelKind {
+	if s.UseLongExposure {
+		return KBlockSparse
+	}
+	return KDenseGEMM
+}
+
+// mlpKind returns the execution kind of FC-shaped kernels.
+func (s StepShape) mlpKind() KernelKind {
+	if s.UseLongExposure && s.MLPDensity < 1 {
+		return KNeuronSparse
+	}
+	return KDenseGEMM
+}
+
+// ForwardTrace builds the forward-pass kernel list of one step.
+func ForwardTrace(shape StepShape) Trace {
+	s := shape.withDefaults()
+	cfg := s.Spec.Config
+	d := float64(cfg.Dim)
+	h := float64(cfg.Hidden)
+	v := float64(cfg.Vocab)
+	t := s.tokens()
+	hd := cfg.Dim / cfg.Heads
+	seq := s.Seq
+	if s.Method == peft.PTuning {
+		seq += s.PromptTokens
+	}
+
+	var tr Trace
+	// Embedding gather.
+	tr = append(tr, Kernel{Name: "embed", Kind: KElementwise, Bytes: t * d * (bytesF16 + bytesF32), Launches: 2})
+
+	for l := 0; l < cfg.Layers; l++ {
+		tr = append(tr, elementwise("ln1", t*d, 3))
+		tr = append(tr, gemm("qkv_proj", t, d, 3*d, KDenseGEMM))
+		if s.Method == peft.LoRA {
+			r := float64(s.LoRARank)
+			tr = append(tr, gemm("lora_qv_down", t, d, 2*r, KDenseGEMM))
+			tr = append(tr, gemm("lora_qv_up", t, 2*r, d, KDenseGEMM))
+		}
+		tr = append(tr, ScoreKernels("attn_scores", s.Batch, cfg.Heads, seq, hd, s.AttnDensity, s.attnKind()))
+		tr = append(tr, elementwise("softmax", float64(s.Batch*cfg.Heads)*float64(seq)*float64(seq)*s.AttnDensity, 2))
+		tr = append(tr, ScoreKernels("attn_ctx", s.Batch, cfg.Heads, seq, hd, s.AttnDensity, s.attnKind()))
+		tr = append(tr, gemm("out_proj", t, d, d, KDenseGEMM))
+		if s.Method == peft.Adapter {
+			m := float64(s.Bottleneck)
+			tr = append(tr, gemm("adapter_attn", t, d, 2*m, KDenseGEMM))
+		}
+		tr = append(tr, elementwise("residual1", t*d, 3))
+
+		tr = append(tr, elementwise("ln2", t*d, 3))
+		tr = append(tr, MLPKernels("mlp_fc1", int(t), cfg.Dim, cfg.Hidden, s.MLPDensity, s.mlpKind()))
+		tr = append(tr, elementwise("activation", t*h*s.MLPDensity, 2))
+		tr = append(tr, MLPKernels("mlp_fc2", int(t), cfg.Dim, cfg.Hidden, s.MLPDensity, s.mlpKind()))
+		if s.Method == peft.Adapter {
+			m := float64(s.Bottleneck)
+			tr = append(tr, gemm("adapter_mlp", t, d, 2*m, KDenseGEMM))
+		}
+		tr = append(tr, elementwise("residual2", t*d, 3))
+	}
+
+	tr = append(tr, elementwise("ln_f", t*d, 3))
+	tr = append(tr, gemm("lm_head", t, d, v, KDenseGEMM))
+	tr = append(tr, elementwise("ce_loss", t*v, 2))
+	return tr
+}
+
+// BackwardTrace builds the backward-pass kernel list. Frozen linears cost
+// one GEMM (input gradient only); trainable linears cost two (input +
+// weight gradients) — the §II-C computational-flow analysis made explicit.
+func BackwardTrace(shape StepShape) Trace {
+	s := shape.withDefaults()
+	cfg := s.Spec.Config
+	d := float64(cfg.Dim)
+	v := float64(cfg.Vocab)
+	h := float64(cfg.Hidden)
+	t := s.tokens()
+	hd := cfg.Dim / cfg.Heads
+	seq := s.Seq
+	if s.Method == peft.PTuning {
+		seq += s.PromptTokens
+	}
+	full := s.Method == peft.FullFT
+
+	// linGrad emits the backward kernels of a linear of shape [k→n].
+	linGrad := func(tr Trace, name string, k, n float64, trainable bool) Trace {
+		tr = append(tr, gemm(name+".dx", t, n, k, KDenseGEMM))
+		if trainable {
+			tr = append(tr, gemm(name+".dw", k, t, n, KDenseGEMM))
+		}
+		return tr
+	}
+
+	var tr Trace
+	tr = append(tr, elementwise("ce_grad", t*v, 2))
+	tr = linGrad(tr, "lm_head", d, v, full)
+	tr = append(tr, elementwise("ln_f.bwd", t*d, 4))
+
+	for l := 0; l < cfg.Layers; l++ {
+		if s.Method == peft.Adapter {
+			m := float64(s.Bottleneck)
+			// Adapter backward: dx through both projections + their dW.
+			tr = append(tr, gemm("adapter_mlp.dx", t, d, 2*m, KDenseGEMM))
+			tr = append(tr, gemm("adapter_mlp.dw", d, t, 2*m, KDenseGEMM))
+		}
+		// MLP backward: hidden grad (fc2ᵀ), input grad (fc1ᵀ); weight
+		// grads only under full fine-tuning. All density-scaled — inactive
+		// neurons drop out of gradient computation (§II-D).
+		tr = append(tr, MLPKernels("mlp_fc2.dh", int(t), cfg.Dim, cfg.Hidden, s.MLPDensity, s.mlpKind()))
+		tr = append(tr, elementwise("activation.bwd", t*h*s.MLPDensity, 3))
+		tr = append(tr, MLPKernels("mlp_fc1.dx", int(t), cfg.Dim, cfg.Hidden, s.MLPDensity, s.mlpKind()))
+		if full {
+			tr = append(tr, MLPKernels("mlp_fc1.dw", int(t), cfg.Dim, cfg.Hidden, s.MLPDensity, s.mlpKind()))
+			tr = append(tr, MLPKernels("mlp_fc2.dw", int(t), cfg.Dim, cfg.Hidden, s.MLPDensity, s.mlpKind()))
+		}
+		tr = append(tr, elementwise("ln2.bwd", t*d, 4))
+
+		if s.Method == peft.Adapter {
+			m := float64(s.Bottleneck)
+			tr = append(tr, gemm("adapter_attn.dx", t, d, 2*m, KDenseGEMM))
+			tr = append(tr, gemm("adapter_attn.dw", d, t, 2*m, KDenseGEMM))
+		}
+		// Attention backward: dProbs (score-shaped), softmax backward,
+		// dQ, dK, dV (score-shaped) — all density-scaled.
+		tr = append(tr, ScoreKernels("attn_dprobs", s.Batch, cfg.Heads, seq, hd, s.AttnDensity, s.attnKind()))
+		tr = append(tr, elementwise("softmax.bwd", float64(s.Batch*cfg.Heads)*float64(seq)*float64(seq)*s.AttnDensity, 3))
+		tr = append(tr, ScoreKernels("attn_dq", s.Batch, cfg.Heads, seq, hd, s.AttnDensity, s.attnKind()))
+		tr = append(tr, ScoreKernels("attn_dk", s.Batch, cfg.Heads, seq, hd, s.AttnDensity, s.attnKind()))
+		tr = append(tr, ScoreKernels("attn_dv", s.Batch, cfg.Heads, seq, hd, s.AttnDensity, s.attnKind()))
+		// Projections.
+		tr = linGrad(tr, "out_proj", d, d, full)
+		tr = linGrad(tr, "qkv_proj", d, 3*d, full)
+		if s.Method == peft.LoRA {
+			r := float64(s.LoRARank)
+			tr = append(tr, gemm("lora.dx", t, d, 2*r, KDenseGEMM))
+			tr = append(tr, gemm("lora.dA", d, t, 2*r, KDenseGEMM))
+			tr = append(tr, gemm("lora.dB", 2*r, t, d, KDenseGEMM))
+		}
+		tr = append(tr, elementwise("ln1.bwd", t*d, 4))
+	}
+
+	if full {
+		tr = append(tr, Kernel{Name: "embed.bwd", Kind: KElementwise, Bytes: t * d * 2 * bytesF32, Launches: 2})
+	}
+	return tr
+}
+
+// TrainableParams returns the scalar count the optimizer updates for a
+// method on a model spec (analytic, matching internal/peft's injections).
+func TrainableParams(s StepShape) int64 {
+	sh := s.withDefaults()
+	cfg := sh.Spec.Config
+	d := int64(cfg.Dim)
+	h := int64(cfg.Hidden)
+	L := int64(cfg.Layers)
+	switch sh.Method {
+	case peft.FullFT:
+		return sh.Spec.ParamCount()
+	case peft.LoRA:
+		return L * 2 * 2 * d * int64(sh.LoRARank) // q,v × (A + B)
+	case peft.Adapter:
+		m := int64(sh.Bottleneck)
+		return L * 2 * (2*d*m + m + d)
+	case peft.BitFit:
+		// All bias/beta terms: qkv+o biases (4d), mlp biases (h + d),
+		// layernorm betas (2d) per layer, plus final norm and head bias.
+		return L*(4*d+h+d+2*d) + d + int64(cfg.Vocab)
+	case peft.PTuning:
+		return int64(sh.PromptTokens) * d
+	default:
+		return 0
+	}
+}
+
+// OptimTrace prices the optimizer step: AdamW streams weights, gradients
+// and both moments (read) and writes weights and moments back — pure
+// memory-bound traffic over the trainable set.
+func OptimTrace(shape StepShape) Trace {
+	p := float64(TrainableParams(shape))
+	launches := 1 + int(p/5e7)
+	return Trace{{
+		Name:     "adamw",
+		Kind:     KElementwise,
+		FLOPs:    12 * p,
+		Bytes:    p * (4*bytesF32 + 3*bytesF32),
+		Launches: launches,
+	}}
+}
+
+// PredictTrace prices the sequence-oriented predictors of one step: per
+// layer, per head, two pooled low-rank GEMMs plus the tiny score product;
+// plus the MLP predictor GEMM. Small matrices → launch overhead matters,
+// which is why the total stays O(s) (§V-C).
+func PredictTrace(shape StepShape) Trace {
+	s := shape.withDefaults()
+	if !s.UseLongExposure {
+		return nil
+	}
+	cfg := s.Spec.Config
+	d := float64(cfg.Dim)
+	t := s.tokens()
+	seq := s.Seq
+	if s.Method == peft.PTuning {
+		seq += s.PromptTokens
+	}
+	nb := float64(seq / s.Blk)
+	r := float64(s.PredictorRank)
+	nblk := float64(cfg.Hidden / s.Blk)
+	b := float64(s.Batch)
+
+	var tr Trace
+	for l := 0; l < cfg.Layers; l++ {
+		// Down-sampling (block mean-pool): one streaming pass.
+		tr = append(tr, Kernel{Name: "pred.pool", Kind: KElementwise, Bytes: t * d * bytesF32, FLOPs: t * d, Launches: 1})
+		// Per-head Q̂/K̂ projections and score product, batched into a few
+		// launches per layer.
+		heads := float64(cfg.Heads)
+		tr = append(tr, Kernel{
+			Name:     "pred.attn",
+			Kind:     KPredictor,
+			FLOPs:    heads * b * (2*nb*d*r*2 + 2*nb*nb*r),
+			Bytes:    heads * (2*d*r*bytesF32 + b*nb*nb*bytesF32),
+			Launches: 3,
+		})
+		if s.Spec.SupportsMLPSparsity() {
+			tr = append(tr, Kernel{
+				Name:     "pred.mlp",
+				Kind:     KPredictor,
+				FLOPs:    2 * t * d * nblk,
+				Bytes:    d*nblk*bytesF32 + t*(d+nblk)*bytesF32,
+				Launches: 2,
+			})
+		}
+	}
+	return tr
+}
+
+// StepTimes prices one full fine-tuning step on a device, phase by phase.
+func StepTimes(d Device, s StepShape) (forward, backward, optim, predict float64) {
+	forward = ForwardTrace(s).Time(d).Seconds()
+	backward = BackwardTrace(s).Time(d).Seconds()
+	optim = OptimTrace(s).Time(d).Seconds()
+	predict = PredictTrace(s).Time(d).Seconds()
+	return
+}
+
+// StepTotal returns the summed step time in seconds.
+func StepTotal(d Device, s StepShape) float64 {
+	f, b, o, p := StepTimes(d, s)
+	return f + b + o + p
+}

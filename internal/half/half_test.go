@@ -1,0 +1,131 @@
+package half
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownBitPatterns(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{-2, 0xc000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},            // largest finite fp16
+		{5.960464477539063e-08, 1}, // smallest positive subnormal
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f).Bits(); got != c.bits {
+			t.Errorf("FromFloat32(%g) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	if got := FromFloat32(70000); !got.IsInf() {
+		t.Errorf("FromFloat32(70000) = %#04x, want +Inf", got.Bits())
+	}
+	if got := FromFloat32(-70000); !got.IsInf() || got.Bits()&0x8000 == 0 {
+		t.Errorf("FromFloat32(-70000) = %#04x, want -Inf", got.Bits())
+	}
+}
+
+func TestNaNPreserved(t *testing.T) {
+	h := FromFloat32(float32(math.NaN()))
+	if !h.IsNaN() {
+		t.Fatalf("NaN encoded as %#04x, not a NaN", h.Bits())
+	}
+	if back := h.ToFloat32(); !math.IsNaN(float64(back)) {
+		t.Fatalf("NaN round-trip gave %v", back)
+	}
+}
+
+func TestSignedZero(t *testing.T) {
+	neg := FromFloat32(float32(math.Copysign(0, -1)))
+	if neg.Bits() != 0x8000 {
+		t.Fatalf("-0 encoded as %#04x", neg.Bits())
+	}
+	if f := neg.ToFloat32(); math.Signbit(float64(f)) == false || f != 0 {
+		t.Fatalf("-0 round-trip gave %v", f)
+	}
+}
+
+// TestExactRoundTrip: every value already representable in fp16 must survive
+// the round trip bit-exactly. We enumerate all 65536 bit patterns.
+func TestExactRoundTrip(t *testing.T) {
+	for bits := 0; bits <= 0xffff; bits++ {
+		h := Float16(bits)
+		f := h.ToFloat32()
+		back := FromFloat32(f)
+		if h.IsNaN() {
+			if !back.IsNaN() {
+				t.Fatalf("bits %#04x: NaN lost", bits)
+			}
+			continue
+		}
+		if back != h {
+			t.Fatalf("bits %#04x -> %g -> %#04x", bits, f, back.Bits())
+		}
+	}
+}
+
+// TestRelativeErrorBound: for normal-range inputs the fp16 quantization
+// error is at most 2^-11 relative (half of the 10-bit mantissa ULP).
+func TestRelativeErrorBound(t *testing.T) {
+	f := func(x float32) bool {
+		ax := math.Abs(float64(x))
+		if ax < 6.2e-5 || ax > 65000 || math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			return true // outside the normal fp16 range
+		}
+		rt := float64(RoundTrip(x))
+		rel := math.Abs(rt-float64(x)) / ax
+		return rel <= math.Pow(2, -11)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotonicOrdering(t *testing.T) {
+	// fp16 quantization must preserve (non-strict) ordering.
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		if a > 65000 || a < -65000 || b > 65000 || b < -65000 {
+			return true
+		}
+		if a <= b {
+			return RoundTrip(a) <= RoundTrip(b)
+		}
+		return RoundTrip(a) >= RoundTrip(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceHelpers(t *testing.T) {
+	xs := []float32{0, 1, -1, 0.5, 3.14159, 65504}
+	enc := EncodeSlice(nil, xs)
+	dec := DecodeSlice(nil, enc)
+	if len(dec) != len(xs) {
+		t.Fatalf("len %d, want %d", len(dec), len(xs))
+	}
+	for i := range xs {
+		if math.Abs(float64(dec[i]-xs[i])) > math.Abs(float64(xs[i]))*1e-3+1e-7 {
+			t.Errorf("index %d: %g -> %g", i, xs[i], dec[i])
+		}
+	}
+	if Bytes(10) != 20 {
+		t.Errorf("Bytes(10) = %d", Bytes(10))
+	}
+}

@@ -1,0 +1,50 @@
+package nn
+
+import (
+	"longexposure/internal/tensor"
+)
+
+// Adapter is the Houlsby-style bottleneck module inserted after a sublayer:
+// y = z + up(relu(down(z))) with a small bottleneck width. The up-projection
+// starts at zero so a freshly injected adapter is the identity.
+type Adapter struct {
+	Dim, Bottleneck int
+	Down, Up        *Linear
+
+	mask *tensor.Tensor // ReLU mask cache
+}
+
+// NewAdapter constructs an adapter with near-identity initialization.
+func NewAdapter(name string, dim, bottleneck int, rng *tensor.RNG) *Adapter {
+	a := &Adapter{
+		Dim:        dim,
+		Bottleneck: bottleneck,
+		Down:       NewLinear(name+".down", dim, bottleneck, rng),
+		Up:         NewLinear(name+".up", bottleneck, dim, rng),
+	}
+	a.Up.W.W.Zero() // identity at injection time
+	return a
+}
+
+// Params returns the adapter's parameters.
+func (a *Adapter) Params() ParamSet {
+	return append(a.Down.Params(), a.Up.Params()...)
+}
+
+// Forward computes y = z + up(relu(down(z))).
+func (a *Adapter) Forward(z *tensor.Tensor) *tensor.Tensor {
+	h := a.Down.Forward(z)
+	a.mask = tensor.ReLU(h, true)
+	y := a.Up.Forward(h)
+	tensor.AddInto(y, z)
+	return y
+}
+
+// Backward propagates dy through the bottleneck and the residual.
+func (a *Adapter) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dh := a.Up.Backward(dy)
+	tensor.MulInto(dh, a.mask)
+	dz := a.Down.Backward(dh)
+	tensor.AddInto(dz, dy) // residual branch
+	return dz
+}

@@ -1,0 +1,211 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"longexposure/internal/parallel"
+	"longexposure/internal/sparse"
+	"longexposure/internal/tensor"
+)
+
+// MultiHeadAttention implements causal self-attention with two execution
+// paths sharing the projection layers:
+//
+//   - dense: full causal scores per head (the PEFT-library baseline), and
+//   - sparse: per-head block-sparse layouts from the exposer/predictor,
+//     executed with the SDD/DSD dynamic-aware operators. Head-specific masks
+//     are the paper's §IV design — each head runs its own layout, and work
+//     is balanced at block granularity.
+//
+// The backward pass mirrors the forward structure, so the computational
+// savings of a sparse layout apply to gradient computation too (§II-D).
+type MultiHeadAttention struct {
+	Dim, Heads, HeadDim int
+	Wq, Wk, Wv, Wo      *Linear
+
+	// Forward cache.
+	batch, seq  int
+	qh, kh, vh  [][]float32 // per (b,h): [seq*headDim]
+	probsDense  []*tensor.Tensor
+	probsSparse []*sparse.BlockSparse
+	layouts     []*sparse.Layout // per head; nil → dense path
+	blk         int
+}
+
+// NewMultiHeadAttention constructs the four projection layers.
+func NewMultiHeadAttention(name string, dim, heads int, rng *tensor.RNG) *MultiHeadAttention {
+	if dim%heads != 0 {
+		panic(fmt.Sprintf("nn: dim %d not divisible by heads %d", dim, heads))
+	}
+	return &MultiHeadAttention{
+		Dim:     dim,
+		Heads:   heads,
+		HeadDim: dim / heads,
+		Wq:      NewLinear(name+".q_proj", dim, dim, rng),
+		Wk:      NewLinear(name+".k_proj", dim, dim, rng),
+		Wv:      NewLinear(name+".v_proj", dim, dim, rng),
+		Wo:      NewLinear(name+".out_proj", dim, dim, rng),
+	}
+}
+
+// Params returns all projection parameters.
+func (a *MultiHeadAttention) Params() ParamSet {
+	var ps ParamSet
+	for _, l := range []*Linear{a.Wq, a.Wk, a.Wv, a.Wo} {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// splitHeads copies a [batch*seq, dim] tensor into per-(batch, head)
+// contiguous [seq, headDim] buffers — the permute step of multi-head
+// attention.
+func (a *MultiHeadAttention) splitHeads(x *tensor.Tensor) [][]float32 {
+	b, s, h, hd := a.batch, a.seq, a.Heads, a.HeadDim
+	out := make([][]float32, b*h)
+	parallel.For(b*h, func(bh int) {
+		bi, hi := bh/h, bh%h
+		buf := make([]float32, s*hd)
+		for si := 0; si < s; si++ {
+			src := x.Data[(bi*s+si)*a.Dim+hi*hd : (bi*s+si)*a.Dim+(hi+1)*hd]
+			copy(buf[si*hd:(si+1)*hd], src)
+		}
+		out[bh] = buf
+	})
+	return out
+}
+
+// mergeHeads inverts splitHeads.
+func (a *MultiHeadAttention) mergeHeads(heads [][]float32) *tensor.Tensor {
+	b, s, h, hd := a.batch, a.seq, a.Heads, a.HeadDim
+	out := tensor.New(b*s, a.Dim)
+	parallel.For(b*h, func(bh int) {
+		bi, hi := bh/h, bh%h
+		buf := heads[bh]
+		for si := 0; si < s; si++ {
+			dst := out.Data[(bi*s+si)*a.Dim+hi*hd : (bi*s+si)*a.Dim+(hi+1)*hd]
+			copy(dst, buf[si*hd:(si+1)*hd])
+		}
+	})
+	return out
+}
+
+// Forward runs attention over x: [batch*seq, dim]. layouts selects the
+// execution path: nil runs dense causal attention; otherwise layouts[h] is
+// head h's block layout (blk is the block size in tokens, and seq must be
+// a multiple of blk).
+func (a *MultiHeadAttention) Forward(x *tensor.Tensor, batch, seq int, layouts []*sparse.Layout, blk int) *tensor.Tensor {
+	a.batch, a.seq = batch, seq
+	a.layouts, a.blk = layouts, blk
+	if layouts != nil {
+		if len(layouts) != a.Heads {
+			panic(fmt.Sprintf("nn: %d layouts for %d heads", len(layouts), a.Heads))
+		}
+		if seq%blk != 0 {
+			panic(fmt.Sprintf("nn: seq %d not a multiple of block size %d", seq, blk))
+		}
+	}
+
+	q := a.Wq.Forward(x)
+	k := a.Wk.Forward(x)
+	v := a.Wv.Forward(x)
+	a.qh, a.kh, a.vh = a.splitHeads(q), a.splitHeads(k), a.splitHeads(v)
+
+	bh := batch * a.Heads
+	ctx := make([][]float32, bh)
+	scale := float32(1 / math.Sqrt(float64(a.HeadDim)))
+
+	if layouts == nil {
+		a.probsDense = make([]*tensor.Tensor, bh)
+		a.probsSparse = nil
+		parallel.For(bh, func(i int) {
+			out := make([]float32, seq*a.HeadDim)
+			a.probsDense[i] = sparse.DenseCausalAttention(out, a.qh[i], a.kh[i], a.vh[i], seq, a.HeadDim, scale)
+			ctx[i] = out
+		})
+	} else {
+		a.probsSparse = make([]*sparse.BlockSparse, bh)
+		a.probsDense = nil
+		parallel.For(bh, func(i int) {
+			h := i % a.Heads
+			sp := sparse.NewBlockSparse(layouts[h], blk)
+			sparse.SDD(sp, a.qh[i], a.kh[i], a.HeadDim)
+			sparse.CausalSoftmax(sp, scale)
+			out := make([]float32, seq*a.HeadDim)
+			sparse.DSD(out, sp, a.vh[i], a.HeadDim)
+			a.probsSparse[i] = sp
+			ctx[i] = out
+		})
+	}
+
+	return a.Wo.Forward(a.mergeHeads(ctx))
+}
+
+// DenseProbs exposes the per-(batch,head) probability matrices of the last
+// dense forward — the ground-truth signal the exposer derives head-specific
+// masks from and the predictor trains against. Index is batch*Heads + head.
+// Nil after a sparse forward.
+func (a *MultiHeadAttention) DenseProbs() []*tensor.Tensor { return a.probsDense }
+
+// Backward propagates dOut: [batch*seq, dim] and returns dx. The sparse
+// path computes gradients only on active blocks.
+func (a *MultiHeadAttention) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	seq, hd := a.seq, a.HeadDim
+	scale := float32(1 / math.Sqrt(float64(hd)))
+
+	dCtx := a.Wo.Backward(dOut)
+	dCtxH := a.splitHeads(dCtx)
+
+	bh := a.batch * a.Heads
+	dqh := make([][]float32, bh)
+	dkh := make([][]float32, bh)
+	dvh := make([][]float32, bh)
+
+	if a.layouts == nil {
+		parallel.For(bh, func(i int) {
+			p := a.probsDense[i] // [seq, seq]
+			// dProb = dCtx·Vᵀ.
+			dProb := make([]float32, seq*seq)
+			tensor.GemmTBRange(dProb, dCtxH[i], a.vh[i], hd, seq, 0, seq)
+			// Softmax backward row-wise, then score scale.
+			dScore := make([]float32, seq*seq)
+			for r := 0; r < seq; r++ {
+				tensor.SoftmaxBackwardRow(dScore[r*seq:(r+1)*seq], p.Row(r), dProb[r*seq:(r+1)*seq])
+			}
+			for j := range dScore {
+				dScore[j] *= scale
+			}
+			dq := make([]float32, seq*hd)
+			dk := make([]float32, seq*hd)
+			dv := make([]float32, seq*hd)
+			tensor.GemmRange(dq, dScore, a.kh[i], seq, hd, 0, seq)        // dQ = dS·K
+			tensor.GemmTARange(dk, dScore, a.qh[i], seq, seq, hd, 0, seq) // dK = dSᵀ·Q
+			tensor.GemmTARange(dv, p.Data, dCtxH[i], seq, seq, hd, 0, seq)
+			dqh[i], dkh[i], dvh[i] = dq, dk, dv
+		})
+	} else {
+		parallel.For(bh, func(i int) {
+			p := a.probsSparse[i]
+			// dProb restricted to active blocks (SDD).
+			dProb := sparse.NewBlockSparse(p.L, p.Blk)
+			sparse.SDD(dProb, dCtxH[i], a.vh[i], hd)
+			sparse.SoftmaxBackward(dProb, p, scale) // dProb now holds dScore
+			dq := make([]float32, seq*hd)
+			dk := make([]float32, seq*hd)
+			dv := make([]float32, seq*hd)
+			sparse.DSD(dq, dProb, a.kh[i], hd)
+			sparse.DSDT(dk, dProb, a.qh[i], hd)
+			sparse.DSDT(dv, p, dCtxH[i], hd)
+			dqh[i], dkh[i], dvh[i] = dq, dk, dv
+		})
+	}
+
+	dq := a.mergeHeads(dqh)
+	dk := a.mergeHeads(dkh)
+	dv := a.mergeHeads(dvh)
+	dx := a.Wq.Backward(dq)
+	tensor.AddInto(dx, a.Wk.Backward(dk))
+	tensor.AddInto(dx, a.Wv.Backward(dv))
+	return dx
+}

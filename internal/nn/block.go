@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"longexposure/internal/sparse"
+	"longexposure/internal/tensor"
+)
+
+// TransformerBlock is a pre-LayerNorm decoder block:
+//
+//	x ← x + [AdapterA](Attn(LN1(x)))
+//	x ← x + [AdapterM](MLP(LN2(x)))
+//
+// Adapters are optional (nil when the PEFT method is not adapter-based).
+type TransformerBlock struct {
+	LN1, LN2 *LayerNorm
+	Attn     *MultiHeadAttention
+	MLP      *MLP
+	AdptA    *Adapter
+	AdptM    *Adapter
+
+	ln1Out, ln2Out *tensor.Tensor // cached sublayer inputs (predictor signals)
+}
+
+// LN1Out returns the normalized input the attention sublayer saw in the last
+// forward — the input the attention predictor is trained on.
+func (b *TransformerBlock) LN1Out() *tensor.Tensor { return b.ln1Out }
+
+// LN2Out returns the normalized input the MLP sublayer saw in the last
+// forward — the input the MLP predictor is trained on.
+func (b *TransformerBlock) LN2Out() *tensor.Tensor { return b.ln2Out }
+
+// NewTransformerBlock builds one decoder block.
+func NewTransformerBlock(name string, dim, heads, hidden int, act Activation, rng *tensor.RNG) *TransformerBlock {
+	return &TransformerBlock{
+		LN1:  NewLayerNorm(name+".ln1", dim),
+		LN2:  NewLayerNorm(name+".ln2", dim),
+		Attn: NewMultiHeadAttention(name+".attn", dim, heads, rng),
+		MLP:  NewMLP(name+".mlp", dim, hidden, act, rng),
+	}
+}
+
+// Params returns the block's parameters, adapters included when present.
+func (b *TransformerBlock) Params() ParamSet {
+	ps := append(b.LN1.Params(), b.Attn.Params()...)
+	ps = append(ps, b.LN2.Params()...)
+	ps = append(ps, b.MLP.Params()...)
+	if b.AdptA != nil {
+		ps = append(ps, b.AdptA.Params()...)
+	}
+	if b.AdptM != nil {
+		ps = append(ps, b.AdptM.Params()...)
+	}
+	return ps
+}
+
+// Forward runs the block. planner supplies the sparse decisions for each
+// sublayer at runtime (nil → fully dense). The planner is consulted with
+// the LayerNorm outputs — the exact tensors the sublayers consume, and the
+// inputs the predictors were trained on.
+func (b *TransformerBlock) Forward(x *tensor.Tensor, batch, seq int, planner LayerPlanner) *tensor.Tensor {
+	h := b.LN1.Forward(x)
+	b.ln1Out = h
+	var attnLayouts []*sparse.Layout
+	blk := 0
+	if planner != nil {
+		attnLayouts, blk = planner.PlanAttention(h, batch, seq)
+	}
+	attnOut := b.Attn.Forward(h, batch, seq, attnLayouts, blk)
+	if b.AdptA != nil {
+		attnOut = b.AdptA.Forward(attnOut)
+	}
+	x1 := x.Clone()
+	tensor.AddInto(x1, attnOut)
+
+	h2 := b.LN2.Forward(x1)
+	b.ln2Out = h2
+	var mlpBlocks []int
+	mblk := 0
+	if planner != nil {
+		mlpBlocks, mblk = planner.PlanMLP(h2, batch, seq)
+	}
+	mlpOut := b.MLP.Forward(h2, mlpBlocks, mblk)
+	if b.AdptM != nil {
+		mlpOut = b.AdptM.Forward(mlpOut)
+	}
+	x2 := x1.Clone()
+	tensor.AddInto(x2, mlpOut)
+	return x2
+}
+
+// Backward propagates dy through both residual sublayers.
+func (b *TransformerBlock) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	// MLP sublayer: x2 = x1 + f(LN2(x1)).
+	dm := dy
+	if b.AdptM != nil {
+		dm = b.AdptM.Backward(dm)
+	}
+	dm = b.MLP.Backward(dm)
+	dm = b.LN2.Backward(dm)
+	dx1 := dy.Clone()
+	tensor.AddInto(dx1, dm)
+
+	// Attention sublayer: x1 = x + g(LN1(x)).
+	da := dx1
+	if b.AdptA != nil {
+		da = b.AdptA.Backward(da)
+	}
+	da = b.Attn.Backward(da)
+	da = b.LN1.Backward(da)
+	dx := dx1.Clone()
+	tensor.AddInto(dx, da)
+	return dx
+}

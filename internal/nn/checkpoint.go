@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Checkpoint format: a simple self-describing binary stream —
+//
+//	magic "LEXP" | version u32 | param count u32 |
+//	per param: name (u32 len + bytes) | rank u32 | dims u32... | f32 data
+//
+// Only parameter values are stored; structure (config, PEFT modules) must
+// match at load time, which Load verifies by name and shape.
+
+const (
+	ckptMagic   = "LEXP"
+	ckptVersion = 1
+)
+
+// Save writes every parameter of the set to w.
+func (ps ParamSet) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(ckptVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(ps))); err != nil {
+		return err
+	}
+	for _, p := range ps {
+		if err := writeString(bw, p.Name); err != nil {
+			return err
+		}
+		shape := p.W.Shape()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		buf := make([]byte, 4*len(p.W.Data))
+		for i, v := range p.W.Data {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a checkpoint written by Save into the set. Every stored
+// parameter must exist with an identical shape; parameters present in the
+// set but missing from the checkpoint are left untouched (so a backbone
+// checkpoint can be loaded into a PEFT-extended model).
+func (ps ParamSet) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != ckptMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %q", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return err
+	}
+	if version != ckptVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	byName := make(map[string]*Parameter, len(ps))
+	for _, p := range ps {
+		byName[p.Name] = p
+	}
+	for i := uint32(0); i < count; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return err
+		}
+		var rank uint32
+		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+			return err
+		}
+		n := 1
+		shape := make([]int, rank)
+		for d := range shape {
+			var v uint32
+			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+				return err
+			}
+			shape[d] = int(v)
+			n *= int(v)
+		}
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("nn: reading %s data: %w", name, err)
+		}
+		p, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint parameter %q not in model", name)
+		}
+		if p.W.Len() != n {
+			return fmt.Errorf("nn: %s shape mismatch: checkpoint %v vs model %v", name, shape, p.W.Shape())
+		}
+		for j := 0; j < n; j++ {
+			p.W.Data[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[j*4:]))
+		}
+	}
+	return nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("nn: implausible name length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

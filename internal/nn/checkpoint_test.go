@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"longexposure/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	r := tensor.NewRNG(400)
+	cfg := tinyConfig()
+	m := NewTransformer(cfg, r)
+	var buf bytes.Buffer
+	if err := m.Params().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh model with different weights; loading must restore function.
+	m2 := NewTransformer(cfg, tensor.NewRNG(401))
+	ids := [][]int{{1, 2, 3, 4}}
+	before := m2.Forward(ids, nil).Clone()
+	if err := m2.Params().Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	after := m2.Forward(ids, nil)
+	orig := m.Forward(ids, nil)
+	if d := tensor.MaxAbsDiff(after, orig); d != 0 {
+		t.Fatalf("restored model diverges: %v", d)
+	}
+	if d := tensor.MaxAbsDiff(before, after); d == 0 {
+		t.Fatal("load was a no-op")
+	}
+}
+
+func TestCheckpointBackboneIntoPEFTModel(t *testing.T) {
+	r := tensor.NewRNG(402)
+	cfg := tinyConfig()
+	backbone := NewTransformer(cfg, r)
+	var buf bytes.Buffer
+	if err := backbone.Params().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Extended model: LoRA params exist in the model but not the
+	// checkpoint — loading must succeed and leave them untouched.
+	ext := NewTransformer(cfg, tensor.NewRNG(403))
+	ext.Blocks[0].Attn.Wq.AddLoRA("layer0.attn.q_proj", 2, 4, tensor.NewRNG(404))
+	loraBefore := ext.Blocks[0].Attn.Wq.LoRAA.W.Clone()
+	if err := ext.Params().Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(loraBefore, ext.Blocks[0].Attn.Wq.LoRAA.W); d != 0 {
+		t.Fatal("load touched LoRA params missing from checkpoint")
+	}
+	if d := tensor.MaxAbsDiff(ext.TokEmb.Table.W, backbone.TokEmb.Table.W); d != 0 {
+		t.Fatal("backbone weights not restored")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	m := NewTransformer(tinyConfig(), tensor.NewRNG(405))
+	if err := m.Params().Load(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := m.Params().Load(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestCheckpointShapeMismatch(t *testing.T) {
+	a := NewTransformer(tinyConfig(), tensor.NewRNG(406))
+	var buf bytes.Buffer
+	if err := a.Params().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	big := tinyConfig()
+	big.Dim *= 2
+	big.Hidden *= 2
+	b := NewTransformer(big, tensor.NewRNG(407))
+	if err := b.Params().Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestGenerateGreedyDeterministic(t *testing.T) {
+	r := tensor.NewRNG(408)
+	m := NewTransformer(tinyConfig(), r)
+	a := m.Generate([]int{1, 2, 3}, GenerateConfig{MaxTokens: 5, StopToken: -1})
+	b := m.Generate([]int{1, 2, 3}, GenerateConfig{MaxTokens: 5, StopToken: -1})
+	if len(a) != 5 {
+		t.Fatalf("generated %d tokens", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("greedy decoding nondeterministic")
+		}
+	}
+}
+
+func TestGenerateStopsAtStopToken(t *testing.T) {
+	r := tensor.NewRNG(409)
+	m := NewTransformer(tinyConfig(), r)
+	out := m.Generate([]int{1}, GenerateConfig{MaxTokens: 20, StopToken: -1})
+	// Force stop on whatever token comes first.
+	out2 := m.Generate([]int{1}, GenerateConfig{MaxTokens: 20, StopToken: out[0]})
+	if len(out2) != 1 || out2[0] != out[0] {
+		t.Fatalf("stop token ignored: %v", out2)
+	}
+}
+
+func TestGenerateRespectsMaxSeq(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MaxSeq = 6
+	m := NewTransformer(cfg, tensor.NewRNG(410))
+	out := m.Generate([]int{1, 2, 3}, GenerateConfig{MaxTokens: 50, StopToken: -1})
+	if len(out) > 3 { // 3 prompt + 3 generated = 6 = MaxSeq
+		t.Fatalf("generated %d tokens past MaxSeq", len(out))
+	}
+}
+
+func TestGenerateLearnedPattern(t *testing.T) {
+	// Train a model to continue the repeating token pattern and check
+	// greedy decoding reproduces it.
+	r := tensor.NewRNG(411)
+	cfg := Config{Name: "gen", Vocab: 8, Dim: 16, Layers: 1, Heads: 2, Hidden: 32, MaxSeq: 16, Act: ActReLU}
+	m := NewTransformer(cfg, r)
+	ids := [][]int{{2, 3, 2, 3, 2, 3, 2, 3}}
+	targets := [][]int{{3, 2, 3, 2, 3, 2, 3, 2}}
+	flat := m.FlattenTargets(targets)
+	ps := m.Params()
+	for i := 0; i < 120; i++ {
+		logits := m.Forward(ids, nil)
+		_, dLogits := CrossEntropy(logits, flat)
+		ps.ZeroGrads()
+		m.Backward(dLogits)
+		for _, p := range ps {
+			tensor.AddScaledInto(p.W, p.Grad, -0.3)
+		}
+	}
+	out := m.Generate([]int{2, 3, 2, 3}, GenerateConfig{MaxTokens: 4, StopToken: -1})
+	want := []int{2, 3, 2, 3}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("generated %v, want %v", out, want)
+		}
+	}
+}
+
+func TestTemperatureSamplingVariesAndStaysInVocab(t *testing.T) {
+	r := tensor.NewRNG(412)
+	m := NewTransformer(tinyConfig(), r)
+	seen := map[int]bool{}
+	for trial := 0; trial < 8; trial++ {
+		out := m.Generate([]int{1, 2}, GenerateConfig{
+			MaxTokens: 3, Temperature: 2.0, StopToken: -1, RNG: tensor.NewRNG(uint64(500 + trial)),
+		})
+		for _, tok := range out {
+			if tok < 0 || tok >= m.Cfg.Vocab {
+				t.Fatalf("token %d outside vocab", tok)
+			}
+			seen[tok] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatal("high-temperature sampling produced a single token")
+	}
+}

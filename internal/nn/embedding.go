@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"fmt"
+
+	"longexposure/internal/tensor"
+)
+
+// Embedding is a lookup table [vocab, dim]. The transformer uses two:
+// token embeddings and learned positional embeddings.
+type Embedding struct {
+	Vocab, Dim int
+	Table      *Parameter
+
+	ids []int // forward cache
+}
+
+// NewEmbedding constructs an embedding with N(0, 0.02) init.
+func NewEmbedding(name string, vocab, dim int, rng *tensor.RNG) *Embedding {
+	e := &Embedding{
+		Vocab: vocab,
+		Dim:   dim,
+		Table: NewParameter(name+".weight", vocab, dim),
+	}
+	rng.FillNormal(e.Table.W, 0.02)
+	return e
+}
+
+// Params returns the table.
+func (e *Embedding) Params() ParamSet { return ParamSet{e.Table} }
+
+// Forward gathers rows for ids → [len(ids), dim].
+func (e *Embedding) Forward(ids []int) *tensor.Tensor {
+	e.ids = ids
+	out := tensor.New(len(ids), e.Dim)
+	for i, id := range ids {
+		if id < 0 || id >= e.Vocab {
+			panic(fmt.Sprintf("nn: embedding id %d outside vocab %d", id, e.Vocab))
+		}
+		copy(out.Data[i*e.Dim:(i+1)*e.Dim], e.Table.W.Data[id*e.Dim:(id+1)*e.Dim])
+	}
+	return out
+}
+
+// Backward scatter-adds dy into the table gradient (when trainable).
+// Embeddings produce no input gradient.
+func (e *Embedding) Backward(dy *tensor.Tensor) {
+	if e.Table.Frozen {
+		return
+	}
+	for i, id := range e.ids {
+		src := dy.Data[i*e.Dim : (i+1)*e.Dim]
+		dst := e.Table.Grad.Data[id*e.Dim : (id+1)*e.Dim]
+		for j, v := range src {
+			dst[j] += v
+		}
+	}
+}
+
+// ForwardRange gathers the rows [lo, lo+n) — the positional-embedding path.
+func (e *Embedding) ForwardRange(lo, n int) *tensor.Tensor {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = lo + i
+	}
+	return e.Forward(ids)
+}

@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"math"
+
+	"longexposure/internal/parallel"
+	"longexposure/internal/tensor"
+)
+
+// LayerNorm normalizes each token vector to zero mean / unit variance and
+// applies a learned affine (gamma, beta).
+type LayerNorm struct {
+	Dim   int
+	Gamma *Parameter
+	Beta  *Parameter
+	Eps   float64
+
+	// Forward cache.
+	xhat   *tensor.Tensor // normalized input [tokens, dim]
+	invStd []float32      // per-token 1/σ
+}
+
+// NewLayerNorm constructs a layer norm with gamma=1, beta=0.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	ln := &LayerNorm{
+		Dim:   dim,
+		Gamma: NewParameter(name+".gamma", dim),
+		Beta:  NewParameter(name+".beta", dim),
+		Eps:   1e-5,
+	}
+	ln.Gamma.W.Fill(1)
+	return ln
+}
+
+// Params returns gamma and beta.
+func (ln *LayerNorm) Params() ParamSet { return ParamSet{ln.Gamma, ln.Beta} }
+
+// Forward normalizes x: [tokens, dim] → y of the same shape.
+func (ln *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	tokens, d := x.Dim(0), x.Dim(1)
+	y := tensor.New(tokens, d)
+	ln.xhat = tensor.New(tokens, d)
+	ln.invStd = make([]float32, tokens)
+	g, b := ln.Gamma.W.Data, ln.Beta.W.Data
+	parallel.ForChunked(tokens, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi := x.Data[i*d : (i+1)*d]
+			var mean float64
+			for _, v := range xi {
+				mean += float64(v)
+			}
+			mean /= float64(d)
+			var varr float64
+			for _, v := range xi {
+				dv := float64(v) - mean
+				varr += dv * dv
+			}
+			varr /= float64(d)
+			inv := float32(1 / math.Sqrt(varr+ln.Eps))
+			ln.invStd[i] = inv
+			xh := ln.xhat.Data[i*d : (i+1)*d]
+			yi := y.Data[i*d : (i+1)*d]
+			for j, v := range xi {
+				h := (v - float32(mean)) * inv
+				xh[j] = h
+				yi[j] = h*g[j] + b[j]
+			}
+		}
+	})
+	return y
+}
+
+// Backward propagates dy and accumulates dGamma/dBeta when trainable.
+func (ln *LayerNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	tokens, d := dy.Dim(0), dy.Dim(1)
+	dx := tensor.New(tokens, d)
+	g := ln.Gamma.W.Data
+
+	// Parameter grads: reductions over tokens, parallel over features.
+	if !ln.Gamma.Frozen || !ln.Beta.Frozen {
+		gg, gb := ln.Gamma.Grad.Data, ln.Beta.Grad.Data
+		parallel.ForChunked(d, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				var sg, sb float64
+				for i := 0; i < tokens; i++ {
+					dyv := float64(dy.Data[i*d+j])
+					sg += dyv * float64(ln.xhat.Data[i*d+j])
+					sb += dyv
+				}
+				if !ln.Gamma.Frozen {
+					gg[j] += float32(sg)
+				}
+				if !ln.Beta.Frozen {
+					gb[j] += float32(sb)
+				}
+			}
+		})
+	}
+
+	// Input grad: dx = (invStd/d) · (d·dŷ − Σdŷ − x̂·Σ(dŷ·x̂)) with
+	// dŷ = dy ⊙ gamma.
+	parallel.ForChunked(tokens, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dyi := dy.Data[i*d : (i+1)*d]
+			xh := ln.xhat.Data[i*d : (i+1)*d]
+			dxi := dx.Data[i*d : (i+1)*d]
+			var sum1, sum2 float64
+			for j := range dyi {
+				dh := float64(dyi[j]) * float64(g[j])
+				sum1 += dh
+				sum2 += dh * float64(xh[j])
+			}
+			inv := float64(ln.invStd[i])
+			for j := range dyi {
+				dh := float64(dyi[j]) * float64(g[j])
+				dxi[j] = float32(inv * (dh - sum1/float64(d) - float64(xh[j])*sum2/float64(d)))
+			}
+		}
+	})
+	return dx
+}

@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"longexposure/internal/parallel"
+	"longexposure/internal/tensor"
+)
+
+// Linear is a dense affine layer y = x·W + b with W: [in, out] row-major.
+// An optional LoRA branch adds scale·(x·A)·B with A: [in, r], B: [r, out];
+// injecting LoRA freezes nothing by itself — PEFT setup decides the flags.
+type Linear struct {
+	In, Out int
+	W       *Parameter
+	B       *Parameter
+
+	// LoRA branch (nil when absent).
+	LoRAA     *Parameter
+	LoRAB     *Parameter
+	LoRAScale float32
+
+	// Forward cache.
+	x  *tensor.Tensor // input [tokens, in]
+	xa *tensor.Tensor // x·A [tokens, r], cached for LoRA backward
+}
+
+// NewLinear constructs a linear layer with Xavier-initialized weights.
+func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
+	l := &Linear{
+		In:  in,
+		Out: out,
+		W:   NewParameter(name+".weight", in, out),
+		B:   NewParameter(name+".bias", out),
+	}
+	rng.XavierInit(l.W.W, in, out)
+	return l
+}
+
+// AddLoRA injects a rank-r LoRA branch. A is Gaussian-initialized, B starts
+// at zero so the branch initially contributes nothing (the standard LoRA
+// init), and scale = alpha/r.
+func (l *Linear) AddLoRA(name string, r int, alpha float64, rng *tensor.RNG) {
+	l.LoRAA = NewParameter(name+".lora_A", l.In, r)
+	l.LoRAB = NewParameter(name+".lora_B", r, l.Out)
+	rng.FillNormal(l.LoRAA.W, 0.02)
+	l.LoRAScale = float32(alpha / float64(r))
+}
+
+// HasLoRA reports whether a LoRA branch is attached.
+func (l *Linear) HasLoRA() bool { return l.LoRAA != nil }
+
+// Params returns the layer's parameters (including LoRA when present).
+func (l *Linear) Params() ParamSet {
+	ps := ParamSet{l.W, l.B}
+	if l.HasLoRA() {
+		ps = append(ps, l.LoRAA, l.LoRAB)
+	}
+	return ps
+}
+
+// Forward computes y = x·W + b (+ LoRA branch), caching x for backward.
+// x: [tokens, in] → y: [tokens, out].
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.x = x
+	y := tensor.MatMul(x, l.W.W)
+	tensor.AddRowVector(y, l.B.W.Data)
+	if l.HasLoRA() {
+		l.xa = tensor.MatMul(x, l.LoRAA.W)
+		delta := tensor.MatMul(l.xa, l.LoRAB.W)
+		tensor.AddScaledInto(y, delta, l.LoRAScale)
+	}
+	return y
+}
+
+// Backward propagates dy: accumulates parameter gradients for unfrozen
+// parameters and returns dx. The frozen-weight gradients are genuinely
+// skipped — the PEFT cost structure the paper analyses in §II-C.
+func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	tokens := dy.Dim(0)
+	if !l.W.Frozen {
+		tensor.MatMulTAInto(l.W.Grad, l.x, dy) // dW += xᵀ·dy
+	}
+	if !l.B.Frozen {
+		accumulateColumnSum(l.B.Grad.Data, dy)
+	}
+	dx := tensor.New(tokens, l.In)
+	tensor.MatMulTBInto(dx, dy, l.W.W) // dx = dy·Wᵀ  (W: [in,out])
+
+	if l.HasLoRA() {
+		// d(xa) = scale · dy·Bᵀ ; dB += scale · xaᵀ·dy ; dA += xᵀ·dxa ;
+		// dx += dxa·Aᵀ.
+		dxa := tensor.MatMulTB(dy, l.LoRAB.W) // B: [r,out] → dy·Bᵀ
+		tensor.Scale(dxa, l.LoRAScale)
+		if !l.LoRAB.Frozen {
+			ga := tensor.MatMulTA(l.xa, dy)
+			tensor.AddScaledInto(l.LoRAB.Grad, ga, l.LoRAScale)
+		}
+		if !l.LoRAA.Frozen {
+			tensor.MatMulTAInto(l.LoRAA.Grad, l.x, dxa)
+		}
+		dxL := tensor.MatMulTB(dxa, l.LoRAA.W) // A: [in,r] → dxa·Aᵀ
+		tensor.AddInto(dx, dxL)
+	}
+	return dx
+}
+
+// accumulateColumnSum adds the column sums of a [tokens, n] tensor into dst.
+func accumulateColumnSum(dst []float32, t *tensor.Tensor) {
+	tokens, n := t.Dim(0), t.Dim(1)
+	parallel.ForChunked(n, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			var s float32
+			for i := 0; i < tokens; i++ {
+				s += t.Data[i*n+j]
+			}
+			dst[j] += s
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math"
+
+	"longexposure/internal/parallel"
+	"longexposure/internal/tensor"
+)
+
+// IgnoreIndex marks target positions excluded from the loss (padding and
+// prompt tokens in instruction tuning).
+const IgnoreIndex = -1
+
+// CrossEntropy computes the mean softmax cross-entropy of logits
+// [tokens, vocab] against integer targets, skipping IgnoreIndex positions,
+// and returns the loss together with dLogits (already divided by the count
+// of contributing positions). This is the fused loss kernel: probabilities
+// are never materialized beyond the gradient buffer.
+func CrossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor) {
+	tokens, vocab := logits.Dim(0), logits.Dim(1)
+	if len(targets) != tokens {
+		panic("nn: CrossEntropy targets length mismatch")
+	}
+	dLogits := tensor.New(tokens, vocab)
+
+	count := 0
+	for _, t := range targets {
+		if t != IgnoreIndex {
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, dLogits
+	}
+	invCount := float32(1 / float64(count))
+
+	losses := make([]float64, tokens)
+	parallel.ForChunked(tokens, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t := targets[i]
+			if t == IgnoreIndex {
+				continue
+			}
+			row := logits.Data[i*vocab : (i+1)*vocab]
+			grad := dLogits.Data[i*vocab : (i+1)*vocab]
+			// Stable log-softmax.
+			maxV := row[0]
+			for _, v := range row[1:] {
+				if v > maxV {
+					maxV = v
+				}
+			}
+			var sum float64
+			for _, v := range row {
+				sum += math.Exp(float64(v - maxV))
+			}
+			logSum := math.Log(sum)
+			losses[i] = logSum - float64(row[t]-maxV)
+			for j, v := range row {
+				p := math.Exp(float64(v-maxV)) / sum
+				grad[j] = float32(p) * invCount
+			}
+			grad[t] -= invCount
+		}
+	})
+
+	var total float64
+	for _, l := range losses {
+		total += l
+	}
+	return total / float64(count), dLogits
+}
+
+// Accuracy returns the fraction of non-ignored positions where the argmax
+// of logits equals the target.
+func Accuracy(logits *tensor.Tensor, targets []int) float64 {
+	tokens := logits.Dim(0)
+	correct, count := 0, 0
+	for i := 0; i < tokens; i++ {
+		if targets[i] == IgnoreIndex {
+			continue
+		}
+		count++
+		if tensor.ArgmaxRow(logits, i) == targets[i] {
+			correct++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(correct) / float64(count)
+}

@@ -1,0 +1,204 @@
+package nn
+
+import (
+	"longexposure/internal/parallel"
+	"longexposure/internal/sparse"
+	"longexposure/internal/tensor"
+)
+
+// Activation selects the MLP nonlinearity. ReLU models (OPT family) expose
+// neuron sparsity; GeLU models (GPT-2 family) do not, so their MLPs always
+// run dense (paper §VII-D).
+type Activation uint8
+
+const (
+	// ActReLU is the rectifier (OPT).
+	ActReLU Activation = iota
+	// ActGeLU is the Gaussian error linear unit (GPT-2).
+	ActGeLU
+)
+
+// String names the activation.
+func (a Activation) String() string {
+	if a == ActGeLU {
+		return "gelu"
+	}
+	return "relu"
+}
+
+// MLP is the transformer feed-forward block FC1 → activation → FC2 with
+// layout-aware weight storage (§VI-B): FC1 is held column-major (each
+// neuron's input weights contiguous), FC2 row-major (each neuron's output
+// weights contiguous), so the neuron-block sparse kernels stream exactly
+// the active weights with unit stride.
+//
+// Concretely, the FC1 parameter has shape [hidden, dim] whose row h is
+// column h of the conceptual [dim → hidden] matrix; FC2 is the natural
+// [hidden, dim].
+type MLP struct {
+	Dim, Hidden int
+	Act         Activation
+	W1, B1      *Parameter // W1: [hidden, dim] column-major view of [dim→hidden]
+	W2, B2      *Parameter // W2: [hidden, dim] row-major
+
+	// Forward cache.
+	x       *tensor.Tensor
+	hidden  *tensor.Tensor // post-activation [tokens, hidden]
+	preAct  *tensor.Tensor // pre-activation copy (GeLU backward)
+	mask    *tensor.Tensor // ReLU activation mask
+	blocks  []int          // active neuron blocks; nil → dense
+	blk     int
+	lastAct *tensor.Tensor // hidden used by FC2 (== hidden)
+}
+
+// NewMLP constructs the feed-forward block with Xavier init.
+func NewMLP(name string, dim, hidden int, act Activation, rng *tensor.RNG) *MLP {
+	m := &MLP{
+		Dim:    dim,
+		Hidden: hidden,
+		Act:    act,
+		W1:     NewParameter(name+".fc1.weight", hidden, dim),
+		B1:     NewParameter(name+".fc1.bias", hidden),
+		W2:     NewParameter(name+".fc2.weight", hidden, dim),
+		B2:     NewParameter(name+".fc2.bias", dim),
+	}
+	rng.XavierInit(m.W1.W, dim, hidden)
+	rng.XavierInit(m.W2.W, hidden, dim)
+	return m
+}
+
+// Params returns the block's parameters.
+func (m *MLP) Params() ParamSet { return ParamSet{m.W1, m.B1, m.W2, m.B2} }
+
+// colMajorW1 views the FC1 parameter as the sparse kernels' ColMajor type.
+func (m *MLP) colMajorW1(t *tensor.Tensor) *sparse.ColMajor {
+	return &sparse.ColMajor{In: m.Dim, Out: m.Hidden, Data: t.Data}
+}
+
+// rowMajorW2 views the FC2 parameter as the sparse kernels' RowMajor type.
+func (m *MLP) rowMajorW2(t *tensor.Tensor) *sparse.RowMajor {
+	return &sparse.RowMajor{In: m.Hidden, Out: m.Dim, Data: t.Data}
+}
+
+// Forward computes the block over x: [tokens, dim]. blocks selects the
+// execution path: nil runs dense; otherwise only the listed neuron blocks
+// (of size blk) are computed, and all other hidden units are treated as
+// inactive — including their biases, matching the predictor contract that
+// unlisted neurons contribute nothing.
+func (m *MLP) Forward(x *tensor.Tensor, blocks []int, blk int) *tensor.Tensor {
+	if blocks != nil && m.Act == ActGeLU {
+		panic("nn: neuron sparsity requires ReLU activation")
+	}
+	tokens := x.Dim(0)
+	m.x = x
+	m.blocks, m.blk = blocks, blk
+
+	m.hidden = tensor.New(tokens, m.Hidden)
+	if blocks == nil {
+		// Dense: hidden = x·W1ᵀ(param) + b1.
+		tensor.MatMulTBInto(m.hidden, x, m.W1.W)
+		tensor.AddRowVector(m.hidden, m.B1.W.Data)
+		switch m.Act {
+		case ActReLU:
+			m.mask = tensor.ReLU(m.hidden, true)
+			m.preAct = nil
+		case ActGeLU:
+			m.preAct = tensor.GeLU(m.hidden)
+			m.mask = nil
+		}
+	} else {
+		sparse.FC1Sparse(m.hidden.Data, x.Data, tokens, m.colMajorW1(m.W1.W), blocks, blk)
+		addBiasBlocks(m.hidden, m.B1.W.Data, blocks, blk)
+		m.mask = tensor.ReLU(m.hidden, true)
+		m.preAct = nil
+	}
+
+	out := tensor.New(tokens, m.Dim)
+	if blocks == nil {
+		tensor.MatMulInto(out, m.hidden, m.W2.W)
+	} else {
+		sparse.FC2Sparse(out.Data, m.hidden.Data, tokens, m.rowMajorW2(m.W2.W), blocks, blk)
+	}
+	tensor.AddRowVector(out, m.B2.W.Data)
+	return out
+}
+
+// Backward propagates dOut and returns dx. Under neuron sparsity, both the
+// hidden gradient and any weight gradients are computed only on active
+// blocks — inactive neurons are excluded from gradient computation exactly
+// as §II-D derives.
+func (m *MLP) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	tokens := dOut.Dim(0)
+	if !m.B2.Frozen {
+		accumulateColumnSum(m.B2.Grad.Data, dOut)
+	}
+
+	dHidden := tensor.New(tokens, m.Hidden)
+	if m.blocks == nil {
+		tensor.MatMulTBInto(dHidden, dOut, m.W2.W) // dHidden = dOut·W2ᵀ (W2: [hidden,dim])
+		if !m.W2.Frozen {
+			tensor.MatMulTAInto(m.W2.Grad, m.hidden, dOut)
+		}
+	} else {
+		sparse.FC2GradHidden(dHidden.Data, dOut.Data, tokens, m.rowMajorW2(m.W2.W), m.blocks, m.blk)
+		if !m.W2.Frozen {
+			sparse.FC2GradWeight(m.rowMajorW2(m.W2.Grad), m.hidden.Data, dOut.Data, tokens, m.blocks, m.blk)
+		}
+	}
+
+	// Activation backward.
+	switch m.Act {
+	case ActReLU:
+		tensor.MulInto(dHidden, m.mask)
+	case ActGeLU:
+		dh := dHidden.Data
+		pre := m.preAct.Data
+		dy := append([]float32(nil), dh...)
+		clear(dh)
+		parallel.ForChunked(len(dh), func(lo, hi int) {
+			tensor.GeLUGradRange(dh, dy, pre, lo, hi)
+		})
+	}
+
+	if !m.B1.Frozen {
+		accumulateColumnSum(m.B1.Grad.Data, dHidden)
+	}
+
+	dx := tensor.New(tokens, m.Dim)
+	if m.blocks == nil {
+		tensor.MatMulInto(dx, dHidden, m.W1.W) // dx = dHidden·W1(param) = dHidden·Wcᵀ
+		if !m.W1.Frozen {
+			tensor.MatMulTAInto(m.W1.Grad, dHidden, m.x)
+		}
+	} else {
+		sparse.FC1GradInput(dx.Data, dHidden.Data, tokens, m.colMajorW1(m.W1.W), m.blocks, m.blk)
+		if !m.W1.Frozen {
+			sparse.FC1GradWeight(m.colMajorW1(m.W1.Grad), m.x.Data, dHidden.Data, tokens, m.blocks, m.blk)
+		}
+	}
+	return dx
+}
+
+// ActivationMask exposes the last forward's ReLU mask [tokens, hidden] —
+// the raw signal the exposer and predictor-training data collection read.
+func (m *MLP) ActivationMask() *tensor.Tensor { return m.mask }
+
+// HiddenActivations exposes the last forward's post-activation hidden
+// matrix [tokens, hidden] — the magnitude signal the exposer's neuron
+// importance filter ranks.
+func (m *MLP) HiddenActivations() *tensor.Tensor { return m.hidden }
+
+// addBiasBlocks adds b to hidden only on the listed neuron blocks.
+func addBiasBlocks(hidden *tensor.Tensor, b []float32, blocks []int, blk int) {
+	tokens, H := hidden.Dim(0), hidden.Dim(1)
+	parallel.ForChunked(tokens, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := hidden.Data[i*H : (i+1)*H]
+			for _, nb := range blocks {
+				for c := nb * blk; c < (nb+1)*blk && c < H; c++ {
+					row[c] += b[c]
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,139 @@
+// Package parallel provides the shared-memory parallelism primitives used by
+// every compute kernel in the repository: a process-wide worker pool and
+// deterministic parallel-for helpers.
+//
+// The kernels in internal/tensor and internal/sparse are data-parallel over
+// independent output regions, so the idiomatic Go approach is a bounded pool
+// of goroutines fed index ranges through closures and joined with a
+// sync.WaitGroup. Chunking is deterministic: the same n and the same worker
+// count always produce the same chunk boundaries, which keeps reductions
+// reproducible.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers bounds the pool. It defaults to GOMAXPROCS and can be lowered
+// (never below 1) with SetWorkers, e.g. to simulate a smaller machine.
+var maxWorkers atomic.Int64
+
+func init() {
+	maxWorkers.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// SetWorkers sets the number of workers used by For and ForBlocked.
+// Values below 1 are clamped to 1. It returns the previous setting.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// Workers reports the current worker count.
+func Workers() int { return int(maxWorkers.Load()) }
+
+// For runs body(i) for every i in [0, n) across the worker pool.
+// Iterations are distributed in contiguous chunks so adjacent indices land on
+// the same worker (cache-friendly for row-major tensor kernels).
+//
+// body must not panic across goroutines; panics propagate to the caller.
+func For(n int, body func(i int)) {
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked splits [0, n) into at most Workers() contiguous chunks and runs
+// body(lo, hi) for each chunk, in parallel. A chunk is never empty.
+// With a single worker (or n == 1) the body runs on the calling goroutine,
+// which keeps small kernels allocation-free.
+func ForChunked(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	var firstPanic atomic.Value
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					firstPanic.CompareAndSwap(nil, r)
+				}
+			}()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	if p := firstPanic.Load(); p != nil {
+		panic(p)
+	}
+}
+
+// ReduceFloat64 computes a deterministic parallel reduction over [0, n):
+// each chunk accumulates body(i) into a partial sum in index order, then the
+// partials are combined in chunk order. The result is therefore independent
+// of scheduling (though it may differ from a single serial sum by the usual
+// floating-point reassociation across the fixed chunk boundaries).
+func ReduceFloat64(n int, body func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += body(i)
+		}
+		return s
+	}
+	chunk := (n + w - 1) / w
+	nChunks := (n + chunk - 1) / chunk
+	partials := make([]float64, nChunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += body(i)
+			}
+			partials[c] = s
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	var s float64
+	for _, p := range partials {
+		s += p
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		counts := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForChunkedBoundaries(t *testing.T) {
+	n := 103
+	var total atomic.Int64
+	ForChunked(n, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		total.Add(int64(hi - lo))
+	})
+	if total.Load() != int64(n) {
+		t.Fatalf("chunks cover %d of %d", total.Load(), n)
+	}
+}
+
+func TestForChunkedZeroAndNegative(t *testing.T) {
+	called := false
+	ForChunked(0, func(lo, hi int) { called = true })
+	ForChunked(-5, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for n<=0")
+	}
+}
+
+func TestReduceFloat64Correct(t *testing.T) {
+	n := 1234
+	got := ReduceFloat64(n, func(i int) float64 { return float64(i) })
+	want := float64(n*(n-1)) / 2
+	if got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestReduceFloat64Deterministic(t *testing.T) {
+	n := 9999
+	body := func(i int) float64 { return 1.0 / float64(i+1) }
+	first := ReduceFloat64(n, body)
+	for trial := 0; trial < 10; trial++ {
+		if got := ReduceFloat64(n, body); got != first {
+			t.Fatalf("trial %d: %v != %v", trial, got, first)
+		}
+	}
+}
+
+func TestSetWorkersClamp(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+	SetWorkers(-3)
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(-3), want 1", Workers())
+	}
+	prev := SetWorkers(4)
+	if prev != 1 {
+		t.Fatalf("SetWorkers returned %d, want previous value 1", prev)
+	}
+}
+
+func TestSingleWorkerRunsInline(t *testing.T) {
+	old := SetWorkers(1)
+	defer SetWorkers(old)
+	sum := 0 // no synchronization: must be safe with one worker
+	For(100, func(i int) { sum += i })
+	if sum != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum)
+	}
+}
+
+func TestForChunkedPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	ForChunked(100, func(lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+}

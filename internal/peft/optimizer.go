@@ -1,0 +1,157 @@
+package peft
+
+import (
+	"math"
+
+	"longexposure/internal/nn"
+	"longexposure/internal/parallel"
+	"longexposure/internal/tensor"
+)
+
+// Optimizer updates the trainable subset of a parameter set. The cost of
+// Step is proportional to the number of *trainable* scalars — the phase
+// PEFT actually shrinks (Table I's Optim. Step column).
+type Optimizer interface {
+	// Step applies one update from the accumulated gradients.
+	Step(params nn.ParamSet)
+	// StateBytes reports optimizer-state memory (fp32), for the memory model.
+	StateBytes() int64
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	vel map[*nn.Parameter][]float32
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*nn.Parameter][]float32)}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params nn.ParamSet) {
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		g := p.Grad.Data
+		w := p.W.Data
+		if o.Momentum == 0 {
+			lr := float32(o.LR)
+			for i := range w {
+				w[i] -= lr * g[i]
+			}
+			continue
+		}
+		v, ok := o.vel[p]
+		if !ok {
+			v = make([]float32, len(w))
+			o.vel[p] = v
+		}
+		mu, lr := float32(o.Momentum), float32(o.LR)
+		for i := range w {
+			v[i] = mu*v[i] + g[i]
+			w[i] -= lr * v[i]
+		}
+	}
+}
+
+// StateBytes implements Optimizer.
+func (o *SGD) StateBytes() int64 {
+	var n int64
+	for _, v := range o.vel {
+		n += int64(len(v)) * 4
+	}
+	return n
+}
+
+// AdamW is the decoupled-weight-decay Adam optimizer — the standard choice
+// for transformer fine-tuning and the one whose two fp32 moment buffers
+// dominate optimizer memory in full fine-tuning.
+type AdamW struct {
+	LR, Beta1, Beta2, Eps, WeightDecay float64
+
+	step int
+	m, v map[*nn.Parameter][]float32
+}
+
+// NewAdamW constructs AdamW with the usual defaults for zero fields
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdamW(lr, weightDecay float64) *AdamW {
+	return &AdamW{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay,
+		m: make(map[*nn.Parameter][]float32),
+		v: make(map[*nn.Parameter][]float32),
+	}
+}
+
+// Step implements Optimizer.
+func (o *AdamW) Step(params nn.ParamSet) {
+	o.step++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.step))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.step))
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		w, g := p.W.Data, p.Grad.Data
+		mBuf, ok := o.m[p]
+		if !ok {
+			mBuf = make([]float32, len(w))
+			o.m[p] = mBuf
+			o.v[p] = make([]float32, len(w))
+		}
+		vBuf := o.v[p]
+		b1, b2 := float32(o.Beta1), float32(o.Beta2)
+		lr, wd, eps := o.LR, o.WeightDecay, o.Eps
+		parallel.ForChunked(len(w), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				mBuf[i] = b1*mBuf[i] + (1-b1)*g[i]
+				vBuf[i] = b2*vBuf[i] + (1-b2)*g[i]*g[i]
+				mHat := float64(mBuf[i]) / bc1
+				vHat := float64(vBuf[i]) / bc2
+				upd := lr * (mHat/(math.Sqrt(vHat)+eps) + wd*float64(w[i]))
+				w[i] -= float32(upd)
+			}
+		})
+	}
+}
+
+// StateBytes implements Optimizer.
+func (o *AdamW) StateBytes() int64 {
+	var n int64
+	for _, buf := range o.m {
+		n += int64(len(buf)) * 4
+	}
+	for _, buf := range o.v {
+		n += int64(len(buf)) * 4
+	}
+	return n
+}
+
+// ClipGradNorm scales gradients so their global L2 norm is at most maxNorm,
+// returning the pre-clip norm. Standard fine-tuning hygiene.
+func ClipGradNorm(params nn.ParamSet, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		n := tensor.L2Norm(p.Grad)
+		sq += n * n
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := float32(maxNorm / norm)
+		for _, p := range params {
+			if p.Frozen {
+				continue
+			}
+			tensor.Scale(p.Grad, scale)
+		}
+	}
+	return norm
+}

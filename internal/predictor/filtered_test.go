@@ -1,0 +1,90 @@
+package predictor
+
+import (
+	"testing"
+
+	"longexposure/internal/exposer"
+	"longexposure/internal/model"
+	"longexposure/internal/nn"
+	"longexposure/internal/tensor"
+)
+
+func TestBuildFilteredMLPTargetDropsWeakBlocks(t *testing.T) {
+	// 2 tokens, 8 neurons, blk 4: block 0 strong, block 1 weak but active.
+	mask := tensor.FromSlice([]float32{
+		1, 1, 1, 1, 1, 0, 0, 0,
+		1, 1, 1, 1, 0, 1, 0, 0,
+	}, 2, 8)
+	hidden := tensor.FromSlice([]float32{
+		5, 5, 5, 5, 0.01, 0, 0, 0,
+		5, 5, 5, 5, 0, 0.01, 0, 0,
+	}, 2, 8)
+	x := tensor.New(2, 4)
+
+	raw := BuildMLPTarget(x, mask, 4)
+	if raw.Y.At(0, 1) != 1 {
+		t.Fatal("raw target should keep the weak block")
+	}
+	filtered := BuildFilteredMLPTarget(x, mask, hidden, 4, 0.05)
+	if filtered.Y.At(0, 0) != 1 {
+		t.Fatal("strong block dropped")
+	}
+	if filtered.Y.At(0, 1) != 0 || filtered.Y.At(1, 1) != 0 {
+		t.Fatal("weak block survived the filter")
+	}
+}
+
+func TestFilteredTargetsShrinkPredictedDensity(t *testing.T) {
+	// A primed sim model must yield a meaningfully sparser prediction when
+	// the filter participates in target construction — the §IV→§V coupling
+	// that turns shadowy MLP sparsity into usable block sparsity.
+	spec := model.Sim(model.OPT1p3B())
+	rng := tensor.NewRNG(60)
+	m := nn.NewTransformer(spec.Config, rng)
+	model.PrimeSparsity(m, rng.Split(), 8)
+
+	var batches [][][]int
+	r2 := tensor.NewRNG(61)
+	for i := 0; i < 3; i++ {
+		row := make([]int, 64)
+		for j := range row {
+			row[j] = 4 + r2.Intn(spec.Config.Vocab-4)
+		}
+		batches = append(batches, [][]int{row})
+	}
+	samples := Collect(m, batches)
+
+	exp := exposer.New(exposer.Config{Blk: 8, MLPThreshold: 0.02})
+	set := NewSet(spec.Config, exp, 8, rng.Split())
+	set.Train(samples, spec.Config.Heads, TrainConfig{Epochs: 12})
+
+	var density float64
+	var n int
+	for li, lp := range set.Layers {
+		for _, sm := range samples {
+			pred := lp.MLP.Predict(sm.Layers[li].MLPInput)
+			density += float64(len(pred)) / float64(lp.MLP.NBlk)
+			n++
+		}
+	}
+	density /= float64(n)
+	if density > 0.75 {
+		t.Fatalf("filtered predicted density %.3f still near-dense", density)
+	}
+	if density <= 0 {
+		t.Fatal("no blocks predicted")
+	}
+}
+
+func TestCollectIncludesHiddenForReLUOnly(t *testing.T) {
+	relu := nn.NewTransformer(model.SimSmall(nn.ActReLU).Config, tensor.NewRNG(62))
+	s := Collect(relu, [][][]int{{{1, 2, 3, 4}}})
+	if s[0].Layers[0].Hidden == nil {
+		t.Fatal("ReLU sample missing hidden activations")
+	}
+	gelu := nn.NewTransformer(model.SimSmall(nn.ActGeLU).Config, tensor.NewRNG(63))
+	s = Collect(gelu, [][][]int{{{1, 2, 3, 4}}})
+	if s[0].Layers[0].Hidden != nil {
+		t.Fatal("GeLU sample has hidden activations")
+	}
+}

@@ -1,0 +1,208 @@
+// Package predictor implements the Sequence-oriented Predictor (paper §V):
+// small low-rank networks that predict each layer's sparse patterns from the
+// layer input *before* the expensive computation happens.
+//
+// The two-stage sequence design keeps predictor size independent of sequence
+// length: stage one processes tokens (block-pooled, the paper's s → √s
+// down-sampling), stage two consolidates per-token predictions into one
+// pattern for the whole sequence. Predictors are pre-trained offline on
+// activations collected from dense inference (internal/predictor/collect.go)
+// with noise augmentation and a recall-weighted loss, because a false
+// negative (an active weight predicted inactive) hurts the fine-tuned model
+// while a false positive merely wastes a little compute.
+package predictor
+
+import (
+	"fmt"
+	"math"
+
+	"longexposure/internal/exposer"
+	"longexposure/internal/sparse"
+	"longexposure/internal/tensor"
+)
+
+// AttnPredictor predicts per-head block masks for one attention layer.
+// For each head it holds low-rank approximators Ŵq, Ŵk ∈ R^{d×r}; the
+// approximate scores X̂·Ŵq (X̂·Ŵk)ᵀ are computed on the block-pooled
+// sequence X̂ (one pooled embedding per block, so with blk = √s this is
+// exactly the paper's √s down-sampling).
+type AttnPredictor struct {
+	Dim, Heads, Rank, Blk int
+	Wq, Wk                []*tensor.Tensor // per head, [dim, rank]
+	Threshold             float32          // score binarization threshold
+}
+
+// NewAttnPredictor constructs an untrained attention predictor.
+func NewAttnPredictor(dim, heads, rank, blk int, rng *tensor.RNG) *AttnPredictor {
+	// Threshold 0 is the decision boundary of the logistic training loss
+	// (σ(0) = 0.5): blocks scoring positive are predicted needed.
+	p := &AttnPredictor{Dim: dim, Heads: heads, Rank: rank, Blk: blk, Threshold: 0}
+	for h := 0; h < heads; h++ {
+		wq := tensor.New(dim, rank)
+		wk := tensor.New(dim, rank)
+		rng.XavierInit(wq, dim, rank)
+		rng.XavierInit(wk, dim, rank)
+		p.Wq = append(p.Wq, wq)
+		p.Wk = append(p.Wk, wk)
+	}
+	return p
+}
+
+// Downsample block-pools one sequence: x is [batch*seq, dim]; the result is
+// a per-batch slice of [nb, dim] tensors, each row the mean of one block of
+// tokens — stage one of the two-stage design.
+func Downsample(x *tensor.Tensor, batch, seq, blk int) []*tensor.Tensor {
+	if seq%blk != 0 {
+		panic(fmt.Sprintf("predictor: seq %d not a multiple of blk %d", seq, blk))
+	}
+	d := x.Dim(1)
+	nb := seq / blk
+	out := make([]*tensor.Tensor, batch)
+	inv := float32(1) / float32(blk)
+	for b := 0; b < batch; b++ {
+		xd := tensor.New(nb, d)
+		for nbi := 0; nbi < nb; nbi++ {
+			dst := xd.Data[nbi*d : (nbi+1)*d]
+			for t := 0; t < blk; t++ {
+				src := x.Data[(b*seq+nbi*blk+t)*d : (b*seq+nbi*blk+t+1)*d]
+				for j, v := range src {
+					dst[j] += v
+				}
+			}
+			for j := range dst {
+				dst[j] *= inv
+			}
+		}
+		out[b] = xd
+	}
+	return out
+}
+
+// scoreHead computes the approximate block-score matrix Ŝ = Q̂·K̂ᵀ [nb, nb]
+// for head h on a pooled sequence.
+func (p *AttnPredictor) scoreHead(xd *tensor.Tensor, h int) *tensor.Tensor {
+	qh := tensor.MatMul(xd, p.Wq[h])
+	kh := tensor.MatMul(xd, p.Wk[h])
+	return tensor.MatMulTB(qh, kh)
+}
+
+// PredictMasks returns the raw predicted needed-block mask per head
+// (batch-reduced by union), before pool categorization.
+func (p *AttnPredictor) PredictMasks(x *tensor.Tensor, batch, seq int) []*sparse.Layout {
+	masks, _ := p.PredictMasksWithWeights(x, batch, seq)
+	return masks
+}
+
+// PredictMasksWithWeights additionally returns per-head block weights —
+// σ(score), a calibrated estimate of each block's importance — used for
+// mass-weighted pool categorization, mirroring the exposer's true-mass
+// matching.
+func (p *AttnPredictor) PredictMasksWithWeights(x *tensor.Tensor, batch, seq int) ([]*sparse.Layout, [][]float64) {
+	pooled := Downsample(x, batch, seq, p.Blk)
+	nb := seq / p.Blk
+	masks := make([]*sparse.Layout, p.Heads)
+	weights := make([][]float64, p.Heads)
+	for h := 0; h < p.Heads; h++ {
+		needed := make([]bool, nb*nb)
+		w := make([]float64, nb*nb)
+		for _, xd := range pooled {
+			s := p.scoreHead(xd, h)
+			for i := 0; i < nb; i++ {
+				for j := 0; j <= i; j++ {
+					z := float64(s.At(i, j))
+					if s.At(i, j) >= p.Threshold {
+						needed[i*nb+j] = true
+					}
+					w[i*nb+j] += 1 / (1 + math.Exp(-z))
+				}
+			}
+		}
+		for i := 0; i < nb; i++ {
+			needed[i*nb+i] = true
+			w[i*nb+i] += float64(batch) // a token always attends to itself
+		}
+		masks[h] = sparse.NewLayout(nb, func(br, bc int) bool {
+			return bc <= br && needed[br*nb+bc]
+		})
+		weights[h] = w
+	}
+	return masks, weights
+}
+
+// Predict runs the full attention pipeline: predict masks and importance
+// weights, then categorize each into the exposer's pattern pool so the
+// dynamic-aware operators can reuse pre-computed layouts. Stage two of the
+// two-stage design.
+func (p *AttnPredictor) Predict(x *tensor.Tensor, batch, seq int, exp *exposer.Exposer) []*sparse.Layout {
+	masks, weights := p.PredictMasksWithWeights(x, batch, seq)
+	out := make([]*sparse.Layout, p.Heads)
+	for h, m := range masks {
+		_, out[h] = exp.MatchToPool(m, weights[h])
+	}
+	return out
+}
+
+// MLPPredictor predicts the active neuron blocks of one MLP layer:
+// Ŝ = X·Ŵa + b scores each block per token; a block is predicted active for
+// the sequence if any token scores it positive (the batch+sequence
+// reduction of §V-A).
+type MLPPredictor struct {
+	Dim, Hidden, Blk, NBlk int
+	Wa                     *tensor.Tensor // [dim, nBlk]
+	Bias                   []float32      // [nBlk]
+}
+
+// NewMLPPredictor constructs an untrained MLP predictor.
+func NewMLPPredictor(dim, hidden, blk int, rng *tensor.RNG) *MLPPredictor {
+	nBlk := (hidden + blk - 1) / blk
+	p := &MLPPredictor{Dim: dim, Hidden: hidden, Blk: blk, NBlk: nBlk,
+		Wa:   tensor.New(dim, nBlk),
+		Bias: make([]float32, nBlk),
+	}
+	rng.XavierInit(p.Wa, dim, nBlk)
+	return p
+}
+
+// Scores returns the raw per-token block scores [tokens, nBlk].
+func (p *MLPPredictor) Scores(x *tensor.Tensor) *tensor.Tensor {
+	s := tensor.MatMul(x, p.Wa)
+	tensor.AddRowVector(s, p.Bias)
+	return s
+}
+
+// Predict returns the sorted active neuron-block list for the whole batch:
+// block j is active if Ŝ[i,j] > 0 for any token i. At least one block is
+// always returned.
+func (p *MLPPredictor) Predict(x *tensor.Tensor) []int {
+	s := p.Scores(x)
+	tokens := s.Dim(0)
+	active := make([]bool, p.NBlk)
+	for i := 0; i < tokens; i++ {
+		row := s.Data[i*p.NBlk : (i+1)*p.NBlk]
+		for j, v := range row {
+			if v > 0 {
+				active[j] = true
+			}
+		}
+	}
+	var out []int
+	for j, a := range active {
+		if a {
+			out = append(out, j)
+		}
+	}
+	if len(out) == 0 {
+		// Degenerate prediction: keep the top-scoring block.
+		best, bestV := 0, float32(tensor.NegInf)
+		for i := 0; i < tokens; i++ {
+			row := s.Data[i*p.NBlk : (i+1)*p.NBlk]
+			for j, v := range row {
+				if v > bestV {
+					best, bestV = j, v
+				}
+			}
+		}
+		out = []int{best}
+	}
+	return out
+}

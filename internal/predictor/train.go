@@ -1,0 +1,307 @@
+package predictor
+
+import (
+	"math"
+
+	"longexposure/internal/exposer"
+	"longexposure/internal/sparse"
+	"longexposure/internal/tensor"
+)
+
+// TrainConfig tunes offline predictor training (§V-B).
+type TrainConfig struct {
+	LR        float64 // default 0.05
+	Epochs    int     // default 30
+	PosWeight float64 // loss weight for active targets (recall priority), default 4
+	NoiseStd  float64 // input augmentation noise, default 0.05
+	Seed      uint64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 30
+	}
+	if c.PosWeight == 0 {
+		c.PosWeight = 4
+	}
+	if c.NoiseStd == 0 {
+		c.NoiseStd = 0.05
+	}
+	return c
+}
+
+// adam is a minimal Adam state for one raw tensor — predictors train outside
+// the nn.Parameter machinery because they are not part of the fine-tuned
+// model.
+type adam struct {
+	m, v []float32
+	t    int
+}
+
+func newAdam(n int) *adam { return &adam{m: make([]float32, n), v: make([]float32, n)} }
+
+func (a *adam) step(w, g []float32, lr float64) {
+	a.t++
+	bc1 := 1 - math.Pow(0.9, float64(a.t))
+	bc2 := 1 - math.Pow(0.999, float64(a.t))
+	for i := range w {
+		a.m[i] = 0.9*a.m[i] + 0.1*g[i]
+		a.v[i] = 0.999*a.v[i] + 0.001*g[i]*g[i]
+		mh := float64(a.m[i]) / bc1
+		vh := float64(a.v[i]) / bc2
+		w[i] -= float32(lr * mh / (math.Sqrt(vh) + 1e-8))
+	}
+}
+
+// addNoise returns a noisy copy of x — the data-augmentation step that
+// hardens predictors against the input drift caused by the evolving
+// trainable parameters during fine-tuning.
+func addNoise(x *tensor.Tensor, std float64, rng *tensor.RNG) *tensor.Tensor {
+	if std == 0 {
+		return x
+	}
+	y := x.Clone()
+	for i := range y.Data {
+		y.Data[i] += float32(rng.Norm() * std)
+	}
+	return y
+}
+
+// AttnTarget is one attention training example: a pooled input and the
+// needed-block mask (0/1 over the causal block grid) for each head.
+type AttnTarget struct {
+	Pooled *tensor.Tensor   // [nb, dim]
+	Masks  []*tensor.Tensor // per head, [nb, nb] with 1 = needed
+}
+
+// BuildAttnTargets converts collected dense probabilities into training
+// examples: the exposer's head masks become the 0/1 targets.
+func BuildAttnTargets(x *tensor.Tensor, probs []*tensor.Tensor, batch, seq, heads int, exp *exposer.Exposer) []AttnTarget {
+	blk := exp.Config().Blk
+	pooled := Downsample(x, batch, seq, blk)
+	nb := seq / blk
+	out := make([]AttnTarget, batch)
+	for b := 0; b < batch; b++ {
+		tgt := AttnTarget{Pooled: pooled[b]}
+		for h := 0; h < heads; h++ {
+			mask := exp.HeadMask(probs[b*heads+h])
+			mt := tensor.New(nb, nb)
+			for br := 0; br < nb; br++ {
+				for _, bc := range mask.RowBlocks(br) {
+					mt.Set(1, br, int(bc))
+				}
+			}
+			tgt.Masks = append(tgt.Masks, mt)
+		}
+		out[b] = tgt
+	}
+	return out
+}
+
+// TrainAttn fits the per-head low-rank approximators to the collected
+// targets with a recall-weighted logistic loss over the causal block grid:
+// the bilinear score must agree in sign with the needed/not-needed label,
+// with false negatives penalized PosWeight× harder (§V-B). It returns the
+// final mean loss.
+func (p *AttnPredictor) TrainAttn(targets []AttnTarget, cfg TrainConfig) float64 {
+	cfg = cfg.withDefaults()
+	rng := tensor.NewRNG(cfg.Seed + 7)
+	optQ := make([]*adam, p.Heads)
+	optK := make([]*adam, p.Heads)
+	for h := 0; h < p.Heads; h++ {
+		optQ[h] = newAdam(p.Wq[h].Len())
+		optK[h] = newAdam(p.Wk[h].Len())
+	}
+
+	var last float64
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		var lossSum float64
+		var count int
+		for _, tgt := range targets {
+			xd := addNoise(tgt.Pooled, cfg.NoiseStd, rng)
+			nb := xd.Dim(0)
+			causal := float64(nb*(nb+1)) / 2
+			for h := 0; h < p.Heads; h++ {
+				qh := tensor.MatMul(xd, p.Wq[h])
+				kh := tensor.MatMul(xd, p.Wk[h])
+				s := tensor.MatMulTB(qh, kh)
+				ds := tensor.New(nb, nb)
+				y := tgt.Masks[h]
+				for i := 0; i < nb; i++ {
+					for j := 0; j <= i; j++ {
+						z := float64(s.At(i, j))
+						yv := float64(y.At(i, j))
+						w := 1.0
+						if yv > 0 {
+							w = cfg.PosWeight
+						}
+						pr := 1 / (1 + math.Exp(-z))
+						lossSum += w * (math.Max(z, 0) - z*yv + math.Log1p(math.Exp(-math.Abs(z))))
+						ds.Set(float32(w*(pr-yv)/causal), i, j)
+						count++
+					}
+				}
+				// Backprop: dQ̂ = dS·K̂, dK̂ = dSᵀ·Q̂, dW = xdᵀ·d(·).
+				dq := tensor.MatMul(ds, kh)
+				dk := tensor.MatMulTA(ds, qh)
+				gWq := tensor.MatMulTA(xd, dq)
+				gWk := tensor.MatMulTA(xd, dk)
+				optQ[h].step(p.Wq[h].Data, gWq.Data, cfg.LR)
+				optK[h].step(p.Wk[h].Data, gWk.Data, cfg.LR)
+			}
+		}
+		if count > 0 {
+			last = lossSum / float64(count)
+		}
+	}
+	return last
+}
+
+// MLPTarget is one MLP training example: layer input tokens and the 0/1
+// per-token block-activity matrix.
+type MLPTarget struct {
+	X *tensor.Tensor // [tokens, dim]
+	Y *tensor.Tensor // [tokens, nBlk], 1 = block has an active neuron
+}
+
+// BuildMLPTarget converts a collected ReLU mask into block-activity targets.
+func BuildMLPTarget(x, mask *tensor.Tensor, blk int) MLPTarget {
+	tokens, H := mask.Dim(0), mask.Dim(1)
+	nBlk := (H + blk - 1) / blk
+	y := tensor.New(tokens, nBlk)
+	for i := 0; i < tokens; i++ {
+		for h := 0; h < H; h++ {
+			if mask.At(i, h) != 0 {
+				y.Set(1, i, h/blk)
+			}
+		}
+	}
+	return MLPTarget{X: x, Y: y}
+}
+
+// BuildFilteredMLPTarget applies the exposer's importance filter before
+// building targets: a block is a positive target for a token only if the
+// token activates it *and* the block survives the threshold filter over
+// the sample's activations (§IV-B). This is what makes the deployed
+// pipeline predict the *filtered* active set — the raw OR over a sequence
+// is nearly dense (shadowy sparsity), while the filtered set is not.
+func BuildFilteredMLPTarget(x, mask, hidden *tensor.Tensor, blk int, threshold float64) MLPTarget {
+	tgt := BuildMLPTarget(x, mask, blk)
+	keep := make(map[int]bool)
+	for _, b := range exposer.FilterNeuronBlocksAt(hidden, blk, threshold) {
+		keep[b] = true
+	}
+	tokens, nBlk := tgt.Y.Dim(0), tgt.Y.Dim(1)
+	for i := 0; i < tokens; i++ {
+		for j := 0; j < nBlk; j++ {
+			if !keep[j] {
+				tgt.Y.Set(0, i, j)
+			}
+		}
+	}
+	return tgt
+}
+
+// TrainMLP fits Ŵa with a recall-weighted logistic loss. Returns the final
+// mean loss.
+func (p *MLPPredictor) TrainMLP(targets []MLPTarget, cfg TrainConfig) float64 {
+	cfg = cfg.withDefaults()
+	rng := tensor.NewRNG(cfg.Seed + 13)
+	optW := newAdam(p.Wa.Len())
+	optB := newAdam(len(p.Bias))
+
+	var last float64
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		var lossSum float64
+		var count int
+		for _, tgt := range targets {
+			x := addNoise(tgt.X, cfg.NoiseStd, rng)
+			tokens := x.Dim(0)
+			s := p.Scores(x)
+			ds := tensor.New(tokens, p.NBlk)
+			for i := 0; i < tokens; i++ {
+				for j := 0; j < p.NBlk; j++ {
+					z := float64(s.At(i, j))
+					y := float64(tgt.Y.At(i, j))
+					pr := 1 / (1 + math.Exp(-z))
+					w := 1.0
+					if y > 0 {
+						w = cfg.PosWeight
+					}
+					// Numerically-stable BCE.
+					lossSum += w * (math.Max(z, 0) - z*y + math.Log1p(math.Exp(-math.Abs(z))))
+					ds.Set(float32(w*(pr-y)/float64(tokens)), i, j)
+					count++
+				}
+			}
+			gW := tensor.MatMulTA(x, ds)
+			gB := make([]float32, p.NBlk)
+			for i := 0; i < tokens; i++ {
+				for j := 0; j < p.NBlk; j++ {
+					gB[j] += ds.At(i, j)
+				}
+			}
+			optW.step(p.Wa.Data, gW.Data, cfg.LR)
+			optB.step(p.Bias, gB, cfg.LR)
+		}
+		if count > 0 {
+			last = lossSum / float64(count)
+		}
+	}
+	return last
+}
+
+// RecallPrecision compares predicted active blocks against true per-token
+// needs: recall = truly-needed blocks that were predicted active / all
+// truly-needed; precision = predicted blocks that were needed / all
+// predicted. Needs are evaluated at sequence level (a block is needed if
+// any token needs it), matching how predictions are consumed.
+func RecallPrecision(predicted []int, y *tensor.Tensor) (recall, precision float64) {
+	tokens, nBlk := y.Dim(0), y.Dim(1)
+	needed := make([]bool, nBlk)
+	for i := 0; i < tokens; i++ {
+		for j := 0; j < nBlk; j++ {
+			if y.At(i, j) != 0 {
+				needed[j] = true
+			}
+		}
+	}
+	pred := make([]bool, nBlk)
+	for _, j := range predicted {
+		pred[j] = true
+	}
+	var tp, fn, fp int
+	for j := 0; j < nBlk; j++ {
+		switch {
+		case needed[j] && pred[j]:
+			tp++
+		case needed[j] && !pred[j]:
+			fn++
+		case !needed[j] && pred[j]:
+			fp++
+		}
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	} else {
+		recall = 1
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	} else {
+		precision = 1
+	}
+	return
+}
+
+// MaskRecall compares a predicted attention layout against a needed-block
+// mask: the fraction of needed blocks the prediction covers.
+func MaskRecall(predicted, needed *sparse.Layout) float64 {
+	if needed.NNZ() == 0 {
+		return 1
+	}
+	return float64(predicted.Overlap(needed)) / float64(needed.NNZ())
+}

@@ -1,0 +1,118 @@
+package sparse
+
+import (
+	"fmt"
+
+	"longexposure/internal/parallel"
+)
+
+// CombinedSparse holds the block-sparse score matrices of *all* heads of
+// one attention invocation in a single buffer, indexed by the online
+// combination's offset table. Work is scheduled over the flat Task list at
+// block granularity, so heads with very different sparsity cannot imbalance
+// the workers — §VI-A's "the basic unit of operation is the block rather
+// than the individual head".
+type CombinedSparse struct {
+	HL   *HeadLayouts
+	Blk  int
+	Data []float32 // TotalBlocks · Blk²
+}
+
+// NewCombinedSparse allocates zeroed storage for a head combination.
+func NewCombinedSparse(hl *HeadLayouts, blk int) *CombinedSparse {
+	return &CombinedSparse{HL: hl, Blk: blk, Data: make([]float32, hl.TotalBlocks()*blk*blk)}
+}
+
+// block returns the storage of the combined block offset.
+func (c *CombinedSparse) block(off int) []float32 {
+	bb := c.Blk * c.Blk
+	return c.Data[off*bb : (off+1)*bb]
+}
+
+// HeadView adapts one head's slice of the combined buffer to the
+// single-head BlockSparse type, sharing storage. Row-oriented passes
+// (softmax, its backward) run through views; block-oriented passes run
+// over the task list.
+func (c *CombinedSparse) HeadView(h int) *BlockSparse {
+	bb := c.Blk * c.Blk
+	lo, hi := c.HL.DataOff[h]*bb, c.HL.DataOff[h+1]*bb
+	return &BlockSparse{L: c.HL.Heads[h], Blk: c.Blk, Data: c.Data[lo:hi]}
+}
+
+// MultiHeadSDD computes every head's active score blocks from per-head
+// query/key buffers (q[h], k[h]: [s·hd] row-major), parallelized over the
+// combined task list. Each task writes exactly one block, so scheduling is
+// balanced regardless of per-head sparsity skew.
+func MultiHeadSDD(c *CombinedSparse, q, k [][]float32, hd int) {
+	if len(q) != c.HL.NumHeads() || len(k) != c.HL.NumHeads() {
+		panic(fmt.Sprintf("sparse: MultiHeadSDD got %d/%d buffers for %d heads", len(q), len(k), c.HL.NumHeads()))
+	}
+	blk := c.Blk
+	tasks := c.HL.Tasks
+	parallel.ForChunked(len(tasks), func(lo, hi int) {
+		for ti := lo; ti < hi; ti++ {
+			task := tasks[ti]
+			qh, kh := q[task.Head], k[task.Head]
+			out := c.block(task.Off)
+			for i := 0; i < blk; i++ {
+				qr := qh[(task.BR*blk+i)*hd : (task.BR*blk+i+1)*hd]
+				row := out[i*blk : (i+1)*blk]
+				for j := 0; j < blk; j++ {
+					kr := kh[(task.BC*blk+j)*hd : (task.BC*blk+j+1)*hd]
+					var s float32
+					for x, qv := range qr {
+						s += qv * kr[x]
+					}
+					row[j] += s
+				}
+			}
+		}
+	})
+}
+
+// MultiHeadCausalSoftmax applies the causal softmax to every head,
+// parallelized over heads (rows are the unit of coupling, and rows never
+// cross heads).
+func MultiHeadCausalSoftmax(c *CombinedSparse, scale float32) {
+	parallel.For(c.HL.NumHeads(), func(h int) {
+		CausalSoftmax(c.HeadView(h), scale)
+	})
+}
+
+// MultiHeadDSD computes out[h] += headProbs·v[h] for every head,
+// parallelized over (head, block-row) pairs — each pair owns a disjoint
+// slice of its head's output, so the pass is race-free and finer-grained
+// than per-head scheduling.
+func MultiHeadDSD(out, v [][]float32, c *CombinedSparse, hd int) {
+	if len(out) != c.HL.NumHeads() || len(v) != c.HL.NumHeads() {
+		panic("sparse: MultiHeadDSD buffer count mismatch")
+	}
+	blk := c.Blk
+	nb := 0
+	if c.HL.NumHeads() > 0 {
+		nb = c.HL.Heads[0].NB()
+	}
+	parallel.For(c.HL.NumHeads()*nb, func(idx int) {
+		h, br := idx/nb, idx%nb
+		sp := c.HeadView(h)
+		vh, oh := v[h], out[h]
+		for _, bc32 := range sp.L.RowBlocks(br) {
+			bc := int(bc32)
+			id, _ := sp.L.BlockID(br, bc)
+			blkData := sp.Block(id)
+			for i := 0; i < blk; i++ {
+				dst := oh[(br*blk+i)*hd : (br*blk+i+1)*hd]
+				row := blkData[i*blk : (i+1)*blk]
+				for j, w := range row {
+					if w == 0 {
+						continue
+					}
+					src := vh[(bc*blk+j)*hd : (bc*blk+j+1)*hd]
+					for x, sv := range src {
+						dst[x] += w * sv
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"longexposure/internal/tensor"
+)
+
+// skewedHeads builds layouts with very different densities — the workload
+// shape §VI-A's balancing targets.
+func skewedHeads(nb int) []*Layout {
+	return []*Layout{
+		Pattern{Kind: KindLocal, Window: 1}.Build(nb),
+		Pattern{Kind: KindDense}.Build(nb),
+		Pattern{Kind: KindLocalGlobal, Window: 2, Global: 1}.Build(nb),
+		Pattern{Kind: KindStrided, Stride: 2}.Build(nb),
+	}
+}
+
+func randHeadBufs(seed uint64, heads, s, hd int) [][]float32 {
+	r := tensor.NewRNG(seed)
+	out := make([][]float32, heads)
+	for h := range out {
+		buf := make([]float32, s*hd)
+		for i := range buf {
+			buf[i] = float32(r.Norm())
+		}
+		out[h] = buf
+	}
+	return out
+}
+
+func TestMultiHeadSDDMatchesPerHead(t *testing.T) {
+	nb, blk, hd := 4, 4, 6
+	s := nb * blk
+	heads := skewedHeads(nb)
+	hl := Combine(heads)
+	q := randHeadBufs(1, len(heads), s, hd)
+	k := randHeadBufs(2, len(heads), s, hd)
+
+	c := NewCombinedSparse(hl, blk)
+	MultiHeadSDD(c, q, k, hd)
+
+	for h, layout := range heads {
+		want := NewBlockSparse(layout, blk)
+		SDD(want, q[h], k[h], hd)
+		got := c.HeadView(h)
+		for i := range want.Data {
+			if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-4 {
+				t.Fatalf("head %d data[%d]: %v vs %v", h, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestMultiHeadPipelineMatchesPerHead(t *testing.T) {
+	nb, blk, hd := 4, 4, 6
+	s := nb * blk
+	heads := skewedHeads(nb)
+	hl := Combine(heads)
+	q := randHeadBufs(3, len(heads), s, hd)
+	k := randHeadBufs(4, len(heads), s, hd)
+	v := randHeadBufs(5, len(heads), s, hd)
+
+	// Combined pipeline.
+	c := NewCombinedSparse(hl, blk)
+	MultiHeadSDD(c, q, k, hd)
+	MultiHeadCausalSoftmax(c, 0.4)
+	out := make([][]float32, len(heads))
+	for h := range out {
+		out[h] = make([]float32, s*hd)
+	}
+	MultiHeadDSD(out, v, c, hd)
+
+	// Per-head reference.
+	for h, layout := range heads {
+		sp := NewBlockSparse(layout, blk)
+		SDD(sp, q[h], k[h], hd)
+		CausalSoftmax(sp, 0.4)
+		want := make([]float32, s*hd)
+		DSD(want, sp, v[h], hd)
+		for i := range want {
+			if math.Abs(float64(out[h][i]-want[i])) > 1e-4 {
+				t.Fatalf("head %d out[%d]: %v vs %v", h, i, out[h][i], want[i])
+			}
+		}
+	}
+}
+
+func TestHeadViewSharesStorage(t *testing.T) {
+	heads := skewedHeads(3)
+	hl := Combine(heads)
+	c := NewCombinedSparse(hl, 2)
+	view := c.HeadView(1)
+	view.Data[0] = 7
+	bb := 4
+	if c.Data[hl.DataOff[1]*bb] != 7 {
+		t.Fatal("HeadView does not alias combined storage")
+	}
+	if view.L != heads[1] {
+		t.Fatal("HeadView layout mismatch")
+	}
+}
+
+func TestMultiHeadSDDBufferCountPanics(t *testing.T) {
+	heads := skewedHeads(3)
+	c := NewCombinedSparse(Combine(heads), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MultiHeadSDD(c, make([][]float32, 1), make([][]float32, 1), 2)
+}
+
+// BenchmarkBalancedVsPerHead demonstrates the §VI-A claim: with heavily
+// skewed per-head sparsity, block-granular scheduling balances workers
+// better than head-granular scheduling.
+func BenchmarkBalancedVsPerHead(b *testing.B) {
+	nb, blk, hd := 16, 16, 64
+	s := nb * blk
+	heads := []*Layout{
+		Pattern{Kind: KindDense}.Build(nb), // one heavy head
+		Pattern{Kind: KindLocal, Window: 1}.Build(nb),
+		Pattern{Kind: KindLocal, Window: 1}.Build(nb),
+		Pattern{Kind: KindLocal, Window: 1}.Build(nb),
+	}
+	hl := Combine(heads)
+	q := randHeadBufs(10, len(heads), s, hd)
+	k := randHeadBufs(11, len(heads), s, hd)
+
+	b.Run("balanced-tasks", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := NewCombinedSparse(hl, blk)
+			MultiHeadSDD(c, q, k, hd)
+		}
+	})
+	b.Run("per-head", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for h, l := range heads {
+				sp := NewBlockSparse(l, blk)
+				SDD(sp, q[h], k[h], hd)
+			}
+		}
+	})
+}

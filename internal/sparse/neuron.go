@@ -1,0 +1,217 @@
+package sparse
+
+import (
+	"fmt"
+
+	"longexposure/internal/parallel"
+)
+
+// Neuron-centric MLP kernels (§VI-B). An MLP block is FC1 [d → H] followed
+// by an activation and FC2 [H → d]. When a hidden neuron h is predicted
+// inactive, column h of FC1 and row h of FC2 both drop out of the
+// computation. The kernels therefore take a list of active neuron *blocks*
+// (indices into the H dimension divided by blk) and touch nothing else —
+// no data format conversion, exactly the conventional tiling loop with the
+// inactive tiles skipped.
+//
+// The paper's memory-coalescing optimization is reflected in the storage
+// layouts: FC1 weights are stored column-major so an active neuron's input
+// weights are contiguous, FC2 weights row-major so an active neuron's
+// output weights are contiguous. On CPU, contiguity buys cache lines and
+// hardware prefetch — the same effect coalescing buys on GPU.
+
+// ColMajor stores a [In × Out] weight matrix column-by-column:
+// column c occupies Data[c*In : (c+1)*In]. FC1 uses it.
+type ColMajor struct {
+	In, Out int
+	Data    []float32
+}
+
+// NewColMajor allocates a zeroed column-major weight matrix.
+func NewColMajor(in, out int) *ColMajor {
+	return &ColMajor{In: in, Out: out, Data: make([]float32, in*out)}
+}
+
+// Col returns column c (the input weights of neuron c), contiguous.
+func (w *ColMajor) Col(c int) []float32 { return w.Data[c*w.In : (c+1)*w.In] }
+
+// SetFromRowMajor fills w from a row-major [In × Out] matrix.
+func (w *ColMajor) SetFromRowMajor(rm []float32) {
+	if len(rm) != w.In*w.Out {
+		panic(fmt.Sprintf("sparse: SetFromRowMajor got %d values, want %d", len(rm), w.In*w.Out))
+	}
+	for r := 0; r < w.In; r++ {
+		for c := 0; c < w.Out; c++ {
+			w.Data[c*w.In+r] = rm[r*w.Out+c]
+		}
+	}
+}
+
+// RowMajor stores a [In × Out] weight matrix row-by-row:
+// row r occupies Data[r*Out : (r+1)*Out]. FC2 uses it.
+type RowMajor struct {
+	In, Out int
+	Data    []float32
+}
+
+// NewRowMajor allocates a zeroed row-major weight matrix.
+func NewRowMajor(in, out int) *RowMajor {
+	return &RowMajor{In: in, Out: out, Data: make([]float32, in*out)}
+}
+
+// Row returns row r (the output weights of neuron r), contiguous.
+func (w *RowMajor) Row(r int) []float32 { return w.Data[r*w.Out : (r+1)*w.Out] }
+
+// FC1Sparse computes hidden[:, active] += x · W1[:, active] for the active
+// neuron blocks only. x is [tokens × d] (d == w.In), hidden is
+// [tokens × H] (H == w.Out) with inactive columns untouched (callers keep
+// them zero). Parallel over token rows.
+func FC1Sparse(hidden, x []float32, tokens int, w *ColMajor, blocks []int, blk int) {
+	d, H := w.In, w.Out
+	parallel.ForChunked(tokens, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi := x[i*d : (i+1)*d]
+			out := hidden[i*H : (i+1)*H]
+			for _, nb := range blocks {
+				for c := nb * blk; c < (nb+1)*blk && c < H; c++ {
+					col := w.Col(c)
+					var s float32
+					for kk, xv := range xi {
+						s += xv * col[kk]
+					}
+					out[c] += s
+				}
+			}
+		}
+	})
+}
+
+// FC2Sparse computes out += hidden[:, active] · W2[active, :] for the active
+// neuron blocks only. hidden is [tokens × H] (H == w.In), out is
+// [tokens × d] (d == w.Out). Parallel over token rows.
+func FC2Sparse(out, hidden []float32, tokens int, w *RowMajor, blocks []int, blk int) {
+	H, d := w.In, w.Out
+	parallel.ForChunked(tokens, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hid := hidden[i*H : (i+1)*H]
+			oi := out[i*d : (i+1)*d]
+			for _, nb := range blocks {
+				for h := nb * blk; h < (nb+1)*blk && h < H; h++ {
+					hv := hid[h]
+					if hv == 0 {
+						continue
+					}
+					row := w.Row(h)
+					for c, wv := range row {
+						oi[c] += hv * wv
+					}
+				}
+			}
+		}
+	})
+}
+
+// FC1GradInput computes dx += dHidden[:, active] · W1[:, active]ᵀ — the
+// input gradient through FC1 restricted to active neurons. Parallel over
+// token rows.
+func FC1GradInput(dx, dHidden []float32, tokens int, w *ColMajor, blocks []int, blk int) {
+	d, H := w.In, w.Out
+	parallel.ForChunked(tokens, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dh := dHidden[i*H : (i+1)*H]
+			dxi := dx[i*d : (i+1)*d]
+			for _, nb := range blocks {
+				for c := nb * blk; c < (nb+1)*blk && c < H; c++ {
+					g := dh[c]
+					if g == 0 {
+						continue
+					}
+					col := w.Col(c)
+					for kk, wv := range col {
+						dxi[kk] += g * wv
+					}
+				}
+			}
+		}
+	})
+}
+
+// FC2GradHidden computes dHidden[:, active] += dOut · W2[active, :]ᵀ — the
+// hidden gradient through FC2 restricted to active neurons. Parallel over
+// token rows.
+func FC2GradHidden(dHidden, dOut []float32, tokens int, w *RowMajor, blocks []int, blk int) {
+	H, d := w.In, w.Out
+	parallel.ForChunked(tokens, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			do := dOut[i*d : (i+1)*d]
+			dh := dHidden[i*H : (i+1)*H]
+			for _, nb := range blocks {
+				for h := nb * blk; h < (nb+1)*blk && h < H; h++ {
+					row := w.Row(h)
+					var s float32
+					for c, wv := range row {
+						s += do[c] * wv
+					}
+					dh[h] += s
+				}
+			}
+		}
+	})
+}
+
+// FC1GradWeight accumulates dW1[:, active] += xᵀ · dHidden[:, active] into a
+// column-major gradient buffer (used only when the backbone is trainable,
+// i.e. the full fine-tuning baseline). Parallel over active blocks, so no
+// two goroutines write the same column.
+func FC1GradWeight(dW *ColMajor, x, dHidden []float32, tokens int, blocks []int, blk int) {
+	d, H := dW.In, dW.Out
+	parallel.For(len(blocks), func(bi int) {
+		nb := blocks[bi]
+		for c := nb * blk; c < (nb+1)*blk && c < H; c++ {
+			col := dW.Col(c)
+			for i := 0; i < tokens; i++ {
+				g := dHidden[i*H+c]
+				if g == 0 {
+					continue
+				}
+				xi := x[i*d : (i+1)*d]
+				for kk, xv := range xi {
+					col[kk] += g * xv
+				}
+			}
+		}
+	})
+}
+
+// FC2GradWeight accumulates dW2[active, :] += hiddenᵀ[active, :] · dOut into
+// a row-major gradient buffer. Parallel over active blocks.
+func FC2GradWeight(dW *RowMajor, hidden, dOut []float32, tokens int, blocks []int, blk int) {
+	H, d := dW.In, dW.Out
+	parallel.For(len(blocks), func(bi int) {
+		nb := blocks[bi]
+		for h := nb * blk; h < (nb+1)*blk && h < H; h++ {
+			row := dW.Row(h)
+			for i := 0; i < tokens; i++ {
+				hv := hidden[i*H+h]
+				if hv == 0 {
+					continue
+				}
+				do := dOut[i*d : (i+1)*d]
+				for c, dv := range do {
+					row[c] += hv * dv
+				}
+			}
+		}
+	})
+}
+
+// AllBlocks returns the block list {0, 1, …, ⌈H/blk⌉−1}, the "fully dense"
+// active set used by baselines and tests.
+func AllBlocks(H, blk int) []int {
+	n := (H + blk - 1) / blk
+	bs := make([]int, n)
+	for i := range bs {
+		bs[i] = i
+	}
+	return bs
+}

@@ -1,0 +1,233 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"longexposure/internal/tensor"
+)
+
+func randVec(r *tensor.RNG, n int) []float32 {
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = float32(r.Norm())
+	}
+	return x
+}
+
+func TestColMajorRoundTrip(t *testing.T) {
+	r := tensor.NewRNG(1)
+	in, out := 5, 7
+	rm := randVec(r, in*out)
+	w := NewColMajor(in, out)
+	w.SetFromRowMajor(rm)
+	for row := 0; row < in; row++ {
+		for c := 0; c < out; c++ {
+			if w.Col(c)[row] != rm[row*out+c] {
+				t.Fatalf("(%d,%d) mismatched", row, c)
+			}
+		}
+	}
+}
+
+func TestFC1SparseAllBlocksEqualsDense(t *testing.T) {
+	r := tensor.NewRNG(2)
+	tokens, d, H, blk := 6, 8, 16, 4
+	x := randVec(r, tokens*d)
+	wrm := randVec(r, d*H)
+	w := NewColMajor(d, H)
+	w.SetFromRowMajor(wrm)
+
+	got := make([]float32, tokens*H)
+	FC1Sparse(got, x, tokens, w, AllBlocks(H, blk), blk)
+
+	want := make([]float32, tokens*H)
+	tensor.GemmRange(want, x, wrm, d, H, 0, tokens)
+
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			t.Fatalf("FC1[%d]: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFC1SparseSubsetTouchesOnlyActive(t *testing.T) {
+	r := tensor.NewRNG(3)
+	tokens, d, H, blk := 4, 6, 16, 4
+	x := randVec(r, tokens*d)
+	w := NewColMajor(d, H)
+	w.SetFromRowMajor(randVec(r, d*H))
+
+	blocks := []int{1, 3}
+	got := make([]float32, tokens*H)
+	FC1Sparse(got, x, tokens, w, blocks, blk)
+
+	active := map[int]bool{}
+	for _, nb := range blocks {
+		for c := nb * blk; c < (nb+1)*blk; c++ {
+			active[c] = true
+		}
+	}
+	for i := 0; i < tokens; i++ {
+		for c := 0; c < H; c++ {
+			v := got[i*H+c]
+			if !active[c] && v != 0 {
+				t.Fatalf("inactive column %d written: %v", c, v)
+			}
+			if active[c] {
+				var want float32
+				col := w.Col(c)
+				for kk := 0; kk < d; kk++ {
+					want += x[i*d+kk] * col[kk]
+				}
+				if math.Abs(float64(v-want)) > 1e-4 {
+					t.Fatalf("active column %d wrong", c)
+				}
+			}
+		}
+	}
+}
+
+func TestFC2SparseAllBlocksEqualsDense(t *testing.T) {
+	r := tensor.NewRNG(4)
+	tokens, H, d, blk := 5, 16, 7, 4
+	hidden := randVec(r, tokens*H)
+	wrm := randVec(r, H*d)
+	w := NewRowMajor(H, d)
+	copy(w.Data, wrm) // row-major is the native layout for FC2
+
+	got := make([]float32, tokens*d)
+	FC2Sparse(got, hidden, tokens, w, AllBlocks(H, blk), blk)
+
+	want := make([]float32, tokens*d)
+	tensor.GemmRange(want, hidden, wrm, H, d, 0, tokens)
+
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			t.Fatalf("FC2[%d]: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFC2SparseSubsetEqualsZeroedHidden(t *testing.T) {
+	r := tensor.NewRNG(5)
+	tokens, H, d, blk := 4, 16, 5, 4
+	hidden := randVec(r, tokens*H)
+	w := NewRowMajor(H, d)
+	copy(w.Data, randVec(r, H*d))
+
+	blocks := []int{0, 2}
+	got := make([]float32, tokens*d)
+	FC2Sparse(got, hidden, tokens, w, blocks, blk)
+
+	// Reference: zero out hidden outside active blocks, dense matmul.
+	hz := append([]float32(nil), hidden...)
+	for i := 0; i < tokens; i++ {
+		for h := 0; h < H; h++ {
+			if h/blk != 0 && h/blk != 2 {
+				hz[i*H+h] = 0
+			}
+		}
+	}
+	want := make([]float32, tokens*d)
+	tensor.GemmRange(want, hz, w.Data, H, d, 0, tokens)
+
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			t.Fatalf("FC2 subset[%d]: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFC1GradInputMatchesDense(t *testing.T) {
+	r := tensor.NewRNG(6)
+	tokens, d, H, blk := 4, 6, 12, 4
+	dHidden := randVec(r, tokens*H)
+	wrm := randVec(r, d*H)
+	w := NewColMajor(d, H)
+	w.SetFromRowMajor(wrm)
+
+	got := make([]float32, tokens*d)
+	FC1GradInput(got, dHidden, tokens, w, AllBlocks(H, blk), blk)
+
+	// dx = dHidden · W1ᵀ; with row-major W1 [d,H]: dx = dHidden · (W1ᵀ) =
+	// GemmTB(dHidden [tokens,H], W1 [d,H]).
+	want := make([]float32, tokens*d)
+	tensor.GemmTBRange(want, dHidden, wrm, H, d, 0, tokens)
+
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			t.Fatalf("FC1GradInput[%d]: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFC2GradHiddenMatchesDense(t *testing.T) {
+	r := tensor.NewRNG(7)
+	tokens, H, d, blk := 4, 12, 6, 4
+	dOut := randVec(r, tokens*d)
+	w := NewRowMajor(H, d)
+	copy(w.Data, randVec(r, H*d))
+
+	got := make([]float32, tokens*H)
+	FC2GradHidden(got, dOut, tokens, w, AllBlocks(H, blk), blk)
+
+	// dHidden = dOut · W2ᵀ = GemmTB(dOut [tokens,d], W2 [H,d]).
+	want := make([]float32, tokens*H)
+	tensor.GemmTBRange(want, dOut, w.Data, d, H, 0, tokens)
+
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			t.Fatalf("FC2GradHidden[%d]: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFC1GradWeightMatchesDense(t *testing.T) {
+	r := tensor.NewRNG(8)
+	tokens, d, H, blk := 5, 6, 12, 4
+	x := randVec(r, tokens*d)
+	dHidden := randVec(r, tokens*H)
+
+	dW := NewColMajor(d, H)
+	FC1GradWeight(dW, x, dHidden, tokens, AllBlocks(H, blk), blk)
+
+	// dW1 = xᵀ · dHidden, row-major [d, H].
+	want := make([]float32, d*H)
+	tensor.GemmTARange(want, x, dHidden, tokens, d, H, 0, d)
+
+	for row := 0; row < d; row++ {
+		for c := 0; c < H; c++ {
+			got := dW.Col(c)[row]
+			if math.Abs(float64(got-want[row*H+c])) > 1e-4 {
+				t.Fatalf("dW1(%d,%d): %v vs %v", row, c, got, want[row*H+c])
+			}
+		}
+	}
+}
+
+func TestFC2GradWeightMatchesDense(t *testing.T) {
+	r := tensor.NewRNG(9)
+	tokens, H, d, blk := 5, 12, 6, 4
+	hidden := randVec(r, tokens*H)
+	dOut := randVec(r, tokens*d)
+
+	dW := NewRowMajor(H, d)
+	FC2GradWeight(dW, hidden, dOut, tokens, AllBlocks(H, blk), blk)
+
+	// dW2 = hiddenᵀ · dOut, row-major [H, d].
+	want := make([]float32, H*d)
+	tensor.GemmTARange(want, hidden, dOut, tokens, H, d, 0, H)
+
+	for i := range want {
+		if math.Abs(float64(dW.Data[i]-want[i])) > 1e-4 {
+			t.Fatalf("dW2[%d]: %v vs %v", i, dW.Data[i], want[i])
+		}
+	}
+}
+
+func TestAllBlocksCeil(t *testing.T) {
+	if got := AllBlocks(10, 4); len(got) != 3 {
+		t.Fatalf("AllBlocks(10,4) = %v", got)
+	}
+}

@@ -1,0 +1,135 @@
+package sparse
+
+import "testing"
+
+func poolPatterns() []Pattern { return DefaultPool() }
+
+func TestAllPoolPatternsCausalWithDiagonal(t *testing.T) {
+	for _, p := range poolPatterns() {
+		for _, nb := range []int{1, 4, 9, 16} {
+			l := p.Build(nb)
+			if !l.IsCausal() {
+				t.Errorf("%s at nb=%d is not causal", p, nb)
+			}
+			if !l.CoversDiagonal() {
+				t.Errorf("%s at nb=%d misses a diagonal block", p, nb)
+			}
+		}
+	}
+}
+
+func TestDensePatternIsFullCausal(t *testing.T) {
+	l := Pattern{Kind: KindDense}.Build(6)
+	if l.NNZ() != 6*7/2 {
+		t.Fatalf("dense causal nnz = %d, want 21", l.NNZ())
+	}
+}
+
+func TestLocalWindowWidth(t *testing.T) {
+	l := Pattern{Kind: KindLocal, Window: 2}.Build(8)
+	for br := 0; br < 8; br++ {
+		for bc := 0; bc <= br; bc++ {
+			want := br-bc < 2
+			if l.Active(br, bc) != want {
+				t.Fatalf("local(w=2) block (%d,%d) active=%v", br, bc, l.Active(br, bc))
+			}
+		}
+	}
+}
+
+func TestGlobalPattern(t *testing.T) {
+	l := Pattern{Kind: KindGlobal, Global: 1}.Build(6)
+	for br := 1; br < 6; br++ {
+		if !l.Active(br, 0) {
+			t.Fatalf("global(g=1) misses sink column at row %d", br)
+		}
+	}
+	if l.Active(5, 2) {
+		t.Fatal("global(g=1) has spurious block")
+	}
+}
+
+func TestStridedPattern(t *testing.T) {
+	l := Pattern{Kind: KindStrided, Stride: 2}.Build(8)
+	if !l.Active(4, 2) || !l.Active(4, 0) {
+		t.Fatal("strided(2) misses periodic blocks")
+	}
+	if l.Active(4, 3) {
+		t.Fatal("strided(2) has off-period block")
+	}
+}
+
+func TestBigBirdIsSupersetOfComponents(t *testing.T) {
+	bb := Pattern{Kind: KindBigBird, Window: 2, Global: 1, RandomPerRow: 2, Seed: 17}
+	lg := Pattern{Kind: KindLocalGlobal, Window: 2, Global: 1}
+	nb := 12
+	lb, ll := bb.Build(nb), lg.Build(nb)
+	if lb.Overlap(ll) != ll.NNZ() {
+		t.Fatal("bigbird does not cover its local+global component")
+	}
+	if lb.NNZ() <= ll.NNZ() {
+		t.Fatal("bigbird adds no random blocks at nb=12")
+	}
+}
+
+func TestRandomPatternDeterministic(t *testing.T) {
+	p := Pattern{Kind: KindRandom, RandomPerRow: 3, Seed: 5}
+	if !p.Build(10).Equal(p.Build(10)) {
+		t.Fatal("random pattern not deterministic")
+	}
+	q := Pattern{Kind: KindRandom, RandomPerRow: 3, Seed: 6}
+	if p.Build(10).Equal(q.Build(10)) {
+		t.Fatal("different seeds gave identical random patterns")
+	}
+}
+
+func TestPoolCachesLayouts(t *testing.T) {
+	pool := NewPool()
+	p := Pattern{Kind: KindLocal, Window: 2}
+	a := pool.Get(p, 8)
+	b := pool.Get(p, 8)
+	if a != b {
+		t.Fatal("pool rebuilt a cached layout")
+	}
+	if pool.Size() != 1 {
+		t.Fatalf("pool size = %d", pool.Size())
+	}
+	pool.Warm(DefaultPool(), 8)
+	if pool.Size() < len(DefaultPool()) {
+		t.Fatalf("Warm cached only %d layouts", pool.Size())
+	}
+}
+
+func TestCombineOffsetsAndTasks(t *testing.T) {
+	pool := NewPool()
+	heads := []*Layout{
+		pool.Get(Pattern{Kind: KindLocal, Window: 1}, 4), // 4 blocks
+		pool.Get(Pattern{Kind: KindDense}, 4),            // 10 blocks
+		pool.Get(Pattern{Kind: KindLocal, Window: 2}, 4), // 4+3=7 blocks
+	}
+	hl := Combine(heads)
+	if hl.TotalBlocks() != 4+10+7 {
+		t.Fatalf("TotalBlocks = %d, want 21", hl.TotalBlocks())
+	}
+	if hl.DataOff[1] != 4 || hl.DataOff[2] != 14 || hl.DataOff[3] != 21 {
+		t.Fatalf("DataOff = %v", hl.DataOff)
+	}
+	if len(hl.Tasks) != 21 {
+		t.Fatalf("len(Tasks) = %d", len(hl.Tasks))
+	}
+	// Every task offset must be unique and within range; head offsets must
+	// partition the id space (the offset-shift property).
+	seen := make(map[int]bool)
+	for _, task := range hl.Tasks {
+		if task.Off < hl.DataOff[task.Head] || task.Off >= hl.DataOff[task.Head+1] {
+			t.Fatalf("task %+v outside its head's offset range", task)
+		}
+		if seen[task.Off] {
+			t.Fatalf("duplicate offset %d", task.Off)
+		}
+		seen[task.Off] = true
+	}
+	if d := hl.Density(); d <= 0 || d > 1 {
+		t.Fatalf("Density = %v", d)
+	}
+}

@@ -1,0 +1,175 @@
+package tensor
+
+import (
+	"fmt"
+
+	"longexposure/internal/parallel"
+)
+
+// The slice-level GEMM cores below are the single source of truth for dense
+// matrix multiplication. They *accumulate* into the destination (c += a·b),
+// which is what gradient accumulation wants; callers needing overwrite
+// semantics zero the destination first. All higher-level and sparse kernels
+// reuse these cores on sub-ranges, so the dense and sparse paths share
+// per-element arithmetic exactly.
+
+// GemmRange computes c[i,:] += a[i,:]·b for rows i in [loM, hiM), with
+// a: [m,k], b: [k,n], c: [m,n], all row-major. The i-k-j loop order streams
+// rows of b, the cache-friendly order for row-major data.
+func GemmRange(c, a, b []float32, k, n, loM, hiM int) {
+	for i := loM; i < hiM; i++ {
+		ci := c[i*n : (i+1)*n]
+		ai := a[i*k : (i+1)*k]
+		for kk := 0; kk < k; kk++ {
+			aik := ai[kk]
+			if aik == 0 {
+				continue
+			}
+			bk := b[kk*n : (kk+1)*n]
+			for j, bv := range bk {
+				ci[j] += aik * bv
+			}
+		}
+	}
+}
+
+// GemmTBRange computes c[i,j] += dot(a[i,:], b[j,:]) for rows i in [loM,
+// hiM), with a: [m,k], b: [n,k] (i.e. c += a·bᵀ). Row-row dot products make
+// this the fastest core on CPU; attention scores use it.
+func GemmTBRange(c, a, b []float32, k, n, loM, hiM int) {
+	for i := loM; i < hiM; i++ {
+		ai := a[i*k : (i+1)*k]
+		ci := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			var s float32
+			for kk, av := range ai {
+				s += av * bj[kk]
+			}
+			ci[j] += s
+		}
+	}
+}
+
+// GemmTARange computes c[i,:] += Σ_k a[k,i]·b[k,:] for rows i in [loM, hiM),
+// with a: [kDim,m], b: [kDim,n] (i.e. c += aᵀ·b). Weight gradients
+// (xᵀ·dy) use it.
+func GemmTARange(c, a, b []float32, kDim, m, n, loM, hiM int) {
+	for i := loM; i < hiM; i++ {
+		ci := c[i*n : (i+1)*n]
+		for kk := 0; kk < kDim; kk++ {
+			aki := a[kk*m+i]
+			if aki == 0 {
+				continue
+			}
+			bk := b[kk*n : (kk+1)*n]
+			for j, bv := range bk {
+				ci[j] += aki * bv
+			}
+		}
+	}
+}
+
+func check2D(t *Tensor, name string) (rows, cols int) {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: %s must be rank 2, got shape %v", name, t.Shape()))
+	}
+	return t.Dim(0), t.Dim(1)
+}
+
+// MatMul returns a·b for a: [m,k], b: [k,n], computed in parallel over row
+// chunks.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := check2D(a, "a")
+	k2, n := check2D(b, "b")
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	parallel.ForChunked(m, func(lo, hi int) {
+		GemmRange(c.Data, a.Data, b.Data, k, n, lo, hi)
+	})
+	return c
+}
+
+// MatMulInto accumulates a·b into c (c += a·b), in parallel.
+func MatMulInto(c, a, b *Tensor) {
+	m, k := check2D(a, "a")
+	k2, n := check2D(b, "b")
+	cm, cn := check2D(c, "c")
+	if k != k2 || cm != m || cn != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shapes a%v b%v c%v", a.Shape(), b.Shape(), c.Shape()))
+	}
+	parallel.ForChunked(m, func(lo, hi int) {
+		GemmRange(c.Data, a.Data, b.Data, k, n, lo, hi)
+	})
+}
+
+// MatMulTB returns a·bᵀ for a: [m,k], b: [n,k], in parallel.
+func MatMulTB(a, b *Tensor) *Tensor {
+	m, k := check2D(a, "a")
+	n, k2 := check2D(b, "b")
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTB inner dims %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	parallel.ForChunked(m, func(lo, hi int) {
+		GemmTBRange(c.Data, a.Data, b.Data, k, n, lo, hi)
+	})
+	return c
+}
+
+// MatMulTBInto accumulates a·bᵀ into c, in parallel.
+func MatMulTBInto(c, a, b *Tensor) {
+	m, k := check2D(a, "a")
+	n, k2 := check2D(b, "b")
+	cm, cn := check2D(c, "c")
+	if k != k2 || cm != m || cn != n {
+		panic(fmt.Sprintf("tensor: MatMulTBInto shapes a%v b%v c%v", a.Shape(), b.Shape(), c.Shape()))
+	}
+	parallel.ForChunked(m, func(lo, hi int) {
+		GemmTBRange(c.Data, a.Data, b.Data, k, n, lo, hi)
+	})
+}
+
+// MatMulTA returns aᵀ·b for a: [kDim,m], b: [kDim,n], in parallel.
+func MatMulTA(a, b *Tensor) *Tensor {
+	kDim, m := check2D(a, "a")
+	kDim2, n := check2D(b, "b")
+	if kDim != kDim2 {
+		panic(fmt.Sprintf("tensor: MatMulTA leading dims %d vs %d", kDim, kDim2))
+	}
+	c := New(m, n)
+	parallel.ForChunked(m, func(lo, hi int) {
+		GemmTARange(c.Data, a.Data, b.Data, kDim, m, n, lo, hi)
+	})
+	return c
+}
+
+// MatMulTAInto accumulates aᵀ·b into c, in parallel.
+func MatMulTAInto(c, a, b *Tensor) {
+	kDim, m := check2D(a, "a")
+	kDim2, n := check2D(b, "b")
+	cm, cn := check2D(c, "c")
+	if kDim != kDim2 || cm != m || cn != n {
+		panic(fmt.Sprintf("tensor: MatMulTAInto shapes a%v b%v c%v", a.Shape(), b.Shape(), c.Shape()))
+	}
+	parallel.ForChunked(m, func(lo, hi int) {
+		GemmTARange(c.Data, a.Data, b.Data, kDim, m, n, lo, hi)
+	})
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	m, n := check2D(a, "a")
+	t := New(n, m)
+	parallel.ForChunked(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*n : (i+1)*n]
+			for j, v := range ai {
+				t.Data[j*m+i] = v
+			}
+		}
+	})
+	return t
+}

@@ -1,0 +1,135 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// naiveMatMul is the reference implementation all kernels are checked
+// against.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for kk := 0; kk < k; kk++ {
+				s += float64(a.At(i, kk)) * float64(b.At(kk, j))
+			}
+			c.Set(float32(s), i, j)
+		}
+	}
+	return c
+}
+
+func randTensor(r *RNG, shape ...int) *Tensor {
+	t := New(shape...)
+	r.FillNormal(t, 1)
+	return t
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	r := NewRNG(1)
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {7, 5, 3}, {16, 16, 16}, {33, 17, 9}} {
+		a := randTensor(r, dims[0], dims[1])
+		b := randTensor(r, dims[1], dims[2])
+		got := MatMul(a, b)
+		want := naiveMatMul(a, b)
+		if d := MaxAbsDiff(got, want); d > 1e-4 {
+			t.Fatalf("dims %v: MaxAbsDiff = %v", dims, d)
+		}
+	}
+}
+
+func TestMatMulTBEqualsMatMulWithTranspose(t *testing.T) {
+	r := NewRNG(2)
+	a := randTensor(r, 9, 13)
+	b := randTensor(r, 11, 13) // b: [n,k]
+	got := MatMulTB(a, b)
+	want := MatMul(a, Transpose(b))
+	if d := MaxAbsDiff(got, want); d > 1e-4 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+}
+
+func TestMatMulTAEqualsMatMulWithTranspose(t *testing.T) {
+	r := NewRNG(3)
+	a := randTensor(r, 13, 9) // a: [k,m]
+	b := randTensor(r, 13, 11)
+	got := MatMulTA(a, b)
+	want := MatMul(Transpose(a), b)
+	if d := MaxAbsDiff(got, want); d > 1e-4 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := NewRNG(4)
+	a := randTensor(r, 8, 8)
+	id := New(8, 8)
+	for i := 0; i < 8; i++ {
+		id.Set(1, i, i)
+	}
+	if d := MaxAbsDiff(MatMul(a, id), a); d > 1e-6 {
+		t.Fatalf("A·I != A, diff %v", d)
+	}
+	if d := MaxAbsDiff(MatMul(id, a), a); d > 1e-6 {
+		t.Fatalf("I·A != A, diff %v", d)
+	}
+}
+
+func TestMatMulIntoAccumulates(t *testing.T) {
+	r := NewRNG(5)
+	a := randTensor(r, 4, 6)
+	b := randTensor(r, 6, 5)
+	c := New(4, 5)
+	c.Fill(1)
+	MatMulInto(c, a, b)
+	want := naiveMatMul(a, b)
+	for i := range c.Data {
+		want.Data[i]++
+	}
+	if d := MaxAbsDiff(c, want); d > 1e-4 {
+		t.Fatalf("accumulation broken, diff %v", d)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	r := NewRNG(6)
+	f := func(seed uint16) bool {
+		rr := NewRNG(uint64(seed) + 1)
+		m, n := 1+rr.Intn(20), 1+rr.Intn(20)
+		a := randTensor(r, m, n)
+		return MaxAbsDiff(Transpose(Transpose(a)), a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestMatMulTransposeProperty(t *testing.T) {
+	r := NewRNG(7)
+	f := func(seed uint16) bool {
+		rr := NewRNG(uint64(seed)*2654435761 + 1)
+		m, k, n := 1+rr.Intn(12), 1+rr.Intn(12), 1+rr.Intn(12)
+		a := randTensor(r, m, k)
+		b := randTensor(r, k, n)
+		lhs := Transpose(MatMul(a, b))
+		rhs := MatMul(Transpose(b), Transpose(a))
+		return MaxAbsDiff(lhs, rhs) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 5))
+}

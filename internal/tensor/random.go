@@ -1,0 +1,106 @@
+package tensor
+
+import "math"
+
+// RNG is a small, fast, deterministic generator (splitmix64 core) used for
+// all stochastic behaviour in the repository: weight init, synthetic data,
+// dropout masks, predictor noise augmentation. Using our own generator keeps
+// every experiment reproducible from a single seed and independent of Go
+// runtime changes to math/rand.
+type RNG struct {
+	state uint64
+	// Box-Muller cache.
+	hasSpare bool
+	spare    float64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value (splitmix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal sample (Box-Muller with caching).
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			f := math.Sqrt(-2 * math.Log(s) / s)
+			r.spare = v * f
+			r.hasSpare = true
+			return u * f
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split derives an independent generator from r, so subsystems can consume
+// randomness without perturbing each other's streams.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xa5a5a5a5deadbeef)
+}
+
+// FillNormal fills t with N(0, std²) samples.
+func (r *RNG) FillNormal(t *Tensor, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(r.Norm() * std)
+	}
+}
+
+// FillUniform fills t with uniform samples in [lo, hi).
+func (r *RNG) FillUniform(t *Tensor, lo, hi float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(lo + (hi-lo)*r.Float64())
+	}
+}
+
+// XavierInit fills a [fanOut, fanIn]-shaped weight with the Glorot uniform
+// distribution, the default initialization for the transformer layers.
+func (r *RNG) XavierInit(t *Tensor, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	r.FillUniform(t, -limit, limit)
+}

@@ -1,0 +1,171 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	a := New(2, 3, 4)
+	if a.Len() != 24 || a.Rank() != 3 || a.Dim(1) != 3 {
+		t.Fatalf("shape bookkeeping wrong: %v len=%d", a.Shape(), a.Len())
+	}
+	s := New() // scalar
+	if s.Len() != 1 {
+		t.Fatalf("scalar tensor Len = %d", s.Len())
+	}
+}
+
+func TestAtSetRowMajorLayout(t *testing.T) {
+	a := New(2, 3)
+	a.Set(5, 1, 2)
+	if a.Data[1*3+2] != 5 {
+		t.Fatal("Set did not write row-major offset")
+	}
+	if a.At(1, 2) != 5 {
+		t.Fatal("At did not read back")
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestReshapeSharesStorage(t *testing.T) {
+	a := New(2, 6)
+	b := a.Reshape(3, 4)
+	b.Data[0] = 7
+	if a.Data[0] != 7 {
+		t.Fatal("Reshape did not share storage")
+	}
+	c := a.Reshape(4, -1)
+	if c.Dim(1) != 3 {
+		t.Fatalf("inferred dim = %d, want 3", c.Dim(1))
+	}
+}
+
+func TestReshapeBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).Reshape(4, 2)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(3)
+	a.Fill(1)
+	b := a.Clone()
+	b.Data[0] = 9
+	if a.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestRowView(t *testing.T) {
+	a := New(3, 4)
+	a.Set(2, 1, 0)
+	r := a.Row(1)
+	if r[0] != 2 {
+		t.Fatal("Row read wrong data")
+	}
+	r[1] = 8
+	if a.At(1, 1) != 8 {
+		t.Fatal("Row is not a view")
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float32{1, 2, 3, 4}
+	a := FromSlice(d, 2, 2)
+	if a.At(1, 1) != 4 {
+		t.Fatal("FromSlice wrong layout")
+	}
+	d[0] = 9
+	if a.At(0, 0) != 9 {
+		t.Fatal("FromSlice must not copy")
+	}
+}
+
+func TestMaxAbsDiffAndHasNaN(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{1, 2.5, 3}, 3)
+	if d := MaxAbsDiff(a, b); d != 0.5 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+	if a.HasNaN() {
+		t.Fatal("false NaN")
+	}
+	a.Data[1] = float32(NegInf)
+	if !a.HasNaN() {
+		t.Fatal("missed Inf")
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(7)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(123)
+	n := 20000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / float64(n)
+	varr := sum2/float64(n) - mean*mean
+	if mean < -0.05 || mean > 0.05 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if varr < 0.9 || varr > 1.1 {
+		t.Fatalf("normal variance = %v", varr)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	f := func(skip uint8) bool {
+		for i := 0; i < int(skip); i++ {
+			r.Uint64()
+		}
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	r := NewRNG(1)
+	s := r.Split()
+	if r.Uint64() == s.Uint64() {
+		t.Fatal("split stream mirrors parent")
+	}
+}

@@ -1,0 +1,172 @@
+// Package train implements the fine-tuning engine: forward / backward /
+// optimizer-step phases with separate wall-clock accounting (the
+// measurement behind Table I and Figure 10), dense and Long-Exposure
+// execution paths, task evaluation, and a data-parallel multi-worker mode.
+package train
+
+import (
+	"math"
+	"time"
+
+	"longexposure/internal/data"
+	"longexposure/internal/nn"
+	"longexposure/internal/peft"
+	"longexposure/internal/predictor"
+	"longexposure/internal/tensor"
+)
+
+// PhaseTimes records one step's wall-clock per fine-tuning phase. Predict is
+// the predictor overhead, separated out of Forward (Figure 10's fourth bar).
+type PhaseTimes struct {
+	Forward, Backward, Optim, Predict time.Duration
+}
+
+// Total sums the phases.
+func (p PhaseTimes) Total() time.Duration {
+	return p.Forward + p.Backward + p.Optim + p.Predict
+}
+
+// Add accumulates another step's times.
+func (p PhaseTimes) Add(q PhaseTimes) PhaseTimes {
+	return PhaseTimes{
+		Forward:  p.Forward + q.Forward,
+		Backward: p.Backward + q.Backward,
+		Optim:    p.Optim + q.Optim,
+		Predict:  p.Predict + q.Predict,
+	}
+}
+
+// Scale divides all phases by n (for averaging).
+func (p PhaseTimes) Scale(n int) PhaseTimes {
+	if n == 0 {
+		return p
+	}
+	return PhaseTimes{
+		Forward:  p.Forward / time.Duration(n),
+		Backward: p.Backward / time.Duration(n),
+		Optim:    p.Optim / time.Duration(n),
+		Predict:  p.Predict / time.Duration(n),
+	}
+}
+
+// Engine drives fine-tuning of one model replica.
+type Engine struct {
+	Model *nn.Transformer
+	Opt   peft.Optimizer
+	// Planner selects sparse execution; nil runs the dense baseline.
+	Planner nn.Planner
+	// RP, when set, is the runtime predictor whose elapsed time is
+	// reported as the Predict phase (it must be the same object Planner
+	// routes through).
+	RP *predictor.RuntimePlanner
+	// ClipNorm, when positive, applies global gradient-norm clipping.
+	ClipNorm float64
+}
+
+// Step runs one fine-tuning step on a batch and returns the loss and the
+// per-phase times.
+func (e *Engine) Step(b data.Batch) (float64, PhaseTimes) {
+	var times PhaseTimes
+
+	t0 := time.Now()
+	logits := e.Model.Forward(b.Inputs, e.Planner)
+	flat := e.Model.FlattenTargets(b.Targets)
+	loss, dLogits := nn.CrossEntropy(logits, flat)
+	times.Forward = time.Since(t0)
+	if e.RP != nil {
+		times.Predict = e.RP.TakeElapsed()
+		times.Forward -= times.Predict
+	}
+
+	t1 := time.Now()
+	params := e.Model.Params()
+	params.ZeroGrads()
+	e.Model.Backward(dLogits)
+	times.Backward = time.Since(t1)
+
+	t2 := time.Now()
+	if e.ClipNorm > 0 {
+		peft.ClipGradNorm(params, e.ClipNorm)
+	}
+	e.Opt.Step(params)
+	times.Optim = time.Since(t2)
+
+	return loss, times
+}
+
+// Result summarizes a training run.
+type Result struct {
+	Losses []float64 // per-step losses
+	Times  PhaseTimes
+	Steps  int
+}
+
+// MeanStepTime returns the average per-step phase times.
+func (r Result) MeanStepTime() PhaseTimes { return r.Times.Scale(r.Steps) }
+
+// FinalLoss returns the mean of the last few losses (smoothing).
+func (r Result) FinalLoss() float64 {
+	n := len(r.Losses)
+	if n == 0 {
+		return 0
+	}
+	k := min(5, n)
+	var s float64
+	for _, l := range r.Losses[n-k:] {
+		s += l
+	}
+	return s / float64(k)
+}
+
+// Run fine-tunes over the batches for the given number of epochs.
+func (e *Engine) Run(batches []data.Batch, epochs int) Result {
+	var res Result
+	for ep := 0; ep < epochs; ep++ {
+		for _, b := range batches {
+			loss, times := e.Step(b)
+			res.Losses = append(res.Losses, loss)
+			res.Times = res.Times.Add(times)
+			res.Steps++
+		}
+	}
+	return res
+}
+
+// EvaluateTask measures restricted-choice accuracy on classification
+// examples: the prediction is the argmax over the example's candidate
+// answer tokens at its answer position.
+func EvaluateTask(m *nn.Transformer, examples []data.Example, seqLen int, planner nn.Planner) float64 {
+	correct, total := 0, 0
+	for _, e := range examples {
+		p := data.PadTo(e, seqLen)
+		logits := m.Forward([][]int{p.Input}, planner)
+		pos := m.PromptLen + e.AnswerPos
+		if e.AnswerPos >= seqLen {
+			continue
+		}
+		best, bestV := -1, float32(tensor.NegInf)
+		for ci, tok := range e.Choices {
+			v := logits.At(pos, tok)
+			if v > bestV {
+				best, bestV = ci, v
+			}
+		}
+		if best == e.Label {
+			correct++
+		}
+		total++
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// StderrOfAccuracy returns the binomial standard error of an accuracy
+// estimate over n examples — the ± columns of Table IV.
+func StderrOfAccuracy(acc float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(acc * (1 - acc) / float64(n))
+}

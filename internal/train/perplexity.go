@@ -1,0 +1,33 @@
+package train
+
+import (
+	"math"
+
+	"longexposure/internal/data"
+	"longexposure/internal/nn"
+)
+
+// Perplexity evaluates exp(mean NLL) over the supervised positions of the
+// batches, without updating the model — the language-modeling quality
+// metric for generation workloads like E2E.
+func Perplexity(m *nn.Transformer, batches []data.Batch, planner nn.Planner) float64 {
+	var totalLoss float64
+	var n int
+	for _, b := range batches {
+		logits := m.Forward(b.Inputs, planner)
+		flat := m.FlattenTargets(b.Targets)
+		loss, _ := nn.CrossEntropy(logits, flat)
+		count := 0
+		for _, t := range flat {
+			if t != nn.IgnoreIndex {
+				count++
+			}
+		}
+		totalLoss += loss * float64(count)
+		n += count
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(totalLoss / float64(n))
+}

@@ -1,0 +1,128 @@
+// Package longexposure is the public API of the Long Exposure
+// reproduction: a system that accelerates parameter-efficient fine-tuning
+// (PEFT) of transformer language models by exposing, predicting and
+// exploiting the sparsity hidden in sequence-level fine-tuning ("shadowy
+// sparsity", SC'24).
+//
+// # Quick start
+//
+//	sys := longexposure.New(longexposure.Config{
+//		Spec:   longexposure.SimSmall(longexposure.ActReLU),
+//		Method: longexposure.LoRA,
+//	})
+//	sys.PretrainPredictors(calibrationBatches, longexposure.TrainConfig{})
+//	result := sys.Engine().Run(batches, epochs)
+//
+// The package re-exports the stable surface of the internal packages:
+// model specs (paper Table II), PEFT methods (Table I), the Long Exposure
+// session (core), the experiment drivers that regenerate every paper table
+// and figure, and the GPU cost model used for paper-scale projections.
+package longexposure
+
+import (
+	"longexposure/internal/core"
+	"longexposure/internal/data"
+	"longexposure/internal/experiments"
+	"longexposure/internal/gpusim"
+	"longexposure/internal/model"
+	"longexposure/internal/nn"
+	"longexposure/internal/peft"
+	"longexposure/internal/predictor"
+	"longexposure/internal/train"
+)
+
+// Config assembles a Long Exposure fine-tuning session (see core.Config).
+type Config = core.Config
+
+// System is a live Long Exposure session.
+type System = core.System
+
+// TrainConfig tunes offline predictor training.
+type TrainConfig = predictor.TrainConfig
+
+// Engine is the phase-timed fine-tuning engine.
+type Engine = train.Engine
+
+// Batch is a fixed-shape training batch.
+type Batch = data.Batch
+
+// Example is one training/evaluation item.
+type Example = data.Example
+
+// Spec is a named model configuration.
+type Spec = model.Spec
+
+// Method selects the fine-tuning strategy.
+type Method = peft.Method
+
+// Activation selects the MLP nonlinearity.
+type Activation = nn.Activation
+
+// Fine-tuning methods (paper Table I).
+const (
+	FullFT  = peft.FullFT
+	LoRA    = peft.LoRA
+	Adapter = peft.Adapter
+	BitFit  = peft.BitFit
+	PTuning = peft.PTuning
+)
+
+// Activations.
+const (
+	ActReLU = nn.ActReLU
+	ActGeLU = nn.ActGeLU
+)
+
+// New builds a Long Exposure session: model + PEFT method + exposer +
+// predictors + dynamic-aware operators.
+func New(cfg Config) *System { return core.New(cfg) }
+
+// NewBaseline builds the dense PEFT baseline sharing cfg's initialization.
+func NewBaseline(cfg Config) *Engine { return core.NewBaseline(cfg) }
+
+// Model zoo (paper Table II) and sim-scale variants.
+var (
+	OPT125M   = model.OPT125M
+	OPT350M   = model.OPT350M
+	OPT1p3B   = model.OPT1p3B
+	OPT2p7B   = model.OPT2p7B
+	GPT2Large = model.GPT2Large
+	GPT2XL    = model.GPT2XL
+	Sim       = model.Sim
+	SimSmall  = model.SimSmall
+)
+
+// Workload generators (synthetic analogues of the paper's datasets).
+var (
+	NewE2ECorpus    = data.NewE2ECorpus
+	NewAlpacaCorpus = data.NewAlpacaCorpus
+	Tasks           = data.Tasks
+	Batches         = data.Batches
+)
+
+// EvaluateTask measures restricted-choice accuracy on a task's examples.
+var EvaluateTask = train.EvaluateTask
+
+// Perplexity evaluates exp(mean NLL) over batches without training.
+var Perplexity = train.Perplexity
+
+// Experiments: regenerate any paper table or figure by id ("table1",
+// "fig7", …). See internal/experiments for the full registry.
+type ExperimentOptions = experiments.Options
+
+// Report is a regenerated paper artifact.
+type Report = experiments.Report
+
+// RunExperiment regenerates one paper artifact.
+func RunExperiment(id string, o ExperimentOptions) (*Report, error) {
+	return experiments.Run(id, o)
+}
+
+// ExperimentIDs lists the available experiment ids.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// GPU cost-model devices (paper §VII-A platforms).
+var (
+	A100  = gpusim.A100
+	A6000 = gpusim.A6000
+)
