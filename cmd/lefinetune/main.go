@@ -1,6 +1,8 @@
 // Command lefinetune runs a Long Exposure fine-tuning job end to end on the
 // synthetic E2E corpus: optional predictor pre-training, phase-timed
-// training, a sample generation, and an optional weight checkpoint.
+// training with per-step progress, a sample generation, and an optional
+// weight checkpoint. Ctrl-C cancels the run gracefully, keeping the
+// partial result. (For managed, queued jobs over HTTP, see cmd/longexpd.)
 //
 // Usage:
 //
@@ -10,10 +12,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"longexposure/internal/core"
 	"longexposure/internal/data"
@@ -21,19 +27,21 @@ import (
 	"longexposure/internal/nn"
 	"longexposure/internal/peft"
 	"longexposure/internal/predictor"
+	"longexposure/internal/train"
 )
 
 func main() {
 	var (
-		methodF = flag.String("method", "lora", "fine-tuning method: full|lora|adapter|bitfit|ptuning")
-		steps   = flag.Int("steps", 20, "training steps")
-		seq     = flag.Int("seq", 128, "sequence length")
-		batch   = flag.Int("batch", 2, "batch size")
-		blk     = flag.Int("blk", 8, "sparsity block size")
-		sparseF = flag.Bool("sparse", true, "enable Long Exposure sparsity")
-		seed    = flag.Uint64("seed", 1, "seed")
-		save    = flag.String("save", "", "write a weight checkpoint here after training")
-		load    = flag.String("load", "", "load a weight checkpoint before training")
+		methodF  = flag.String("method", "lora", "fine-tuning method: full|lora|adapter|bitfit|ptuning")
+		steps    = flag.Int("steps", 20, "training steps")
+		seq      = flag.Int("seq", 128, "sequence length")
+		batch    = flag.Int("batch", 2, "batch size")
+		blk      = flag.Int("blk", 8, "sparsity block size")
+		sparseF  = flag.Bool("sparse", true, "enable Long Exposure sparsity")
+		seed     = flag.Uint64("seed", 1, "seed")
+		save     = flag.String("save", "", "write a weight checkpoint here after training")
+		load     = flag.String("load", "", "load a weight checkpoint before training")
+		progress = flag.Bool("progress", false, "print a line per training step")
 	)
 	flag.Parse()
 
@@ -83,12 +91,25 @@ func main() {
 		spec, total, trainable, 100*float64(trainable)/float64(total), method, *sparseF)
 
 	if *steps > 0 {
-		res := eng.Run(batches[:min(*steps, len(batches))], 1)
-		pt := res.MeanStepTime()
-		fmt.Printf("trained %d steps: loss %.4f → %.4f\n", res.Steps, res.Losses[0], res.FinalLoss())
-		fmt.Printf("per step: forward %.1fms backward %.1fms optim %.1fms predict %.1fms\n",
-			pt.Forward.Seconds()*1000, pt.Backward.Seconds()*1000,
-			pt.Optim.Seconds()*1000, pt.Predict.Seconds()*1000)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		hook := func(si train.StepInfo) {
+			if *progress {
+				fmt.Printf("step %d/%d: loss %.4f (%.1fms)\n",
+					si.GlobalStep+1, si.TotalSteps, si.Loss, si.Times.Total().Seconds()*1000)
+			}
+		}
+		res, err := eng.RunContext(ctx, batches[:min(*steps, len(batches))], 1, hook)
+		stop()
+		if errors.Is(err, context.Canceled) {
+			fmt.Printf("interrupted after %d steps\n", res.Steps)
+		}
+		if res.Steps > 0 {
+			pt := res.MeanStepTime()
+			fmt.Printf("trained %d steps: loss %.4f → %.4f\n", res.Steps, res.Losses[0], res.FinalLoss())
+			fmt.Printf("per step: forward %.1fms backward %.1fms optim %.1fms predict %.1fms\n",
+				pt.Forward.Seconds()*1000, pt.Backward.Seconds()*1000,
+				pt.Optim.Seconds()*1000, pt.Predict.Seconds()*1000)
+		}
 	}
 
 	// Sample generation from the first prompt.

@@ -1,0 +1,72 @@
+// Command longexpd is the Long Exposure fine-tuning daemon: it serves the
+// job API (internal/serve) over a scheduler and bounded worker pool
+// (internal/jobs), turning fine-tuning sessions and paper experiments into
+// queued, cancellable, observable HTTP workloads.
+//
+// Usage:
+//
+//	longexpd -addr :8080 -workers 4 -cache 128
+//
+//	# submit a fine-tune job
+//	curl -s localhost:8080/v1/jobs -d '{"kind":"finetune","finetune":{"method":"lora","steps":8}}'
+//	# follow its progress
+//	curl -N localhost:8080/v1/jobs/job-000001/events
+//	# run a paper experiment
+//	curl -s localhost:8080/v1/jobs -d '{"kind":"experiment","experiment":{"id":"fig4"}}'
+//	# cancel
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-000001
+//
+// SIGINT/SIGTERM trigger a graceful shutdown that drains queued and
+// running jobs, bounded by -drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"longexposure/internal/jobs"
+	"longexposure/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", max(1, runtime.NumCPU()/2), "concurrent job executions")
+		cache   = flag.Int("cache", 64, "result cache capacity (entries)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget for draining jobs")
+	)
+	flag.Parse()
+
+	store := jobs.NewStore(jobs.Config{Workers: *workers, CacheSize: *cache})
+	srv := serve.New(store)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	fmt.Printf("longexpd: listening on %s (%d workers, cache %d)\n", *addr, store.Workers(), *cache)
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "longexpd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Println("longexpd: shutting down, draining jobs…")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "longexpd: shutdown:", err)
+			os.Exit(1)
+		}
+		fmt.Println("longexpd: drained")
+	}
+}

@@ -1,0 +1,3 @@
+module longexposure
+
+go 1.24

@@ -61,7 +61,11 @@ type Config struct {
 	Seed uint64
 }
 
-func (c Config) withDefaults() Config {
+// Normalized returns the config with every defaulted field resolved to the
+// value New/NewBaseline would use. Exported so callers that key caches or
+// job hashes on a Config (internal/jobs) normalize exactly the way the
+// constructors do: two specs that build identical systems hash identically.
+func (c Config) Normalized() Config {
 	if c.Blk == 0 {
 		c.Blk = 16
 	}
@@ -90,7 +94,7 @@ type System struct {
 // New builds the model, applies the PEFT method, and constructs the
 // exposer/predictor stack (untrained — call PretrainPredictors).
 func New(cfg Config) *System {
-	cfg = cfg.withDefaults()
+	cfg = cfg.Normalized()
 	rng := tensor.NewRNG(cfg.Seed)
 	m := buildModel(cfg, rng)
 	peft.Apply(m, cfg.Method, cfg.PEFT, rng.Split())
@@ -120,7 +124,7 @@ func New(cfg Config) *System {
 // Long Exposure session yields identical initial weights, so comparisons
 // are apples to apples.
 func NewBaseline(cfg Config) *train.Engine {
-	cfg = cfg.withDefaults()
+	cfg = cfg.Normalized()
 	rng := tensor.NewRNG(cfg.Seed)
 	m := buildModel(cfg, rng)
 	peft.Apply(m, cfg.Method, cfg.PEFT, rng.Split())

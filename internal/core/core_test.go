@@ -123,7 +123,7 @@ func TestGeLUSystemHasNoMLPPredictors(t *testing.T) {
 }
 
 func TestConfigDefaults(t *testing.T) {
-	c := Config{Spec: model.SimSmall(nn.ActReLU)}.withDefaults()
+	c := Config{Spec: model.SimSmall(nn.ActReLU)}.Normalized()
 	if c.Blk != 16 || c.PredictorRank != 8 || c.LR != 1e-3 || c.Seed != 1 {
 		t.Fatalf("defaults wrong: %+v", c)
 	}

@@ -53,7 +53,25 @@ func TestEveryDriverProducesWellFormedReport(t *testing.T) {
 			if !strings.Contains(md, r.Title) {
 				t.Fatal("markdown missing title")
 			}
+			if got := titles[id]; got != r.Title {
+				t.Fatalf("Describe title %q out of sync with driver title %q", got, r.Title)
+			}
 		})
+	}
+}
+
+func TestDescribeCoversRegistry(t *testing.T) {
+	infos := Describe()
+	if len(infos) != len(Registry) {
+		t.Fatalf("Describe lists %d experiments, registry has %d", len(infos), len(Registry))
+	}
+	for _, info := range infos {
+		if _, ok := Registry[info.ID]; !ok {
+			t.Errorf("Describe lists unknown id %q", info.ID)
+		}
+		if info.Title == "" {
+			t.Errorf("experiment %q has no title", info.ID)
+		}
 	}
 }
 

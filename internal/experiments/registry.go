@@ -26,6 +26,41 @@ var Registry = map[string]Driver{
 	"fig14":     Fig14,
 }
 
+// titles names each experiment without running it (drivers set the same
+// title on their Report); Describe serves them to API listings.
+var titles = map[string]string{
+	"ablations": "Design-choice ablations (measured, sim scale)",
+	"fig4":      "Shadowy sparsity: single-token vs sequence-level sparsity (measured)",
+	"table1":    "OPT-1.3B fine-tuning time breakdown (ms/batch)",
+	"table2":    "Models for evaluation",
+	"table3":    "Downstream tasks for evaluation",
+	"table4":    "Downstream accuracy with (w) and without (w/o) Long Exposure",
+	"fig7":      "Execution time per batch and speedup of OPT (modeled)",
+	"fig8":      "Memory footprints of OPT fine-tuning on A100 (modeled)",
+	"fig9":      "Per-layer sparsity ratio and corresponding performance",
+	"fig10":     "OPT-1.3B fine-tuning performance breakdown (sim-scale, measured)",
+	"fig11":     "Fine-tuning loss curves and predictor visualization (measured)",
+	"fig12":     "Dynamic operator performance vs dense across sparsity ratios (measured)",
+	"fig13":     "Execution time per batch and speedup of GPT-2 (modeled, attention-only)",
+	"fig14":     "Strong scalability of Long Exposure",
+}
+
+// Info describes one registered experiment without running it.
+type Info struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// Describe lists every registered experiment with its title, in stable
+// order — the static catalogue behind the job service's GET /v1/experiments.
+func Describe() []Info {
+	out := make([]Info, 0, len(Registry))
+	for _, id := range IDs() {
+		out = append(out, Info{ID: id, Title: titles[id]})
+	}
+	return out
+}
+
 // IDs lists the registered experiment ids in a stable order.
 func IDs() []string {
 	out := make([]string, 0, len(Registry))

@@ -1,0 +1,445 @@
+package jobs
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Config sizes a Store.
+type Config struct {
+	// Workers bounds concurrent job execution (default 2).
+	Workers int
+	// CacheSize bounds the result cache in entries (default 64).
+	CacheSize int
+	// MaxJobs bounds retained jobs: when exceeded, the oldest terminal
+	// jobs (with their event logs) are evicted so a long-running daemon's
+	// memory stays bounded. Queued and running jobs are never evicted.
+	// Default 1024.
+	MaxJobs int
+}
+
+// Store owns every job: the pending priority queue, the bounded worker
+// pool that drains it, the per-job event logs and subscribers, and the
+// result cache. All methods are safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	cond *sync.Cond // wakes workers when the queue grows or the store closes
+
+	jobs    map[string]*Job
+	order   []string // submission order, for List
+	pending jobHeap
+	cache   *resultCache
+
+	events map[string][]Event       // per-job event log
+	subs   map[string][]*subscriber // per-job live subscribers
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	workers    int
+	maxJobs    int
+	nextSeq    int64
+	closed     bool
+	wg         sync.WaitGroup
+}
+
+// NewStore builds a store and starts its worker pool.
+func NewStore(cfg Config) *Store {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Store{
+		jobs:       make(map[string]*Job),
+		cache:      newResultCache(cfg.CacheSize),
+		events:     make(map[string][]Event),
+		subs:       make(map[string][]*subscriber),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		workers:    cfg.Workers,
+		maxJobs:    cfg.MaxJobs,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Workers reports the pool size.
+func (s *Store) Workers() int { return s.workers }
+
+// ErrClosed rejects submissions to a draining store.
+var ErrClosed = fmt.Errorf("jobs: store is shutting down")
+
+// Submit validates and enqueues a job, returning its snapshot. When the
+// spec's hash is already in the result cache the job completes instantly
+// with the cached result and CacheHit set, never touching the queue.
+func (s *Store) Submit(spec Spec) (Job, error) {
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	spec = spec.Normalized()
+	hash := spec.Hash()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Job{}, ErrClosed
+	}
+	s.nextSeq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%06d", s.nextSeq),
+		Hash:    hash,
+		Spec:    spec,
+		Created: time.Now(),
+		seq:     s.nextSeq,
+	}
+	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.evictLocked()
+
+	if res, ok := s.cache.get(hash); ok {
+		j.Status = StatusDone
+		j.CacheHit = true
+		now := time.Now()
+		j.Started, j.Finished = now, now
+		j.Result = res
+		j.cancel()
+		s.publishLocked(j.ID, Event{Kind: EventQueued})
+		s.publishLocked(j.ID, Event{Kind: EventDone, Message: "cache hit", Result: res})
+		return *j, nil
+	}
+
+	j.Status = StatusQueued
+	heap.Push(&s.pending, j)
+	s.publishLocked(j.ID, Event{Kind: EventQueued})
+	s.cond.Signal()
+	return *j, nil
+}
+
+// Get returns a snapshot of one job.
+func (s *Store) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// List returns snapshots of every job in submission order, optionally
+// filtered by status ("" matches all).
+func (s *Store) List(status Status) []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if status != "" && j.Status != status {
+			continue
+		}
+		out = append(out, *j)
+	}
+	return out
+}
+
+// Cancel requests cancellation. A queued job transitions to cancelled
+// immediately; a running job's context is cancelled and the worker
+// finalizes it; a terminal job is left untouched (reported via the
+// returned snapshot). Unknown ids return ok=false.
+func (s *Store) Cancel(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	j.cancel()
+	if j.Status == StatusQueued {
+		// The heap entry is removed lazily: workers skip non-queued jobs.
+		j.Status = StatusCancelled
+		j.Finished = time.Now()
+		s.publishLocked(id, Event{Kind: EventCancelled, Message: "cancelled while queued"})
+	}
+	return *j, true
+}
+
+// evictLocked drops the oldest terminal jobs (and their event logs) while
+// more than maxJobs are retained. Queued/running jobs are kept regardless;
+// results already promoted to the cache survive eviction. Callers hold
+// s.mu.
+func (s *Store) evictLocked() {
+	if len(s.jobs) <= s.maxJobs {
+		return
+	}
+	kept := s.order[:0]
+	for i, id := range s.order {
+		j := s.jobs[id]
+		if len(s.jobs) > s.maxJobs && j.Status.Terminal() {
+			delete(s.jobs, id)
+			delete(s.events, id)
+			continue
+		}
+		if len(s.jobs) <= s.maxJobs {
+			kept = append(kept, s.order[i:]...)
+			break
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Stats summarizes the store for health endpoints.
+type Stats struct {
+	Workers   int `json:"workers"`
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	Cached    int `json:"cached"`
+}
+
+// Stats counts jobs by status.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Workers: s.workers, Cached: s.cache.len()}
+	for _, j := range s.jobs {
+		switch j.Status {
+		case StatusQueued:
+			st.Queued++
+		case StatusRunning:
+			st.Running++
+		case StatusDone:
+			st.Done++
+		case StatusFailed:
+			st.Failed++
+		case StatusCancelled:
+			st.Cancelled++
+		}
+	}
+	return st
+}
+
+// Shutdown stops accepting submissions and drains the pool: queued and
+// running jobs keep executing until the queue is empty or ctx expires, at
+// which point every outstanding job is cancelled and the workers are
+// awaited. Safe to call once.
+func (s *Store) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+
+	select {
+	case <-drained:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		// Hard stop: cancel everything still outstanding, then wait for
+		// the workers to observe it.
+		s.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// ---- events ----
+
+// subscriber is one event-stream consumer: an unbounded pending queue
+// drained by a pump goroutine, so slow consumers never block publishers
+// or drop the terminal event. A consumer that stops reading without
+// unsubscribing cannot strand the pump either — sends race a done channel.
+type subscriber struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []Event
+	stopped bool // no further events will be queued
+
+	done     chan struct{} // closed when the consumer abandons the stream
+	dropOnce sync.Once
+	ch       chan Event
+}
+
+func newSubscriber(replay []Event) *subscriber {
+	sub := &subscriber{ch: make(chan Event, 16), done: make(chan struct{})}
+	sub.cond = sync.NewCond(&sub.mu)
+	sub.pending = append(sub.pending, replay...)
+	go sub.pump()
+	return sub
+}
+
+func (sub *subscriber) push(e Event) {
+	sub.mu.Lock()
+	if !sub.stopped {
+		sub.pending = append(sub.pending, e)
+		sub.cond.Signal()
+	}
+	sub.mu.Unlock()
+}
+
+// close stops the stream after any already-queued events are delivered.
+func (sub *subscriber) close() {
+	sub.mu.Lock()
+	sub.stopped = true
+	sub.cond.Signal()
+	sub.mu.Unlock()
+}
+
+// drop abandons the stream immediately (consumer went away): pending
+// events are discarded and a pump blocked on a send is released.
+func (sub *subscriber) drop() {
+	sub.dropOnce.Do(func() { close(sub.done) })
+	sub.mu.Lock()
+	sub.stopped = true
+	sub.pending = nil
+	sub.cond.Signal()
+	sub.mu.Unlock()
+}
+
+func (sub *subscriber) pump() {
+	for {
+		sub.mu.Lock()
+		for len(sub.pending) == 0 && !sub.stopped {
+			sub.cond.Wait()
+		}
+		if len(sub.pending) == 0 {
+			sub.mu.Unlock()
+			close(sub.ch)
+			return
+		}
+		e := sub.pending[0]
+		sub.pending = sub.pending[1:]
+		sub.mu.Unlock()
+		select {
+		case sub.ch <- e:
+		case <-sub.done:
+			return // abandoned; nobody reads ch anymore
+		}
+		if e.Kind.Terminal() {
+			// Terminal is always the last event; drain and close.
+			sub.close()
+		}
+	}
+}
+
+// Subscribe returns a channel replaying the job's full event history and
+// then streaming live events. The channel closes after the terminal event
+// (delivered exactly once per subscriber). The returned cancel func
+// releases the subscription early; it is safe to call more than once.
+func (s *Store) Subscribe(id string) (<-chan Event, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("jobs: unknown job %q", id)
+	}
+	sub := newSubscriber(s.events[id])
+	if !j.Status.Terminal() {
+		s.subs[id] = append(s.subs[id], sub)
+	} else {
+		sub.close()
+	}
+	cancel := func() {
+		sub.drop()
+		s.mu.Lock()
+		list := s.subs[id]
+		for i, x := range list {
+			if x == sub {
+				s.subs[id] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+	}
+	return sub.ch, cancel, nil
+}
+
+// Events returns a snapshot of the job's event log so far.
+func (s *Store) Events(id string) []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	log := s.events[id]
+	out := make([]Event, len(log))
+	copy(out, log)
+	return out
+}
+
+// publishLocked appends an event to the job's log and fans it out to live
+// subscribers. Terminal events detach the subscriber list. Callers hold
+// s.mu.
+func (s *Store) publishLocked(id string, e Event) {
+	e.JobID = id
+	e.Seq = len(s.events[id])
+	e.Time = time.Now()
+	s.events[id] = append(s.events[id], e)
+	for _, sub := range s.subs[id] {
+		sub.push(e)
+	}
+	if e.Kind.Terminal() {
+		delete(s.subs, id)
+	}
+}
+
+// publish is publishLocked for callers not holding the lock.
+func (s *Store) publish(id string, e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.publishLocked(id, e)
+}
+
+// ---- priority queue ----
+
+// jobHeap orders pending jobs by (priority desc, submission seq asc):
+// higher priorities first, FIFO within a level.
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].Spec.Priority != h[j].Spec.Priority {
+		return h[i].Spec.Priority > h[j].Spec.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// pendingIDs is a test helper: ids currently pending, in pop order.
+func (s *Store) pendingIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := make(jobHeap, len(s.pending))
+	copy(tmp, s.pending)
+	ids := make([]string, 0, len(tmp))
+	for tmp.Len() > 0 {
+		j := heap.Pop(&tmp).(*Job)
+		if j.Status == StatusQueued {
+			ids = append(ids, j.ID)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,172 @@
+// Package serve exposes the job subsystem (internal/jobs) as a JSON HTTP
+// API — fine-tuning as a service over the Long Exposure reproduction:
+//
+//	POST   /v1/jobs             submit a job (202; 200 on a cache hit)
+//	GET    /v1/jobs             list jobs, optional ?status= filter
+//	GET    /v1/jobs/{id}        one job
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/jobs/{id}/events server-sent event stream (replay + live)
+//	GET    /v1/experiments      registered experiment catalogue
+//	GET    /healthz             liveness + queue stats
+//
+// Shutdown is graceful: in-flight HTTP requests finish and the job store
+// drains queued and running jobs before the process exits.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"longexposure/internal/experiments"
+	"longexposure/internal/jobs"
+)
+
+// Server wires the job store into an http.Handler and manages graceful
+// shutdown of both the listener and the worker pool.
+type Server struct {
+	store *jobs.Store
+	mux   *http.ServeMux
+
+	mu     sync.Mutex // guards http/closed against Shutdown from another goroutine
+	http   *http.Server
+	closed bool
+}
+
+// New builds a server over the store.
+func New(store *jobs.Store) *Server {
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.listJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.streamEvents)
+	s.mux.HandleFunc("GET /v1/experiments", s.listExperiments)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	return s
+}
+
+// Handler returns the routing handler (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe blocks serving the API on addr until Shutdown. Calling
+// it after Shutdown is a no-op (a signal can win the race at startup).
+func (s *Server) ListenAndServe(addr string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	srv := &http.Server{Addr: addr, Handler: s.mux}
+	s.http = srv
+	s.mu.Unlock()
+
+	err := srv.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops the listener (finishing in-flight requests) and drains
+// the job store; ctx bounds the whole drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	srv := s.http
+	s.mu.Unlock()
+
+	var httpErr error
+	if srv != nil {
+		httpErr = srv.Shutdown(ctx)
+	}
+	if err := s.store.Shutdown(ctx); err != nil {
+		return err
+	}
+	return httpErr
+}
+
+// ---- handlers ----
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var spec jobs.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	j, err := s.store.Submit(spec)
+	switch {
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if j.CacheHit {
+		code = http.StatusOK // served instantly from the result cache
+	}
+	writeJSON(w, code, j)
+}
+
+func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
+	status := jobs.Status(r.URL.Query().Get("status"))
+	switch status {
+	case "", jobs.StatusQueued, jobs.StatusRunning, jobs.StatusDone, jobs.StatusFailed, jobs.StatusCancelled:
+	default:
+		writeError(w, http.StatusBadRequest, "unknown status %q", status)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.List(status))
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j)
+}
+
+func (s *Server) listExperiments(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, experiments.Describe())
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string     `json:"status"`
+		Stats  jobs.Stats `json:"stats"`
+	}{Status: "ok", Stats: s.store.Stats()})
+}

@@ -1,0 +1,327 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"longexposure/internal/experiments"
+	"longexposure/internal/jobs"
+	"longexposure/internal/serve"
+)
+
+type env struct {
+	t     *testing.T
+	store *jobs.Store
+	ts    *httptest.Server
+}
+
+func newEnv(t *testing.T, workers int) *env {
+	t.Helper()
+	store := jobs.NewStore(jobs.Config{Workers: workers})
+	ts := httptest.NewServer(serve.New(store).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := store.Shutdown(ctx); err != nil {
+			t.Errorf("store shutdown: %v", err)
+		}
+	})
+	return &env{t: t, store: store, ts: ts}
+}
+
+func (e *env) do(method, path string, body any) (*http.Response, []byte) {
+	e.t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			e.t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, e.ts.URL+path, &buf)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		e.t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func (e *env) submit(spec map[string]any, wantCode int) jobs.Job {
+	e.t.Helper()
+	resp, body := e.do("POST", "/v1/jobs", spec)
+	if resp.StatusCode != wantCode {
+		e.t.Fatalf("POST /v1/jobs: %d (want %d): %s", resp.StatusCode, wantCode, body)
+	}
+	var j jobs.Job
+	if err := json.Unmarshal(body, &j); err != nil {
+		e.t.Fatalf("decoding job: %v: %s", err, body)
+	}
+	return j
+}
+
+func (e *env) getJob(id string) jobs.Job {
+	e.t.Helper()
+	resp, body := e.do("GET", "/v1/jobs/"+id, nil)
+	if resp.StatusCode != http.StatusOK {
+		e.t.Fatalf("GET job: %d: %s", resp.StatusCode, body)
+	}
+	var j jobs.Job
+	if err := json.Unmarshal(body, &j); err != nil {
+		e.t.Fatal(err)
+	}
+	return j
+}
+
+func (e *env) waitStatus(id string, want jobs.Status) jobs.Job {
+	e.t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		j := e.getJob(id)
+		if j.Status == want {
+			return j
+		}
+		if j.Status.Terminal() {
+			e.t.Fatalf("job %s terminal as %s (error %q), want %s", id, j.Status, j.Error, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	e.t.Fatalf("job %s never reached %s", id, want)
+	return jobs.Job{}
+}
+
+// streamEvents consumes the SSE endpoint until the terminal event, calling
+// onEvent for each decoded frame.
+func (e *env) streamEvents(id string, onEvent func(jobs.Event)) {
+	e.t.Helper()
+	resp, err := http.Get(e.ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		e.t.Fatalf("GET events: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		e.t.Fatalf("events content-type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev jobs.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			e.t.Fatalf("decoding SSE data: %v: %s", err, line)
+		}
+		onEvent(ev)
+		if ev.Kind.Terminal() {
+			return
+		}
+	}
+	e.t.Fatalf("event stream ended without a terminal event: %v", sc.Err())
+}
+
+// TestServiceEndToEnd is the acceptance walk-through: submit a Sim-spec
+// fine-tune job and an experiment job, stream progress events with
+// non-zero PhaseTimes, cancel a running job, and observe a cache hit on
+// identical resubmission.
+func TestServiceEndToEnd(t *testing.T) {
+	e := newEnv(t, 2)
+
+	// --- Sim-spec fine-tune job (sparse Long Exposure path) ---
+	ftSpec := map[string]any{
+		"kind": "finetune",
+		"finetune": map[string]any{
+			"model": "OPT-125M", "method": "lora",
+			"steps": 3, "batch": 2, "seq": 24, "blk": 4,
+			"predictor_epochs": 2, "seed": 5,
+		},
+	}
+	ft := e.submit(ftSpec, http.StatusAccepted)
+	if ft.Status != jobs.StatusQueued || ft.CacheHit {
+		t.Fatalf("fresh submission: status %s cache_hit %v", ft.Status, ft.CacheHit)
+	}
+
+	progress, nonZeroTimes := 0, 0
+	var terminal jobs.EventKind
+	e.streamEvents(ft.ID, func(ev jobs.Event) {
+		if ev.Kind == jobs.EventProgress && ev.Progress != nil {
+			progress++
+			if ev.Progress.Times.Total() > 0 {
+				nonZeroTimes++
+			}
+		}
+		if ev.Kind.Terminal() {
+			terminal = ev.Kind
+		}
+	})
+	if terminal != jobs.EventDone {
+		t.Fatalf("fine-tune terminal event %s, want done", terminal)
+	}
+	if progress == 0 || nonZeroTimes == 0 {
+		t.Fatalf("streamed %d progress events, %d with non-zero PhaseTimes", progress, nonZeroTimes)
+	}
+	final := e.getJob(ft.ID)
+	if final.Result == nil || final.Result.Finetune == nil {
+		t.Fatalf("fine-tune job has no result: %+v", final)
+	}
+	if got := final.Result.Finetune.Model; got != "sim-OPT-125M" {
+		t.Errorf("result model %q, want sim-OPT-125M", got)
+	}
+	if final.Result.Finetune.MeanStep.Total() <= 0 {
+		t.Errorf("result mean step times are zero")
+	}
+
+	// --- identical resubmission is a cache hit, served instantly ---
+	hit := e.submit(ftSpec, http.StatusOK)
+	if !hit.CacheHit || hit.Status != jobs.StatusDone {
+		t.Fatalf("resubmission: cache_hit=%v status=%s", hit.CacheHit, hit.Status)
+	}
+	if hit.Result == nil || hit.Result.Finetune == nil ||
+		hit.Result.Finetune.FinalLoss != final.Result.Finetune.FinalLoss {
+		t.Fatalf("cache hit result differs from original")
+	}
+
+	// --- experiment job ---
+	exp := e.submit(map[string]any{
+		"kind":       "experiment",
+		"experiment": map[string]any{"id": "fig4"},
+	}, http.StatusAccepted)
+	e.streamEvents(exp.ID, func(ev jobs.Event) {
+		if ev.Kind.Terminal() && ev.Kind != jobs.EventDone {
+			t.Fatalf("experiment terminal event %s: %s", ev.Kind, ev.Error)
+		}
+	})
+	expJob := e.getJob(exp.ID)
+	if expJob.Result == nil || expJob.Result.Experiment == nil ||
+		!strings.Contains(expJob.Result.Experiment.Markdown, "fig4") {
+		t.Fatalf("experiment job result: %+v", expJob.Result)
+	}
+
+	// --- cancel a running job ---
+	slow := e.submit(map[string]any{
+		"kind": "finetune",
+		"finetune": map[string]any{
+			"sparse": false, "steps": 4, "epochs": 500, "batch": 1, "seq": 12, "seed": 77,
+		},
+	}, http.StatusAccepted)
+	e.waitStatus(slow.ID, jobs.StatusRunning)
+	resp, body := e.do("DELETE", "/v1/jobs/"+slow.ID, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE: %d: %s", resp.StatusCode, body)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j := e.getJob(slow.ID)
+		if j.Status.Terminal() {
+			if j.Status != jobs.StatusCancelled {
+				t.Fatalf("cancelled job status %s", j.Status)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancelled job never terminal")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// --- listing and filtering ---
+	resp, body = e.do("GET", "/v1/jobs?status=cancelled", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %d", resp.StatusCode)
+	}
+	var listed []jobs.Job
+	if err := json.Unmarshal(body, &listed); err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 1 || listed[0].ID != slow.ID {
+		t.Fatalf("cancelled filter returned %+v", listed)
+	}
+}
+
+func TestExperimentCatalogueAndHealth(t *testing.T) {
+	e := newEnv(t, 1)
+
+	resp, body := e.do("GET", "/v1/experiments", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("experiments: %d", resp.StatusCode)
+	}
+	var infos []experiments.Info
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(experiments.IDs()) {
+		t.Fatalf("catalogue has %d entries, registry %d", len(infos), len(experiments.IDs()))
+	}
+	for _, info := range infos {
+		if info.Title == "" {
+			t.Errorf("experiment %s has no title", info.ID)
+		}
+	}
+
+	resp, body = e.do("GET", "/healthz", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	e := newEnv(t, 1)
+
+	cases := []struct {
+		method, path string
+		body         any
+		want         int
+	}{
+		{"POST", "/v1/jobs", map[string]any{"kind": "mystery"}, http.StatusBadRequest},
+		{"POST", "/v1/jobs", map[string]any{"kind": "experiment", "experiment": map[string]any{"id": "nope"}}, http.StatusBadRequest},
+		{"POST", "/v1/jobs", map[string]any{"bogus_field": 1}, http.StatusBadRequest},
+		{"GET", "/v1/jobs/job-404404", nil, http.StatusNotFound},
+		{"DELETE", "/v1/jobs/job-404404", nil, http.StatusNotFound},
+		{"GET", "/v1/jobs/job-404404/events", nil, http.StatusNotFound},
+		{"GET", "/v1/jobs?status=bogus", nil, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := e.do(c.method, c.path, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: %d (want %d): %s", c.method, c.path, resp.StatusCode, c.want, body)
+		}
+	}
+}
+
+func TestSubmitAfterShutdownIsUnavailable(t *testing.T) {
+	store := jobs.NewStore(jobs.Config{Workers: 1})
+	ts := httptest.NewServer(serve.New(store).Handler())
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := store.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"finetune","finetune":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after shutdown: %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"longexposure/internal/jobs"
+)
+
+// streamEvents serves GET /v1/jobs/{id}/events as a server-sent event
+// stream: the job's full history is replayed, then live events follow
+// until the terminal event (done/failed/cancelled) ends the stream. Each
+// frame is
+//
+//	event: <kind>
+//	id: <seq>
+//	data: <event JSON>
+//
+// Clients that reconnect simply replay from the start — event logs are
+// small (one frame per training step) and replay keeps the protocol
+// stateless.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, cancel, err := s.store.Subscribe(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer cancel()
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return // client went away
+		case e, open := <-ch:
+			if !open {
+				return // terminal event delivered
+			}
+			if err := writeSSE(w, e); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, e jobs.Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", e.Kind, e.Seq, data)
+	return err
+}

@@ -5,6 +5,7 @@
 package train
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -94,6 +95,23 @@ func (e *Engine) Step(b data.Batch) (float64, PhaseTimes) {
 	return loss, times
 }
 
+// StepInfo describes one completed fine-tuning step, delivered to a
+// StepHook. GlobalStep counts steps across epochs (0-based); TotalSteps is
+// the number of steps the whole run will execute.
+type StepInfo struct {
+	Epoch      int
+	Step       int // index within the epoch
+	GlobalStep int
+	TotalSteps int
+	Loss       float64
+	Times      PhaseTimes
+}
+
+// StepHook observes training progress. Hooks run synchronously on the
+// training goroutine after each step; keep them cheap (hand off to a
+// channel for slow consumers).
+type StepHook func(StepInfo)
+
 // Result summarizes a training run.
 type Result struct {
 	Losses []float64 // per-step losses
@@ -120,16 +138,40 @@ func (r Result) FinalLoss() float64 {
 
 // Run fine-tunes over the batches for the given number of epochs.
 func (e *Engine) Run(batches []data.Batch, epochs int) Result {
+	res, _ := e.RunContext(context.Background(), batches, epochs, nil)
+	return res
+}
+
+// RunContext fine-tunes over the batches for the given number of epochs,
+// checking ctx between steps and invoking hook (if non-nil) after each
+// step. On cancellation it returns the partial Result together with
+// ctx.Err(); long-running jobs use this to stay cancellable and to report
+// per-step progress.
+func (e *Engine) RunContext(ctx context.Context, batches []data.Batch, epochs int, hook StepHook) (Result, error) {
 	var res Result
+	total := epochs * len(batches)
 	for ep := 0; ep < epochs; ep++ {
-		for _, b := range batches {
+		for bi, b := range batches {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
 			loss, times := e.Step(b)
 			res.Losses = append(res.Losses, loss)
 			res.Times = res.Times.Add(times)
 			res.Steps++
+			if hook != nil {
+				hook(StepInfo{
+					Epoch:      ep,
+					Step:       bi,
+					GlobalStep: res.Steps - 1,
+					TotalSteps: total,
+					Loss:       loss,
+					Times:      times,
+				})
+			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // EvaluateTask measures restricted-choice accuracy on classification
@@ -138,12 +180,18 @@ func (e *Engine) Run(batches []data.Batch, epochs int) Result {
 func EvaluateTask(m *nn.Transformer, examples []data.Example, seqLen int, planner nn.Planner) float64 {
 	correct, total := 0, 0
 	for _, e := range examples {
-		p := data.PadTo(e, seqLen)
-		logits := m.Forward([][]int{p.Input}, planner)
+		// The logit row is offset by the prompt length of prompted
+		// (P-Tuning) models, so bound-check the row itself — and reject
+		// AnswerPos < 0 (LM examples), which the old AnswerPos >= seqLen
+		// guard let through: it indexed a negative row on prompt-free
+		// models and silently scored argmax-over-nothing as "correct".
+		// Checking before Forward also skips the wasted pass.
 		pos := m.PromptLen + e.AnswerPos
-		if e.AnswerPos >= seqLen {
+		if e.AnswerPos < 0 || pos >= m.PromptLen+seqLen {
 			continue
 		}
+		p := data.PadTo(e, seqLen)
+		logits := m.Forward([][]int{p.Input}, planner)
 		best, bestV := -1, float32(tensor.NegInf)
 		for ci, tok := range e.Choices {
 			v := logits.At(pos, tok)

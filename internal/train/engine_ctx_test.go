@@ -1,0 +1,144 @@
+package train
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"longexposure/internal/data"
+	"longexposure/internal/model"
+	"longexposure/internal/nn"
+	"longexposure/internal/peft"
+	"longexposure/internal/tensor"
+)
+
+func TestRunContextHookSeesEveryStep(t *testing.T) {
+	r := tensor.NewRNG(5)
+	m := nn.NewTransformer(model.SimSmall(nn.ActReLU).Config, r)
+	peft.Apply(m, peft.LoRA, peft.Options{}, r)
+	e := &Engine{Model: m, Opt: peft.NewAdamW(1e-3, 0)}
+
+	batches := copyTaskBatches(64, 2, 8, 6, 7)
+	const epochs = 2
+	var infos []StepInfo
+	res, err := e.RunContext(context.Background(), batches, epochs, func(si StepInfo) {
+		infos = append(infos, si)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := epochs * len(batches)
+	if res.Steps != want || len(infos) != want {
+		t.Fatalf("steps %d, hooks %d, want %d", res.Steps, len(infos), want)
+	}
+	for i, si := range infos {
+		if si.GlobalStep != i {
+			t.Fatalf("hook %d reported global step %d", i, si.GlobalStep)
+		}
+		if si.TotalSteps != want {
+			t.Fatalf("hook %d reported total %d, want %d", i, si.TotalSteps, want)
+		}
+		if si.Loss != res.Losses[i] {
+			t.Fatalf("hook %d loss %v != result loss %v", i, si.Loss, res.Losses[i])
+		}
+		if si.Times.Total() <= 0 {
+			t.Fatalf("hook %d has zero phase times", i)
+		}
+		if si.Epoch != i/len(batches) || si.Step != i%len(batches) {
+			t.Fatalf("hook %d epoch/step = %d/%d", i, si.Epoch, si.Step)
+		}
+	}
+}
+
+func TestRunContextCancellationReturnsPartialResult(t *testing.T) {
+	r := tensor.NewRNG(6)
+	m := nn.NewTransformer(model.SimSmall(nn.ActReLU).Config, r)
+	peft.Apply(m, peft.LoRA, peft.Options{}, r)
+	e := &Engine{Model: m, Opt: peft.NewAdamW(1e-3, 0)}
+
+	batches := copyTaskBatches(64, 2, 8, 4, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	const stopAfter = 3
+	res, err := e.RunContext(ctx, batches, 100, func(si StepInfo) {
+		if si.GlobalStep == stopAfter-1 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Steps != stopAfter {
+		t.Fatalf("ran %d steps after cancel at %d", res.Steps, stopAfter)
+	}
+	if len(res.Losses) != stopAfter {
+		t.Fatalf("partial result has %d losses", len(res.Losses))
+	}
+}
+
+func TestRunMatchesRunContext(t *testing.T) {
+	build := func() *Engine {
+		r := tensor.NewRNG(9)
+		m := nn.NewTransformer(model.SimSmall(nn.ActReLU).Config, r)
+		peft.Apply(m, peft.FullFT, peft.Options{}, r)
+		return &Engine{Model: m, Opt: peft.NewAdamW(1e-3, 0)}
+	}
+	batches := copyTaskBatches(64, 2, 8, 4, 11)
+	a := build().Run(batches, 2)
+	b, err := build().RunContext(context.Background(), batches, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Losses) != len(b.Losses) {
+		t.Fatalf("loss counts differ: %d vs %d", len(a.Losses), len(b.Losses))
+	}
+	for i := range a.Losses {
+		if a.Losses[i] != b.Losses[i] {
+			t.Fatalf("step %d: Run loss %v, RunContext loss %v", i, a.Losses[i], b.Losses[i])
+		}
+	}
+}
+
+// TestEvaluateTaskSkipsOutOfRangeAnswerPositions is the regression test for
+// the bounds check: the logit row is PromptLen+AnswerPos, so the guard must
+// be on that row, and LM examples (AnswerPos -1) must be skipped rather
+// than indexing a negative row (a panic on prompt-free models, a silent
+// prompt-row read on prompted ones).
+func TestEvaluateTaskSkipsOutOfRangeAnswerPositions(t *testing.T) {
+	const seqLen = 8
+	mk := func(method peft.Method) *nn.Transformer {
+		r := tensor.NewRNG(12)
+		m := nn.NewTransformer(model.SimSmall(nn.ActReLU).Config, r)
+		peft.Apply(m, method, peft.Options{PromptTokens: 4}, r)
+		return m
+	}
+	valid := data.Example{
+		Input:     []int{data.TokBOS, data.TokBase, data.TokBase + 1, data.TokSep},
+		Target:    []int{nn.IgnoreIndex, nn.IgnoreIndex, nn.IgnoreIndex, data.TokYes},
+		Label:     0,
+		Choices:   []int{data.TokYes, data.TokNo},
+		AnswerPos: 3,
+	}
+	late := valid
+	late.AnswerPos = seqLen // past the padded sequence
+	lm := valid
+	lm.AnswerPos = -1 // pure LM example mixed into an eval set
+	lm.Choices = nil
+	lm.Label = -1
+	broken := valid // malformed: keeps choices but has no answer position
+	broken.AnswerPos = -1
+
+	for _, method := range []peft.Method{peft.LoRA, peft.PTuning} {
+		m := mk(method)
+		// Every example is skippable: the old guard panicked here on the
+		// prompt-free model (negative logit row for broken), read a prompt
+		// row on the prompted one, and scored lm as trivially "correct"
+		// (argmax over zero choices is -1 == Label). All must be skipped.
+		if acc := EvaluateTask(m, []data.Example{late, lm, broken}, seqLen, nil); acc != 0 {
+			t.Errorf("method %v: accuracy %v over skip-only examples, want 0", method, acc)
+		}
+		// A valid example still counts.
+		if acc := EvaluateTask(m, []data.Example{valid, late, lm}, seqLen, nil); acc != 0 && acc != 1 {
+			t.Errorf("method %v: accuracy %v counts skipped examples", method, acc)
+		}
+	}
+}

@@ -13,6 +13,20 @@
 //	sys.PretrainPredictors(calibrationBatches, longexposure.TrainConfig{})
 //	result := sys.Engine().Run(batches, epochs)
 //
+// Long runs are cancellable and observable through the context-aware
+// variant, Engine.RunContext(ctx, batches, epochs, hook), which reports
+// per-step loss and phase times to the hook.
+//
+// # Service entry point
+//
+// cmd/longexpd serves fine-tuning sessions and paper experiments as
+// managed jobs over HTTP (internal/jobs + internal/serve): POST /v1/jobs
+// queues work onto a priority scheduler and bounded worker pool,
+// GET /v1/jobs/{id}/events streams per-step progress as server-sent
+// events, DELETE cancels, and identical resubmissions are served from a
+// result cache. NewJobStore/NewServer expose the same subsystem to
+// embedders.
+//
 // The package re-exports the stable surface of the internal packages:
 // model specs (paper Table II), PEFT methods (Table I), the Long Exposure
 // session (core), the experiment drivers that regenerate every paper table
@@ -24,10 +38,12 @@ import (
 	"longexposure/internal/data"
 	"longexposure/internal/experiments"
 	"longexposure/internal/gpusim"
+	"longexposure/internal/jobs"
 	"longexposure/internal/model"
 	"longexposure/internal/nn"
 	"longexposure/internal/peft"
 	"longexposure/internal/predictor"
+	"longexposure/internal/serve"
 	"longexposure/internal/train"
 )
 
@@ -120,6 +136,25 @@ func RunExperiment(id string, o ExperimentOptions) (*Report, error) {
 
 // ExperimentIDs lists the available experiment ids.
 func ExperimentIDs() []string { return experiments.IDs() }
+
+// Job service: run fine-tuning sessions and experiments as queued,
+// cancellable, observable jobs (what cmd/longexpd serves over HTTP).
+
+// JobStore is the scheduler + worker pool + result cache behind the
+// service.
+type JobStore = jobs.Store
+
+// JobSpec is the JSON job submission.
+type JobSpec = jobs.Spec
+
+// JobServer is the HTTP API over a JobStore.
+type JobServer = serve.Server
+
+// NewJobStore builds a job store and starts its worker pool.
+func NewJobStore(cfg jobs.Config) *JobStore { return jobs.NewStore(cfg) }
+
+// NewServer builds the HTTP job API over a store.
+func NewServer(store *JobStore) *JobServer { return serve.New(store) }
 
 // GPU cost-model devices (paper §VII-A platforms).
 var (
