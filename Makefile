@@ -1,0 +1,44 @@
+# Convenience targets mirroring .github/workflows/ci.yml exactly, so local
+# runs and CI agree. `make ci` is the full gate; `make check` is the fast
+# pre-commit subset (see README "Development").
+
+GO ?= go
+BASELINE := .github/bench/BENCH_kernels.json
+
+.PHONY: build test race bench bench-all baseline fmt vet check ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race detector over the concurrent packages (job service, HTTP API,
+# worker pool) — the same set CI runs.
+race:
+	$(GO) test -race ./internal/jobs/... ./internal/serve/... ./internal/parallel/...
+
+# CI-sized kernel benchmarks, gated against the checked-in baseline.
+bench:
+	$(GO) run ./cmd/lebench -suite kernels -short -baseline $(BASELINE) -tolerance 0.20
+
+# Every suite at full size (kernels + whole-experiment timings).
+bench-all:
+	$(GO) run ./cmd/lebench -suite all
+
+# Regenerate the checked-in baseline from this machine. Commit the result
+# only when intentionally resetting the perf reference (e.g. after a
+# deliberate trade-off or a runner change).
+baseline:
+	$(GO) run ./cmd/lebench -suite kernels -short -out .github/bench
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet
+
+ci: check build test race bench

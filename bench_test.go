@@ -14,6 +14,17 @@ import (
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	if testing.Short() {
+		// Even in quick mode a full driver takes seconds — far over CI's
+		// budget. CI measures kernels via `go run ./cmd/lebench -suite
+		// kernels -short` instead; run these locally without -short.
+		b.Skipf("skipping experiment benchmark %s in -short mode", id)
+	}
+	if !experiments.Known(id) {
+		// A renamed or not-yet-implemented driver should not fail the
+		// whole benchmark run.
+		b.Skipf("unknown experiment %q (have %v)", id, experiments.IDs())
+	}
 	o := experiments.Options{Quick: true, Seed: 7}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

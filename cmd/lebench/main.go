@@ -1,0 +1,135 @@
+// Command lebench runs the repository's benchmark suites and writes the
+// BENCH_<suite>.json artifacts consumed by CI's perf tracking.
+//
+//	go run ./cmd/lebench -suite kernels            # kernel microbenchmarks
+//	go run ./cmd/lebench -suite kernels -short     # CI-sized run
+//	go run ./cmd/lebench -suite all -out artifacts # every suite
+//	go run ./cmd/lebench -suite kernels -short -baseline .github/bench/BENCH_kernels.json
+//
+// With -baseline, the freshly measured suite is compared against the given
+// report and the process exits 2 if any benchmark got more than -tolerance
+// slower — the CI regression gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"time"
+
+	"longexposure/internal/bench"
+	"longexposure/internal/parallel"
+)
+
+func main() {
+	var (
+		suiteFlag = flag.String("suite", "kernels", "suite to run: one of "+strings.Join(bench.Suites(), ", ")+", a comma list, or 'all'")
+		short     = flag.Bool("short", false, "short mode: smaller sizes and budgets (what CI runs)")
+		runFilter = flag.String("run", "", "only run benchmarks matching this regexp")
+		outDir    = flag.String("out", ".", "directory for BENCH_<suite>.json artifacts")
+		baseline  = flag.String("baseline", "", "baseline report to compare against; exit 2 on regression")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed slowdown vs baseline before failing (0.20 = 20%)")
+		minTime   = flag.Duration("mintime", 0, "minimum timed duration per round (default 300ms, 100ms in short mode)")
+		repeats   = flag.Int("repeats", 0, "measurement rounds per benchmark, best-of (default 3, 2 in short mode)")
+		workers   = flag.Int("workers", 0, "worker-pool size for parallel kernels (default GOMAXPROCS)")
+		list      = flag.Bool("list", false, "list suites and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range bench.Suites() {
+			fmt.Println(s)
+		}
+		return
+	}
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
+
+	o := bench.Options{Short: *short, MinTime: *minTime, Repeats: *repeats}
+	if *runFilter != "" {
+		re, err := regexp.Compile(*runFilter)
+		if err != nil {
+			fatalf("bad -run pattern: %v", err)
+		}
+		o.Filter = re
+	}
+
+	suites := strings.Split(*suiteFlag, ",")
+	if *suiteFlag == "all" {
+		suites = bench.Suites()
+	}
+
+	regressed := false
+	for _, suite := range suites {
+		suite = strings.TrimSpace(suite)
+		fmt.Printf("suite %s (short=%v, workers=%d)\n", suite, *short, parallel.Workers())
+		start := time.Now()
+		report, err := bench.RunSuite(suite, o, printResult)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("suite %s done in %s\n", suite, time.Since(start).Round(time.Millisecond))
+
+		path := filepath.Join(*outDir, "BENCH_"+suite+".json")
+		if err := report.Write(path); err != nil {
+			fatalf("writing %s: %v", path, err)
+		}
+		fmt.Printf("wrote %s\n", path)
+
+		if *baseline != "" {
+			base, err := bench.ReadReport(*baseline)
+			if err != nil {
+				fatalf("reading baseline: %v", err)
+			}
+			if base.Suite != report.Suite {
+				fmt.Fprintf(os.Stderr, "warning: baseline suite %q != %q, skipping comparison\n", base.Suite, report.Suite)
+				continue
+			}
+			// Absolute ns/op only gates when the baseline came from the same
+			// hardware class; otherwise deltas mostly measure the machine, so
+			// the comparison is informational until a baseline recorded on
+			// the target runner (e.g. from the CI artifact) is checked in.
+			hwMatch := base.GOARCH == report.GOARCH && base.CPUs == report.CPUs
+			if !hwMatch {
+				fmt.Fprintf(os.Stderr, "warning: baseline hardware differs (%s/%dcpu/%s vs %s/%dcpu/%s): "+
+					"comparison is informational only; refresh the baseline from this runner (make baseline) to arm the gate\n",
+					base.GOARCH, base.CPUs, orDash(base.Host), report.GOARCH, report.CPUs, orDash(report.Host))
+			}
+			deltas, bad := bench.Compare(base, report, *tolerance)
+			fmt.Printf("\nvs baseline %s (commit %s, tolerance %.0f%%):\n%s",
+				*baseline, orDash(base.Commit), *tolerance*100, bench.FormatDeltas(deltas))
+			regressed = regressed || (bad && hwMatch)
+		}
+	}
+	if regressed {
+		fmt.Fprintln(os.Stderr, "FAIL: performance regression beyond tolerance")
+		os.Exit(2)
+	}
+}
+
+func printResult(r bench.Result) {
+	line := fmt.Sprintf("  %-36s %12.0f ns/op", r.Name, r.NsPerOp)
+	if r.GFLOPS > 0 {
+		line += fmt.Sprintf(" %8.2f GFLOP/s", r.GFLOPS)
+	}
+	if r.AllocsPerOp >= 0.5 {
+		line += fmt.Sprintf(" %8.0f allocs/op", r.AllocsPerOp)
+	}
+	fmt.Println(line)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintln(os.Stderr, "lebench: "+fmt.Sprintf(format, args...))
+	os.Exit(1)
+}

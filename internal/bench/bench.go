@@ -1,0 +1,158 @@
+// Package bench is the repository's performance measurement substrate: a
+// registry of named benchmark suites, a warmup/calibrate/repeat runner with
+// GFLOP/s, ns/op and allocation accounting, a JSON report writer carrying
+// machine and commit metadata (the BENCH_<suite>.json artifacts tracked by
+// CI), and baseline comparison for regression gating.
+//
+// The paper's entire claim is a speedup; this package is how the repo
+// measures and defends its own. cmd/lebench is the CLI front end.
+package bench
+
+import (
+	"regexp"
+	"runtime"
+	"time"
+)
+
+// Benchmark is one registered measurement: Fn performs a single operation.
+type Benchmark struct {
+	Name  string
+	Flops int64  // floating-point ops per op (0: GFLOP/s not reported)
+	Bytes int64  // bytes touched per op (0: MB/s not reported)
+	Setup func() // run once, untimed, before any iteration (may be nil)
+	Fn    func() // one operation
+	Once  bool   // run exactly one iteration per round (for whole experiments)
+}
+
+// Options tunes the runner.
+type Options struct {
+	Warmup  time.Duration  // untimed run-in per benchmark (default 50ms)
+	MinTime time.Duration  // minimum timed duration per round (default 300ms)
+	Repeats int            // rounds; the best (min ns/op) is reported (default 3)
+	Filter  *regexp.Regexp // only run matching names (nil: all)
+	Short   bool           // suites shrink sizes; runner shrinks budgets
+}
+
+func (o Options) warmup() time.Duration {
+	if o.Warmup > 0 {
+		return o.Warmup
+	}
+	if o.Short {
+		return 20 * time.Millisecond
+	}
+	return 50 * time.Millisecond
+}
+
+func (o Options) minTime() time.Duration {
+	if o.MinTime > 0 {
+		return o.MinTime
+	}
+	if o.Short {
+		return 100 * time.Millisecond
+	}
+	return 300 * time.Millisecond
+}
+
+func (o Options) repeats() int {
+	if o.Repeats > 0 {
+		return o.Repeats
+	}
+	if o.Short {
+		return 2
+	}
+	return 3
+}
+
+// RunOne measures a single benchmark: warmup, iteration-count calibration to
+// the round budget, Repeats timed rounds keeping the best ns/op (minimum —
+// the least-noise estimate on shared machines), then a short instrumented
+// run for per-op allocation stats.
+func RunOne(b Benchmark, o Options) Result {
+	if b.Setup != nil {
+		b.Setup()
+	}
+	res := Result{Name: b.Name}
+	if b.Once {
+		best := time.Duration(1<<63 - 1)
+		rounds := min(o.repeats(), 2)
+		for r := 0; r < rounds; r++ {
+			t0 := time.Now()
+			b.Fn()
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		res.Iters = 1
+		res.NsPerOp = float64(best.Nanoseconds())
+	} else {
+		for t0 := time.Now(); time.Since(t0) < o.warmup(); {
+			b.Fn()
+		}
+		iters, elapsed := calibrate(b.Fn, o.minTime())
+		best := perOp(elapsed, iters)
+		for r := 1; r < o.repeats(); r++ {
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				b.Fn()
+			}
+			if d := perOp(time.Since(t0), iters); d < best {
+				best = d
+			}
+		}
+		res.Iters = iters
+		res.NsPerOp = best
+	}
+	if res.NsPerOp > 0 {
+		if b.Flops > 0 {
+			res.GFLOPS = float64(b.Flops) / res.NsPerOp
+		}
+		if b.Bytes > 0 {
+			res.MBPerS = float64(b.Bytes) / res.NsPerOp * 1e3
+		}
+	}
+	res.AllocsPerOp, res.AllocBytesPerOp = measureAllocs(b.Fn, res.Iters)
+	return res
+}
+
+// calibrate grows the iteration count geometrically (like testing.B) until
+// one round meets the budget, returning the final count and its elapsed time.
+func calibrate(fn func(), budget time.Duration) (int, time.Duration) {
+	iters := 1
+	for {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(t0)
+		if elapsed >= budget || iters >= 1<<28 {
+			return iters, elapsed
+		}
+		grow := 2.0
+		if elapsed > 0 {
+			// Aim 20% past the budget, but at most 100× per step.
+			grow = min(1.2*float64(budget)/float64(elapsed), 100)
+		}
+		iters = max(iters+1, int(float64(iters)*grow))
+	}
+}
+
+func perOp(d time.Duration, iters int) float64 {
+	return float64(d.Nanoseconds()) / float64(iters)
+}
+
+// measureAllocs runs a small instrumented batch and reports per-op heap
+// allocation counts and bytes. The batch is kept tiny so suites stay fast.
+func measureAllocs(fn func(), iters int) (allocs, bytes float64) {
+	n := min(iters, 16)
+	if n < 1 {
+		n = 1
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(n),
+		float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n)
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+)
+
+// fastOpts keeps runner tests quick.
+func fastOpts() Options {
+	return Options{Warmup: time.Millisecond, MinTime: 2 * time.Millisecond, Repeats: 2}
+}
+
+func TestRunOneReportsRates(t *testing.T) {
+	n := 64
+	a := make([]float32, n)
+	var sink float32
+	res := RunOne(Benchmark{
+		Name:  "axpy",
+		Flops: int64(2 * n),
+		Bytes: int64(4 * n),
+		Fn: func() {
+			for i := range a {
+				sink += 2 * a[i]
+			}
+		},
+	}, fastOpts())
+	_ = sink
+	if res.Name != "axpy" || res.Iters < 1 || res.NsPerOp <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if res.GFLOPS <= 0 || res.MBPerS <= 0 {
+		t.Fatalf("rates not computed: %+v", res)
+	}
+}
+
+func TestRunOneOnce(t *testing.T) {
+	calls := 0
+	setup := 0
+	res := RunOne(Benchmark{
+		Name:  "once",
+		Once:  true,
+		Setup: func() { setup++ },
+		Fn:    func() { calls++; time.Sleep(time.Millisecond) },
+	}, fastOpts())
+	if setup != 1 {
+		t.Fatalf("setup ran %d times", setup)
+	}
+	if res.Iters != 1 {
+		t.Fatalf("Iters = %d, want 1", res.Iters)
+	}
+	// Once benchmarks run per round plus one alloc probe, never calibrated.
+	if calls > 4 {
+		t.Fatalf("fn called %d times for a Once benchmark", calls)
+	}
+	if res.NsPerOp < float64(time.Millisecond.Nanoseconds()) {
+		t.Fatalf("NsPerOp = %v, want >= 1ms", res.NsPerOp)
+	}
+}
+
+func TestSuitesRegistered(t *testing.T) {
+	have := map[string]bool{}
+	for _, s := range Suites() {
+		have[s] = true
+	}
+	for _, want := range []string{"kernels", "experiments"} {
+		if !have[want] {
+			t.Fatalf("suite %q not registered (have %v)", want, Suites())
+		}
+	}
+}
+
+func TestRunSuiteUnknown(t *testing.T) {
+	if _, err := RunSuite("nope", Options{}, nil); err == nil {
+		t.Fatal("expected error for unknown suite")
+	}
+}
+
+func TestRunSuiteFilterAndReport(t *testing.T) {
+	o := fastOpts()
+	o.Short = true
+	o.Filter = regexp.MustCompile(`^gemm/dense/tiled/128$`)
+	var seen []string
+	rep, err := RunSuite("kernels", o, func(r Result) { seen = append(seen, r.Name) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "gemm/dense/tiled/128" {
+		t.Fatalf("filter not applied: %v", seen)
+	}
+	if rep.Suite != "kernels" || rep.GoVersion == "" || rep.CPUs < 1 || rep.Workers < 1 {
+		t.Fatalf("metadata missing: %+v", rep)
+	}
+	if rep.Results[0].GFLOPS <= 0 {
+		t.Fatalf("GFLOP/s missing: %+v", rep.Results[0])
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := newReport("kernels", true)
+	r.Results = []Result{{Name: "x", Iters: 3, NsPerOp: 42, GFLOPS: 1.5}}
+	path := filepath.Join(t.TempDir(), "BENCH_kernels.json")
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Suite != "kernels" || !got.Short || len(got.Results) != 1 || got.Results[0].NsPerOp != 42 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, ok := got.Find("x"); !ok {
+		t.Fatal("Find failed")
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := &Report{Suite: "kernels", Results: []Result{
+		{Name: "a", NsPerOp: 100},
+		{Name: "b", NsPerOp: 100},
+		{Name: "gone", NsPerOp: 100},
+	}}
+	cur := &Report{Suite: "kernels", Results: []Result{
+		{Name: "a", NsPerOp: 115}, // +15%: within 20% tolerance
+		{Name: "b", NsPerOp: 130}, // +30%: regression
+		{Name: "new", NsPerOp: 50},
+	}}
+	deltas, regressed := Compare(base, cur, 0.20)
+	if !regressed {
+		t.Fatal("regression not flagged")
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("want 2 comparable deltas, got %v", deltas)
+	}
+	for _, d := range deltas {
+		switch d.Name {
+		case "a":
+			if d.Regressed {
+				t.Fatal("a within tolerance but flagged")
+			}
+		case "b":
+			if !d.Regressed {
+				t.Fatal("b regressed but not flagged")
+			}
+		}
+	}
+	if out := FormatDeltas(deltas); !regexp.MustCompile(`REGRESSED`).MatchString(out) {
+		t.Fatalf("FormatDeltas missing marker:\n%s", out)
+	}
+	if _, bad := Compare(base, cur, 0.5); bad {
+		t.Fatal("50% tolerance should pass")
+	}
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Delta is one benchmark's change versus a baseline report.
+type Delta struct {
+	Name      string  `json:"name"`
+	BaseNs    float64 `json:"base_ns_per_op"`
+	NewNs     float64 `json:"new_ns_per_op"`
+	Ratio     float64 `json:"ratio"` // NewNs / BaseNs; >1 is slower
+	Regressed bool    `json:"regressed"`
+}
+
+// Compare matches cur's results against base by name and flags regressions:
+// a benchmark regressed when it got more than tolerance slower (ns/op ratio
+// > 1+tolerance). Benchmarks present on only one side are skipped — suite
+// membership changes must not fail CI. The second return is true when any
+// benchmark regressed.
+func Compare(base, cur *Report, tolerance float64) ([]Delta, bool) {
+	var deltas []Delta
+	anyRegressed := false
+	for _, res := range cur.Results {
+		b, ok := base.Find(res.Name)
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		d := Delta{
+			Name:   res.Name,
+			BaseNs: b.NsPerOp,
+			NewNs:  res.NsPerOp,
+			Ratio:  res.NsPerOp / b.NsPerOp,
+		}
+		d.Regressed = d.Ratio > 1+tolerance
+		anyRegressed = anyRegressed || d.Regressed
+		deltas = append(deltas, d)
+	}
+	return deltas, anyRegressed
+}
+
+// FormatDeltas renders a fixed-width comparison table; regressed rows are
+// marked REGRESSED.
+func FormatDeltas(deltas []Delta) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-36s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "ratio")
+	for _, d := range deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESSED"
+		}
+		fmt.Fprintf(&sb, "%-36s %14.0f %14.0f %7.2fx%s\n", d.Name, d.BaseNs, d.NewNs, d.Ratio, mark)
+	}
+	return sb.String()
+}

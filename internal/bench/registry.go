@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// A Builder constructs a suite's benchmarks for the given options (suites
+// size themselves differently under Short).
+type Builder func(Options) []Benchmark
+
+var registry = map[string]Builder{}
+
+// Register adds a named suite. Called from init() by the suite files;
+// duplicate names panic because they indicate a programming error.
+func Register(suite string, build Builder) {
+	if _, dup := registry[suite]; dup {
+		panic(fmt.Sprintf("bench: duplicate suite %q", suite))
+	}
+	registry[suite] = build
+}
+
+// Suites lists the registered suite names, sorted.
+func Suites() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunSuite builds and runs one suite, invoking progress (if non-nil) after
+// each benchmark completes, and returns the stamped report.
+func RunSuite(suite string, o Options, progress func(Result)) (*Report, error) {
+	build, ok := registry[suite]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown suite %q (have %v)", suite, Suites())
+	}
+	report := newReport(suite, o.Short)
+	for _, b := range build(o) {
+		if o.Filter != nil && !o.Filter.MatchString(b.Name) {
+			continue
+		}
+		res := RunOne(b, o)
+		report.Results = append(report.Results, res)
+		if progress != nil {
+			progress(res)
+		}
+	}
+	return report, nil
+}

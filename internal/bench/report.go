@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"longexposure/internal/parallel"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name            string  `json:"name"`
+	Iters           int     `json:"iters"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	GFLOPS          float64 `json:"gflops,omitempty"`
+	MBPerS          float64 `json:"mb_per_s,omitempty"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	AllocBytesPerOp float64 `json:"alloc_bytes_per_op"`
+}
+
+// Report is the BENCH_<suite>.json artifact: one suite run plus the
+// machine/commit metadata needed to interpret it later.
+type Report struct {
+	Suite     string    `json:"suite"`
+	CreatedAt time.Time `json:"created_at"`
+	Commit    string    `json:"commit,omitempty"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	CPUs      int       `json:"cpus"`
+	Workers   int       `json:"workers"`
+	Host      string    `json:"host,omitempty"`
+	Short     bool      `json:"short"`
+	Results   []Result  `json:"results"`
+}
+
+// newReport stamps an empty report with the environment metadata.
+func newReport(suite string, short bool) *Report {
+	r := &Report{
+		Suite:     suite,
+		CreatedAt: time.Now().UTC(),
+		Commit:    gitCommit(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Workers:   parallel.Workers(),
+		Short:     short,
+	}
+	if h, err := os.Hostname(); err == nil {
+		r.Host = h
+	}
+	return r
+}
+
+// gitCommit best-effort resolves the current short commit hash; empty when
+// git or the repository is unavailable.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Find returns the result with the given name, if present.
+func (r *Report) Find(name string) (Result, bool) {
+	for _, res := range r.Results {
+		if res.Name == name {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// Write serializes the report (indented, trailing newline) to path.
+func (r *Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads a report written by Write.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"fmt"
+
+	"longexposure/internal/experiments"
+)
+
+// The experiments suite times whole paper-artifact drivers end to end in
+// quick mode (real sim-scale training plus the cost model) — the
+// macro-level complement to the kernels suite. Each driver runs Once per
+// round; the first run also pays the shared calibration cost, which is why
+// table1 warms the cache for the others.
+func init() {
+	Register("experiments", experimentSuite)
+}
+
+// experimentIDs are the drivers the suite times: the per-phase breakdown
+// (table1), the headline OPT speedup figure (fig7), and the per-layer
+// sparsity/performance figure (fig9).
+var experimentIDs = []string{"table1", "fig7", "fig9"}
+
+func experimentSuite(o Options) []Benchmark {
+	var out []Benchmark
+	for _, id := range experimentIDs {
+		if !experiments.Known(id) {
+			continue
+		}
+		id := id
+		out = append(out, Benchmark{
+			Name: "exp/" + id,
+			Once: true,
+			Fn: func() {
+				opt := experiments.Options{Quick: true, Seed: 7}
+				if _, err := experiments.Run(id, opt); err != nil {
+					panic(fmt.Sprintf("bench: experiment %s: %v", id, err))
+				}
+			},
+		})
+	}
+	return out
+}

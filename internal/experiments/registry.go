@@ -71,6 +71,14 @@ func IDs() []string {
 	return out
 }
 
+// Known reports whether id names a registered experiment — callers that
+// want to skip gracefully (benchmarks, suite filters) check this instead of
+// pattern-matching Run's error.
+func Known(id string) bool {
+	_, ok := Registry[id]
+	return ok
+}
+
 // Run executes one experiment by id.
 func Run(id string, o Options) (*Report, error) {
 	d, ok := Registry[id]

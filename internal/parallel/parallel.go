@@ -90,6 +90,31 @@ func ForChunked(n int, body func(lo, hi int)) {
 	}
 }
 
+// ForBlocked splits [0, n) into at most Workers() contiguous chunks whose
+// boundaries are multiples of block (except the final boundary, which is n)
+// and runs body(lo, hi) for each chunk, in parallel. It is the tile-aligned
+// variant of ForChunked: kernels that amortize per-call setup over rows
+// (e.g. the packed-panel GEMM cores) use it so no worker receives a sliver
+// smaller than one tile. Chunking is deterministic — the same n, block, and
+// Workers() always produce the same boundaries. A chunk is never empty;
+// block values below 1 are treated as 1.
+func ForBlocked(n, block int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if block < 1 {
+		block = 1
+	}
+	tiles := (n + block - 1) / block
+	ForChunked(tiles, func(tLo, tHi int) {
+		hi := tHi * block
+		if hi > n {
+			hi = n
+		}
+		body(tLo*block, hi)
+	})
+}
+
 // ReduceFloat64 computes a deterministic parallel reduction over [0, n):
 // each chunk accumulates body(i) into a partial sum in index order, then the
 // partials are combined in chunk order. The result is therefore independent

@@ -1,6 +1,9 @@
 package parallel
 
 import (
+	"reflect"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -57,6 +60,94 @@ func TestReduceFloat64Deterministic(t *testing.T) {
 		if got := ReduceFloat64(n, body); got != first {
 			t.Fatalf("trial %d: %v != %v", trial, got, first)
 		}
+	}
+}
+
+func TestSetWorkersRestore(t *testing.T) {
+	initial := Workers()
+	old := SetWorkers(3)
+	if old != initial {
+		t.Fatalf("SetWorkers returned %d, want the previous value %d", old, initial)
+	}
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	// The canonical save/restore idiom: restoring the returned value must
+	// bring back the exact initial setting.
+	if prev := SetWorkers(old); prev != 3 {
+		t.Fatalf("restore returned %d, want 3", prev)
+	}
+	if Workers() != initial {
+		t.Fatalf("Workers() = %d after restore, want %d", Workers(), initial)
+	}
+}
+
+func TestForBlockedBoundaries(t *testing.T) {
+	old := SetWorkers(4)
+	defer SetWorkers(old)
+	for _, tc := range []struct{ n, block int }{
+		{103, 8}, {64, 16}, {7, 8}, {1, 1}, {100, 1}, {33, 0}, // block<1 clamps to 1
+	} {
+		var mu sync.Mutex
+		covered := make([]int, tc.n)
+		ForBlocked(tc.n, tc.block, func(lo, hi int) {
+			if lo < 0 || hi > tc.n || lo >= hi {
+				t.Errorf("n=%d block=%d: bad chunk [%d,%d)", tc.n, tc.block, lo, hi)
+			}
+			block := max(tc.block, 1)
+			if lo%block != 0 {
+				t.Errorf("n=%d block=%d: lo=%d not tile-aligned", tc.n, tc.block, lo)
+			}
+			if hi != tc.n && hi%block != 0 {
+				t.Errorf("n=%d block=%d: hi=%d not tile-aligned", tc.n, tc.block, hi)
+			}
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				covered[i]++
+			}
+			mu.Unlock()
+		})
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("n=%d block=%d: index %d covered %d times", tc.n, tc.block, i, c)
+			}
+		}
+	}
+}
+
+// TestForBlockedDeterministicChunking pins the contract the GEMM drivers
+// rely on: the same n, block, and worker count always produce the same
+// chunk boundaries, regardless of scheduling.
+func TestForBlockedDeterministicChunking(t *testing.T) {
+	old := SetWorkers(4)
+	defer SetWorkers(old)
+	record := func(n, block int) [][2]int {
+		var mu sync.Mutex
+		var chunks [][2]int
+		ForBlocked(n, block, func(lo, hi int) {
+			mu.Lock()
+			chunks = append(chunks, [2]int{lo, hi})
+			mu.Unlock()
+		})
+		sort.Slice(chunks, func(i, j int) bool { return chunks[i][0] < chunks[j][0] })
+		return chunks
+	}
+	for _, tc := range []struct{ n, block int }{{1000, 8}, {37, 4}, {64, 16}} {
+		first := record(tc.n, tc.block)
+		for trial := 0; trial < 10; trial++ {
+			if got := record(tc.n, tc.block); !reflect.DeepEqual(got, first) {
+				t.Fatalf("n=%d block=%d trial %d: chunks %v != %v", tc.n, tc.block, trial, got, first)
+			}
+		}
+	}
+}
+
+func TestForBlockedZero(t *testing.T) {
+	called := false
+	ForBlocked(0, 8, func(lo, hi int) { called = true })
+	ForBlocked(-3, 8, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for n<=0")
 	}
 }
 

@@ -16,52 +16,33 @@ import (
 // SDD computes dst(block br,bc) += a[rows of br] · b[rows of bc]ᵀ, the
 // sampled-dense-dense product that produces attention scores (Q·Kᵀ) and,
 // in backward, probability gradients (dOut·Vᵀ). Only active blocks are
-// computed; k is the inner (head) dimension.
+// computed; k is the inner (head) dimension. Each block is one a·bᵀ
+// product over contiguous row groups, delegated to the shared
+// tensor.GemmTBRange core so the sparse path rides the tiled dense kernels.
 func SDD(dst *BlockSparse, a, b []float32, k int) {
 	blk := dst.Blk
 	for br := 0; br < dst.L.NB(); br++ {
+		aRows := a[br*blk*k : (br*blk+blk)*k]
 		for _, bc32 := range dst.L.RowBlocks(br) {
 			bc := int(bc32)
 			id, _ := dst.L.BlockID(br, bc)
-			blkData := dst.Block(id)
-			for i := 0; i < blk; i++ {
-				ar := a[(br*blk+i)*k : (br*blk+i+1)*k]
-				out := blkData[i*blk : (i+1)*blk]
-				for j := 0; j < blk; j++ {
-					brow := b[(bc*blk+j)*k : (bc*blk+j+1)*k]
-					var s float32
-					for kk, av := range ar {
-						s += av * brow[kk]
-					}
-					out[j] += s
-				}
-			}
+			tensor.GemmTBRange(dst.Block(id), aRows, b[bc*blk*k:(bc*blk+blk)*k], k, blk, 0, blk)
 		}
 	}
 }
 
 // DSD computes dst += sp · b for sparse sp and dense b [s, n] — the
 // probabilities·V product and, in backward, dScores·K. dst is [s, n].
+// Each active block is one blkData·bRows product on contiguous rows,
+// delegated to the shared tensor.GemmRange core.
 func DSD(dst []float32, sp *BlockSparse, b []float32, n int) {
 	blk := sp.Blk
 	for br := 0; br < sp.L.NB(); br++ {
+		out := dst[br*blk*n : (br*blk+blk)*n]
 		for _, bc32 := range sp.L.RowBlocks(br) {
 			bc := int(bc32)
 			id, _ := sp.L.BlockID(br, bc)
-			blkData := sp.Block(id)
-			for i := 0; i < blk; i++ {
-				out := dst[(br*blk+i)*n : (br*blk+i+1)*n]
-				row := blkData[i*blk : (i+1)*blk]
-				for j, w := range row {
-					if w == 0 {
-						continue
-					}
-					brow := b[(bc*blk+j)*n : (bc*blk+j+1)*n]
-					for c, bv := range brow {
-						out[c] += w * bv
-					}
-				}
-			}
+			tensor.GemmRange(out, sp.Block(id), b[bc*blk*n:(bc*blk+blk)*n], blk, n, 0, blk)
 		}
 	}
 }
@@ -69,27 +50,17 @@ func DSD(dst []float32, sp *BlockSparse, b []float32, n int) {
 // DSDT computes dst += spᵀ · b — probabilityᵀ·dOut (for dV) and
 // dScoresᵀ·Q (for dK). It traverses column-wise via the layout's inverse
 // index so each destination block-row is written by exactly one iteration,
-// keeping the kernel race-free if callers shard over block-columns.
+// keeping the kernel race-free if callers shard over block-columns. Each
+// active block is one blkDataᵀ·bRows product, delegated to the shared
+// tensor.GemmTARange core.
 func DSDT(dst []float32, sp *BlockSparse, b []float32, n int) {
 	blk := sp.Blk
 	for bc := 0; bc < sp.L.NB(); bc++ {
+		out := dst[bc*blk*n : (bc*blk+blk)*n]
 		for _, br32 := range sp.L.ColBlocks(bc) {
 			br := int(br32)
 			id, _ := sp.L.BlockID(br, bc)
-			blkData := sp.Block(id)
-			for j := 0; j < blk; j++ {
-				out := dst[(bc*blk+j)*n : (bc*blk+j+1)*n]
-				for i := 0; i < blk; i++ {
-					w := blkData[i*blk+j]
-					if w == 0 {
-						continue
-					}
-					brow := b[(br*blk+i)*n : (br*blk+i+1)*n]
-					for c, bv := range brow {
-						out[c] += w * bv
-					}
-				}
-			}
+			tensor.GemmTARange(out, sp.Block(id), b[br*blk*n:(br*blk+blk)*n], blk, blk, n, 0, blk)
 		}
 	}
 }

@@ -1,0 +1,137 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The tiled cores promise bit-identical results to the naive seed cores —
+// every float32 addition happens in the same order. These tests pin that
+// promise across shapes that exercise full tiles, partial panels, and
+// remainder columns, with exact (== on bits) comparison.
+
+func gemmShapes() [][3]int {
+	return [][3]int{
+		{1, 8, 4}, {3, 8, 5}, {8, 8, 8}, {7, 9, 11},
+		{16, 130, 67}, {33, 128, 64}, {40, 129, 65}, {64, 256, 256},
+		{5, 300, 3}, {6, 4, 300}, // skinny: naive fallback paths
+	}
+}
+
+func fillWithZeros(r *RNG, t *Tensor) {
+	r.FillNormal(t, 1)
+	for i := 0; i < len(t.Data); i += 7 {
+		t.Data[i] = 0 // exercise the zero-skip branches
+	}
+}
+
+func TestGemmTiledBitIdentical(t *testing.T) {
+	r := NewRNG(11)
+	for _, d := range gemmShapes() {
+		m, k, n := d[0], d[1], d[2]
+		a, b := New(m, k), New(k, n)
+		fillWithZeros(r, a)
+		fillWithZeros(r, b)
+		got, want := New(m, n), New(m, n)
+		r.FillNormal(got, 1)
+		want.CopyFrom(got)
+		GemmRange(got.Data, a.Data, b.Data, k, n, 0, m)
+		GemmRangeNaive(want.Data, a.Data, b.Data, k, n, 0, m)
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("GemmRange m,k,n=%v: bit mismatch at %d: %v vs %v", d, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestGemmTBTiledBitIdentical(t *testing.T) {
+	r := NewRNG(12)
+	for _, d := range gemmShapes() {
+		m, k, n := d[0], d[1], d[2]
+		a, b := New(m, k), New(n, k)
+		fillWithZeros(r, a)
+		fillWithZeros(r, b)
+		got, want := New(m, n), New(m, n)
+		r.FillNormal(got, 1)
+		want.CopyFrom(got)
+		GemmTBRange(got.Data, a.Data, b.Data, k, n, 0, m)
+		GemmTBRangeNaive(want.Data, a.Data, b.Data, k, n, 0, m)
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("GemmTBRange m,k,n=%v: bit mismatch at %d: %v vs %v", d, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestGemmTATiledBitIdentical(t *testing.T) {
+	r := NewRNG(13)
+	for _, d := range gemmShapes() {
+		m, k, n := d[0], d[1], d[2]
+		a, b := New(k, m), New(k, n)
+		fillWithZeros(r, a)
+		fillWithZeros(r, b)
+		got, want := New(m, n), New(m, n)
+		r.FillNormal(got, 1)
+		want.CopyFrom(got)
+		GemmTARange(got.Data, a.Data, b.Data, k, m, n, 0, m)
+		GemmTARangeNaive(want.Data, a.Data, b.Data, k, m, n, 0, m)
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("GemmTARange m,k,n=%v: bit mismatch at %d: %v vs %v", d, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestGemmTiledSubrange checks the cores honor [loM, hiM) exactly: rows
+// outside the range are untouched.
+func TestGemmTiledSubrange(t *testing.T) {
+	r := NewRNG(14)
+	m, k, n := 20, 64, 48
+	a, b := New(m, k), New(k, n)
+	r.FillNormal(a, 1)
+	r.FillNormal(b, 1)
+	c := New(m, n)
+	r.FillNormal(c, 1)
+	before := New(m, n)
+	before.CopyFrom(c)
+	lo, hi := 5, 13
+	GemmRange(c.Data, a.Data, b.Data, k, n, lo, hi)
+	for i := 0; i < m; i++ {
+		changed := false
+		for j := 0; j < n; j++ {
+			if c.Data[i*n+j] != before.Data[i*n+j] {
+				changed = true
+				break
+			}
+		}
+		if inRange := i >= lo && i < hi; changed != inRange {
+			t.Fatalf("row %d: changed=%v, in range=%v", i, changed, inRange)
+		}
+	}
+}
+
+func benchGemmCore(b *testing.B, n int, core func(c, a, bb []float32, k, nn, lo, hi int)) {
+	r := NewRNG(21)
+	x, y, c := New(n, n), New(n, n), New(n, n)
+	r.FillNormal(x, 1)
+	r.FillNormal(y, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core(c.Data, x.Data, y.Data, n, n, 0, n)
+	}
+	flops := 2 * int64(n) * int64(n) * int64(n)
+	b.ReportMetric(float64(flops*int64(b.N))/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+func BenchmarkGemmCores(b *testing.B) {
+	for _, n := range []int{128, 256} {
+		b.Run(fmt.Sprintf("naive/%d", n), func(b *testing.B) { benchGemmCore(b, n, GemmRangeNaive) })
+		b.Run(fmt.Sprintf("tiled/%d", n), func(b *testing.B) { benchGemmCore(b, n, GemmRange) })
+		b.Run(fmt.Sprintf("tb-naive/%d", n), func(b *testing.B) { benchGemmCore(b, n, GemmTBRangeNaive) })
+		b.Run(fmt.Sprintf("tb-tiled/%d", n), func(b *testing.B) { benchGemmCore(b, n, GemmTBRange) })
+	}
+}

@@ -14,9 +14,22 @@ import (
 // per-element arithmetic exactly.
 
 // GemmRange computes c[i,:] += a[i,:]·b for rows i in [loM, hiM), with
-// a: [m,k], b: [k,n], c: [m,n], all row-major. The i-k-j loop order streams
-// rows of b, the cache-friendly order for row-major data.
+// a: [m,k], b: [k,n], c: [m,n], all row-major. Large shapes run the
+// register-blocked, panel-tiled core (gemm_tiled.go); skinny ones fall back
+// to the naive core. Both produce bit-identical results.
 func GemmRange(c, a, b []float32, k, n, loM, hiM int) {
+	if gemmTiledWorthIt(k, n) {
+		gemmRangeTiled(c, a, b, k, n, loM, hiM)
+		return
+	}
+	GemmRangeNaive(c, a, b, k, n, loM, hiM)
+}
+
+// GemmRangeNaive is the seed i-k-j core, retained as the correctness
+// reference, the fallback for skinny shapes, and the baseline that
+// cmd/lebench measures the tiled core against. The i-k-j loop order streams
+// rows of b, the cache-friendly order for row-major data.
+func GemmRangeNaive(c, a, b []float32, k, n, loM, hiM int) {
 	for i := loM; i < hiM; i++ {
 		ci := c[i*n : (i+1)*n]
 		ai := a[i*k : (i+1)*k]
@@ -35,8 +48,19 @@ func GemmRange(c, a, b []float32, k, n, loM, hiM int) {
 
 // GemmTBRange computes c[i,j] += dot(a[i,:], b[j,:]) for rows i in [loM,
 // hiM), with a: [m,k], b: [n,k] (i.e. c += a·bᵀ). Row-row dot products make
-// this the fastest core on CPU; attention scores use it.
+// this the fastest core on CPU; attention scores use it. Large shapes run
+// the cache-blocked 4-wide core; results are bit-identical either way.
 func GemmTBRange(c, a, b []float32, k, n, loM, hiM int) {
+	if gemmTiledWorthIt(k, n) {
+		gemmTBRangeTiled(c, a, b, k, n, loM, hiM)
+		return
+	}
+	GemmTBRangeNaive(c, a, b, k, n, loM, hiM)
+}
+
+// GemmTBRangeNaive is the seed dot-product core, retained as the
+// correctness reference and lebench baseline.
+func GemmTBRangeNaive(c, a, b []float32, k, n, loM, hiM int) {
 	for i := loM; i < hiM; i++ {
 		ai := a[i*k : (i+1)*k]
 		ci := c[i*n : (i+1)*n]
@@ -53,8 +77,19 @@ func GemmTBRange(c, a, b []float32, k, n, loM, hiM int) {
 
 // GemmTARange computes c[i,:] += Σ_k a[k,i]·b[k,:] for rows i in [loM, hiM),
 // with a: [kDim,m], b: [kDim,n] (i.e. c += aᵀ·b). Weight gradients
-// (xᵀ·dy) use it.
+// (xᵀ·dy) use it. Large shapes run the panel-tiled core; results are
+// bit-identical either way.
 func GemmTARange(c, a, b []float32, kDim, m, n, loM, hiM int) {
+	if gemmTiledWorthIt(kDim, n) {
+		gemmTARangeTiled(c, a, b, kDim, m, n, loM, hiM)
+		return
+	}
+	GemmTARangeNaive(c, a, b, kDim, m, n, loM, hiM)
+}
+
+// GemmTARangeNaive is the seed aᵀ·b core, retained as the correctness
+// reference and lebench baseline.
+func GemmTARangeNaive(c, a, b []float32, kDim, m, n, loM, hiM int) {
 	for i := loM; i < hiM; i++ {
 		ci := c[i*n : (i+1)*n]
 		for kk := 0; kk < kDim; kk++ {
@@ -69,6 +104,11 @@ func GemmTARange(c, a, b []float32, kDim, m, n, loM, hiM int) {
 		}
 	}
 }
+
+// matmulRowTile is the row granularity handed to parallel.ForBlocked by the
+// MatMul drivers: no worker receives fewer rows than this (except the tail),
+// so the per-call panel packing of the tiled cores stays amortized.
+const matmulRowTile = 8
 
 func check2D(t *Tensor, name string) (rows, cols int) {
 	if t.Rank() != 2 {
@@ -86,7 +126,7 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
 	}
 	c := New(m, n)
-	parallel.ForChunked(m, func(lo, hi int) {
+	parallel.ForBlocked(m, matmulRowTile, func(lo, hi int) {
 		GemmRange(c.Data, a.Data, b.Data, k, n, lo, hi)
 	})
 	return c
@@ -100,7 +140,7 @@ func MatMulInto(c, a, b *Tensor) {
 	if k != k2 || cm != m || cn != n {
 		panic(fmt.Sprintf("tensor: MatMulInto shapes a%v b%v c%v", a.Shape(), b.Shape(), c.Shape()))
 	}
-	parallel.ForChunked(m, func(lo, hi int) {
+	parallel.ForBlocked(m, matmulRowTile, func(lo, hi int) {
 		GemmRange(c.Data, a.Data, b.Data, k, n, lo, hi)
 	})
 }
@@ -113,7 +153,7 @@ func MatMulTB(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTB inner dims %d vs %d", k, k2))
 	}
 	c := New(m, n)
-	parallel.ForChunked(m, func(lo, hi int) {
+	parallel.ForBlocked(m, matmulRowTile, func(lo, hi int) {
 		GemmTBRange(c.Data, a.Data, b.Data, k, n, lo, hi)
 	})
 	return c
@@ -127,7 +167,7 @@ func MatMulTBInto(c, a, b *Tensor) {
 	if k != k2 || cm != m || cn != n {
 		panic(fmt.Sprintf("tensor: MatMulTBInto shapes a%v b%v c%v", a.Shape(), b.Shape(), c.Shape()))
 	}
-	parallel.ForChunked(m, func(lo, hi int) {
+	parallel.ForBlocked(m, matmulRowTile, func(lo, hi int) {
 		GemmTBRange(c.Data, a.Data, b.Data, k, n, lo, hi)
 	})
 }
@@ -140,7 +180,7 @@ func MatMulTA(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTA leading dims %d vs %d", kDim, kDim2))
 	}
 	c := New(m, n)
-	parallel.ForChunked(m, func(lo, hi int) {
+	parallel.ForBlocked(m, matmulRowTile, func(lo, hi int) {
 		GemmTARange(c.Data, a.Data, b.Data, kDim, m, n, lo, hi)
 	})
 	return c
@@ -154,7 +194,7 @@ func MatMulTAInto(c, a, b *Tensor) {
 	if kDim != kDim2 || cm != m || cn != n {
 		panic(fmt.Sprintf("tensor: MatMulTAInto shapes a%v b%v c%v", a.Shape(), b.Shape(), c.Shape()))
 	}
-	parallel.ForChunked(m, func(lo, hi int) {
+	parallel.ForBlocked(m, matmulRowTile, func(lo, hi int) {
 		GemmTARange(c.Data, a.Data, b.Data, kDim, m, n, lo, hi)
 	})
 }
