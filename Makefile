@@ -3,9 +3,9 @@
 # pre-commit subset (see README "Development").
 
 GO ?= go
-BASELINE := .github/bench/BENCH_kernels.json
+BASELINES := .github/bench
 
-.PHONY: build test race bench bench-all baseline fmt vet check ci
+.PHONY: build test race bench bench-allocs bench-all baseline fmt vet check ci
 
 build:
 	$(GO) build ./...
@@ -14,23 +14,30 @@ test:
 	$(GO) test ./...
 
 # Race detector over the concurrent packages (job service, HTTP API,
-# worker pool) — the same set CI runs.
+# worker pool, concurrent training replicas) — the same set CI runs.
 race:
-	$(GO) test -race ./internal/jobs/... ./internal/serve/... ./internal/parallel/...
+	$(GO) test -race ./internal/jobs/... ./internal/serve/... ./internal/parallel/... ./internal/train/... ./internal/tensor/...
 
-# CI-sized kernel benchmarks, gated against the checked-in baseline.
+# CI-sized benchmarks, gated against the checked-in baselines on both
+# ns/op (relative tolerance) and allocs/op (absolute tolerance).
 bench:
-	$(GO) run ./cmd/lebench -suite kernels -short -baseline $(BASELINE) -tolerance 0.20
+	$(GO) run ./cmd/lebench -suite kernels,train_step -short -baseline $(BASELINES) -tolerance 0.20 -alloc-tolerance 16
 
-# Every suite at full size (kernels + whole-experiment timings).
+# Allocation gate alone: the train_step suite compares the workspace-arena
+# step against its checked-in near-zero allocs/op baseline — mirrors the
+# CI bench job's allocation axis.
+bench-allocs:
+	$(GO) run ./cmd/lebench -suite train_step -short -baseline $(BASELINES) -tolerance 1000 -alloc-tolerance 16
+
+# Every suite at full size (kernels + train step + whole-experiment timings).
 bench-all:
 	$(GO) run ./cmd/lebench -suite all
 
-# Regenerate the checked-in baseline from this machine. Commit the result
+# Regenerate the checked-in baselines from this machine. Commit the result
 # only when intentionally resetting the perf reference (e.g. after a
 # deliberate trade-off or a runner change).
 baseline:
-	$(GO) run ./cmd/lebench -suite kernels -short -out .github/bench
+	$(GO) run ./cmd/lebench -suite kernels,train_step -short -repeats 4 -out .github/bench
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -4,11 +4,15 @@
 //	go run ./cmd/lebench -suite kernels            # kernel microbenchmarks
 //	go run ./cmd/lebench -suite kernels -short     # CI-sized run
 //	go run ./cmd/lebench -suite all -out artifacts # every suite
-//	go run ./cmd/lebench -suite kernels -short -baseline .github/bench/BENCH_kernels.json
+//	go run ./cmd/lebench -suite kernels,train_step -short -baseline .github/bench
 //
-// With -baseline, the freshly measured suite is compared against the given
-// report and the process exits 2 if any benchmark got more than -tolerance
-// slower — the CI regression gate.
+// With -baseline (a report file, or a directory of BENCH_<suite>.json
+// files resolved per suite), each freshly measured suite is compared
+// against its baseline and the process exits 2 on regression: more than
+// -tolerance slower in ns/op, or more than -alloc-tolerance additional
+// allocs/op (absolute delta — the axis that locks in the workspace arena's
+// near-zero steady-state allocations). The allocation gate, like the
+// wall-clock gate, only arms when baseline and runner hardware match.
 package main
 
 import (
@@ -32,6 +36,7 @@ func main() {
 		outDir    = flag.String("out", ".", "directory for BENCH_<suite>.json artifacts")
 		baseline  = flag.String("baseline", "", "baseline report to compare against; exit 2 on regression")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed slowdown vs baseline before failing (0.20 = 20%)")
+		allocTol  = flag.Float64("alloc-tolerance", 16, "allowed absolute growth in allocs/op vs baseline before failing; negative disables the allocation gate")
 		minTime   = flag.Duration("mintime", 0, "minimum timed duration per round (default 300ms, 100ms in short mode)")
 		repeats   = flag.Int("repeats", 0, "measurement rounds per benchmark, best-of (default 3, 2 in short mode)")
 		workers   = flag.Int("workers", 0, "worker-pool size for parallel kernels (default GOMAXPROCS)")
@@ -81,7 +86,21 @@ func main() {
 		fmt.Printf("wrote %s\n", path)
 
 		if *baseline != "" {
-			base, err := bench.ReadReport(*baseline)
+			// A directory baseline resolves per suite (BENCH_<suite>.json
+			// inside it), so one -baseline flag gates a multi-suite run. A
+			// suite without a checked-in baseline is skipped, not failed —
+			// the same suite-membership policy bench.Compare applies to
+			// individual benchmarks, and what lets a new suite land one PR
+			// before its baseline.
+			basePath := *baseline
+			if st, err := os.Stat(basePath); err == nil && st.IsDir() {
+				basePath = filepath.Join(basePath, "BENCH_"+suite+".json")
+				if _, err := os.Stat(basePath); err != nil {
+					fmt.Fprintf(os.Stderr, "warning: no baseline %s for suite %q, skipping comparison (run 'make baseline' to record one)\n", basePath, suite)
+					continue
+				}
+			}
+			base, err := bench.ReadReport(basePath)
 			if err != nil {
 				fatalf("reading baseline: %v", err)
 			}
@@ -99,9 +118,9 @@ func main() {
 					"comparison is informational only; refresh the baseline from this runner (make baseline) to arm the gate\n",
 					base.GOARCH, base.CPUs, orDash(base.Host), report.GOARCH, report.CPUs, orDash(report.Host))
 			}
-			deltas, bad := bench.Compare(base, report, *tolerance)
-			fmt.Printf("\nvs baseline %s (commit %s, tolerance %.0f%%):\n%s",
-				*baseline, orDash(base.Commit), *tolerance*100, bench.FormatDeltas(deltas))
+			deltas, bad := bench.Compare(base, report, bench.Tolerances{Ns: *tolerance, Allocs: *allocTol})
+			fmt.Printf("\nvs baseline %s (commit %s, tolerance %.0f%%, alloc tolerance %+.0f):\n%s",
+				basePath, orDash(base.Commit), *tolerance*100, *allocTol, bench.FormatDeltas(deltas))
 			regressed = regressed || (bad && hwMatch)
 		}
 	}

@@ -127,7 +127,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		{Name: "b", NsPerOp: 130}, // +30%: regression
 		{Name: "new", NsPerOp: 50},
 	}}
-	deltas, regressed := Compare(base, cur, 0.20)
+	deltas, regressed := Compare(base, cur, Tolerances{Ns: 0.20, Allocs: 16})
 	if !regressed {
 		t.Fatal("regression not flagged")
 	}
@@ -149,7 +149,44 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	if out := FormatDeltas(deltas); !regexp.MustCompile(`REGRESSED`).MatchString(out) {
 		t.Fatalf("FormatDeltas missing marker:\n%s", out)
 	}
-	if _, bad := Compare(base, cur, 0.5); bad {
+	if _, bad := Compare(base, cur, Tolerances{Ns: 0.5, Allocs: 16}); bad {
 		t.Fatal("50% tolerance should pass")
+	}
+}
+
+func TestCompareFlagsAllocationRegressions(t *testing.T) {
+	base := &Report{Suite: "train_step", Results: []Result{
+		{Name: "train_step/ws", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "train_step/nows", NsPerOp: 100, AllocsPerOp: 360},
+	}}
+	cur := &Report{Suite: "train_step", Results: []Result{
+		{Name: "train_step/ws", NsPerOp: 100, AllocsPerOp: 120}, // arena leak: +120 allocs
+		{Name: "train_step/nows", NsPerOp: 100, AllocsPerOp: 370},
+	}}
+	deltas, regressed := Compare(base, cur, Tolerances{Ns: 0.20, Allocs: 16})
+	if !regressed {
+		t.Fatal("allocation regression not flagged")
+	}
+	for _, d := range deltas {
+		switch d.Name {
+		case "train_step/ws":
+			if !d.AllocsRegressed {
+				t.Fatal("ws allocation regression not flagged")
+			}
+			if d.Regressed {
+				t.Fatal("ws wall-clock flagged without a slowdown")
+			}
+		case "train_step/nows":
+			if d.AllocsRegressed {
+				t.Fatal("nows +10 allocs is within the absolute tolerance")
+			}
+		}
+	}
+	if out := FormatDeltas(deltas); !regexp.MustCompile(`ALLOCS-REGRESSED`).MatchString(out) {
+		t.Fatalf("FormatDeltas missing allocation marker:\n%s", out)
+	}
+	// Negative tolerance disables the allocation gate entirely.
+	if _, bad := Compare(base, cur, Tolerances{Ns: 0.20, Allocs: -1}); bad {
+		t.Fatal("disabled allocation gate still failed")
 	}
 }

@@ -7,19 +7,38 @@ import (
 
 // Delta is one benchmark's change versus a baseline report.
 type Delta struct {
-	Name      string  `json:"name"`
-	BaseNs    float64 `json:"base_ns_per_op"`
-	NewNs     float64 `json:"new_ns_per_op"`
-	Ratio     float64 `json:"ratio"` // NewNs / BaseNs; >1 is slower
-	Regressed bool    `json:"regressed"`
+	Name       string  `json:"name"`
+	BaseNs     float64 `json:"base_ns_per_op"`
+	NewNs      float64 `json:"new_ns_per_op"`
+	Ratio      float64 `json:"ratio"` // NewNs / BaseNs; >1 is slower
+	BaseAllocs float64 `json:"base_allocs_per_op"`
+	NewAllocs  float64 `json:"new_allocs_per_op"`
+	// Regressed flags a wall-clock regression (ns/op ratio beyond the
+	// tolerance); AllocsRegressed flags an allocation regression (allocs/op
+	// grew by more than the absolute tolerance). Either fails the gate.
+	Regressed       bool `json:"regressed"`
+	AllocsRegressed bool `json:"allocs_regressed"`
+}
+
+// Tolerances bound how much a benchmark may degrade versus its baseline
+// before the CI gate fails.
+type Tolerances struct {
+	// Ns is the allowed relative ns/op slowdown (0.20 = 20% slower).
+	Ns float64
+	// Allocs is the allowed *absolute* growth in allocs/op. Absolute, not
+	// relative: the workspace path's baseline is ~zero, where any relative
+	// threshold is either vacuous or infinitely strict. A negative value
+	// disables allocation gating.
+	Allocs float64
 }
 
 // Compare matches cur's results against base by name and flags regressions:
-// a benchmark regressed when it got more than tolerance slower (ns/op ratio
-// > 1+tolerance). Benchmarks present on only one side are skipped — suite
+// wall-clock when a benchmark got more than tol.Ns slower (ns/op ratio
+// > 1+tol.Ns), allocation when allocs/op grew by more than tol.Allocs over
+// the baseline. Benchmarks present on only one side are skipped — suite
 // membership changes must not fail CI. The second return is true when any
-// benchmark regressed.
-func Compare(base, cur *Report, tolerance float64) ([]Delta, bool) {
+// benchmark regressed on either axis.
+func Compare(base, cur *Report, tol Tolerances) ([]Delta, bool) {
 	var deltas []Delta
 	anyRegressed := false
 	for _, res := range cur.Results {
@@ -28,29 +47,37 @@ func Compare(base, cur *Report, tolerance float64) ([]Delta, bool) {
 			continue
 		}
 		d := Delta{
-			Name:   res.Name,
-			BaseNs: b.NsPerOp,
-			NewNs:  res.NsPerOp,
-			Ratio:  res.NsPerOp / b.NsPerOp,
+			Name:       res.Name,
+			BaseNs:     b.NsPerOp,
+			NewNs:      res.NsPerOp,
+			Ratio:      res.NsPerOp / b.NsPerOp,
+			BaseAllocs: b.AllocsPerOp,
+			NewAllocs:  res.AllocsPerOp,
 		}
-		d.Regressed = d.Ratio > 1+tolerance
-		anyRegressed = anyRegressed || d.Regressed
+		d.Regressed = d.Ratio > 1+tol.Ns
+		d.AllocsRegressed = tol.Allocs >= 0 && res.AllocsPerOp > b.AllocsPerOp+tol.Allocs
+		anyRegressed = anyRegressed || d.Regressed || d.AllocsRegressed
 		deltas = append(deltas, d)
 	}
 	return deltas, anyRegressed
 }
 
-// FormatDeltas renders a fixed-width comparison table; regressed rows are
-// marked REGRESSED.
+// FormatDeltas renders a fixed-width comparison table; rows that fail the
+// gate are marked REGRESSED (ns/op) or ALLOCS-REGRESSED (allocs/op).
 func FormatDeltas(deltas []Delta) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-36s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "ratio")
+	fmt.Fprintf(&sb, "%-36s %14s %14s %8s %12s %12s\n",
+		"benchmark", "base ns/op", "new ns/op", "ratio", "base allocs", "new allocs")
 	for _, d := range deltas {
 		mark := ""
 		if d.Regressed {
-			mark = "  REGRESSED"
+			mark += "  REGRESSED"
 		}
-		fmt.Fprintf(&sb, "%-36s %14.0f %14.0f %7.2fx%s\n", d.Name, d.BaseNs, d.NewNs, d.Ratio, mark)
+		if d.AllocsRegressed {
+			mark += "  ALLOCS-REGRESSED"
+		}
+		fmt.Fprintf(&sb, "%-36s %14.0f %14.0f %7.2fx %12.0f %12.0f%s\n",
+			d.Name, d.BaseNs, d.NewNs, d.Ratio, d.BaseAllocs, d.NewAllocs, mark)
 	}
 	return sb.String()
 }

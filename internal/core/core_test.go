@@ -68,8 +68,8 @@ func TestBaselineSharesInitialWeights(t *testing.T) {
 	sys := New(cfg)
 	base := NewBaseline(cfg)
 	ids := [][]int{{1, 2, 3, 4}}
-	a := sys.Model.Forward(ids, nil)
-	b := base.Model.Forward(ids, nil)
+	a := sys.Model.Forward(ids, nil, nil)
+	b := base.Model.Forward(ids, nil, nil)
 	if d := tensor.MaxAbsDiff(a, b); d != 0 {
 		t.Fatalf("baseline weights differ: %v", d)
 	}

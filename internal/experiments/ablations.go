@@ -69,11 +69,11 @@ func Ablations(o Options) *Report {
 	// 3. Matching policy: mass-weighted vs count-based recall.
 	sys := core.New(core.Config{Prime: true, Spec: spec, Method: peft.LoRA, Blk: blk, Seed: o.seed()})
 	sys.PretrainPredictors(calib, predictorTrainCfg(o))
-	sys.Model.Forward(batches[0].Inputs, nil)
+	sys.Model.Forward(batches[0].Inputs, nil, nil)
 	var massD, countD float64
 	var n int
 	for _, b := range sys.Model.Blocks {
-		probs := b.Attn.DenseProbs()
+		probs := b.Attn.DenseProbs(nil)
 		masks, masses := sys.Exposer.HeadMasksWithMass(probs, batch, spec.Config.Heads)
 		for h, m := range masks {
 			_, lMass := sys.Exposer.MatchToPool(m, masses[h])

@@ -177,7 +177,7 @@ func randomCausalLayout(nb int, p float64, rng *tensor.RNG) *sparse.Layout {
 // mask for one head.
 func visualizePrediction(sys *core.System, ids [][]int, blk int) [][]string {
 	m := sys.Model
-	m.Forward(ids, nil)
+	m.Forward(ids, nil, nil)
 	b0 := m.Blocks[0]
 	batch := len(ids)
 	seq := m.TotalSeq(len(ids[0]))
@@ -185,7 +185,7 @@ func visualizePrediction(sys *core.System, ids [][]int, blk int) [][]string {
 	// Predicted mask.
 	pred := sys.Predictors.Layers[0].Attn.PredictMasks(b0.LN1Out(), batch, seq)[0]
 	// Target mask from true probabilities.
-	target := sys.Exposer.HeadMasks(b0.Attn.DenseProbs(), batch, sys.Cfg.Spec.Config.Heads)[0]
+	target := sys.Exposer.HeadMasks(b0.Attn.DenseProbs(nil), batch, sys.Cfg.Spec.Config.Heads)[0]
 
 	nb := seq / blk
 	render := func(l *sparse.Layout) []string {

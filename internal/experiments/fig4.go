@@ -21,7 +21,7 @@ func Fig4(o Options) *Report {
 	batch, seq, blk := o.simGeometry()
 	sys := core.New(core.Config{Prime: true, Spec: spec, Method: peft.LoRA, Blk: blk, Seed: o.seed()})
 	batches := e2eBatches(spec, batch, seq, 1, o.seed())
-	sys.Model.Forward(batches[0].Inputs, nil)
+	sys.Model.Forward(batches[0].Inputs, nil, nil)
 
 	// MLP side (Fig 4c/4d): per-token sparsity vs overall (AND-reduced)
 	// sparsity per layer.
@@ -40,7 +40,7 @@ func Fig4(o Options) *Report {
 	// Attention side (Fig 4a/4b): the per-row block need of a single late
 	// token vs the union over the whole sequence, layer 0.
 	b0 := sys.Model.Blocks[0]
-	probs := b0.Attn.DenseProbs()
+	probs := b0.Attn.DenseProbs(nil)
 	masks := sys.Exposer.HeadMasks(probs, batch, spec.Config.Heads)
 	nb := seq / blk
 	var attnRows [][]string

@@ -28,7 +28,7 @@ func Fig9(o Options) *Report {
 	sys.PretrainPredictors(idsOf(batches, 1), predictorTrainCfg(o))
 
 	// One dense forward to populate ground-truth activations.
-	sys.Model.Forward(batches[0].Inputs, nil)
+	sys.Model.Forward(batches[0].Inputs, nil, nil)
 
 	nb := seq / blk
 	pool := sys.Exposer.Pool()
@@ -41,7 +41,7 @@ func Fig9(o Options) *Report {
 	var attnRows [][]string
 	leLayouts := make([][]*sparse.Layout, len(sys.Model.Blocks))
 	for li, b := range sys.Model.Blocks {
-		probs := b.Attn.DenseProbs()
+		probs := b.Attn.DenseProbs(nil)
 		masks := sys.Exposer.HeadMasks(probs, batch, spec.Config.Heads)
 		_, layouts := sys.Exposer.ExposeAttention(probs, batch, spec.Config.Heads)
 		leLayouts[li] = layouts
@@ -80,12 +80,12 @@ func Fig9(o Options) *Report {
 	var timeRows [][]string
 	for li, b := range sys.Model.Blocks {
 		x := b.LN1Out()
-		dense := timeIt(reps, func() { b.Attn.Forward(x, batch, seq, nil, 0) })
-		sparseT := timeIt(reps, func() { b.Attn.Forward(x, batch, seq, leLayouts[li], blk) })
+		dense := timeIt(reps, func() { b.Attn.Forward(x, batch, seq, nil, 0, nil) })
+		sparseT := timeIt(reps, func() { b.Attn.Forward(x, batch, seq, leLayouts[li], blk, nil) })
 
 		x2 := b.LN2Out()
-		mDense := timeIt(reps, func() { b.MLP.Forward(x2, nil, 0) })
-		mSparse := timeIt(reps, func() { b.MLP.Forward(x2, leBlocks[li], blk) })
+		mDense := timeIt(reps, func() { b.MLP.Forward(x2, nil, 0, nil) })
+		mSparse := timeIt(reps, func() { b.MLP.Forward(x2, leBlocks[li], blk, nil) })
 
 		timeRows = append(timeRows, []string{
 			itoa(li),

@@ -65,7 +65,7 @@ func TestPrimeSparsityInducesTrainedLLMStatistics(t *testing.T) {
 		}
 		ids[b] = row
 	}
-	m.Forward(ids, nil)
+	m.Forward(ids, nil, nil)
 
 	for li, b := range m.Blocks {
 		mask := b.MLP.ActivationMask()
@@ -95,14 +95,14 @@ func TestPrimeSparsityKeepsModelTrainable(t *testing.T) {
 	ps := m.Params()
 	var first, last float64
 	for step := 0; step < 40; step++ {
-		logits := m.Forward(ids, nil)
+		logits := m.Forward(ids, nil, nil)
 		loss, dLogits := nn.CrossEntropy(logits, flat)
 		if step == 0 {
 			first = loss
 		}
 		last = loss
 		ps.ZeroGrads()
-		m.Backward(dLogits)
+		m.Backward(dLogits, nil)
 		for _, p := range ps {
 			tensor.AddScaledInto(p.W, p.Grad, -0.3)
 		}
@@ -137,12 +137,12 @@ func TestPrimeAttentionIsLocal(t *testing.T) {
 	for i := range row {
 		row[i] = 4 + r2.Intn(spec.Config.Vocab-4)
 	}
-	m.Forward([][]int{row}, nil)
+	m.Forward([][]int{row}, nil, nil)
 
 	var meanDist, uniformDist float64
 	var n int
 	for _, b := range m.Blocks {
-		for _, p := range b.Attn.DenseProbs() {
+		for _, p := range b.Attn.DenseProbs(nil) {
 			for i := seq / 2; i < seq; i++ { // rows with enough context
 				var d float64
 				for j := 0; j <= i; j++ {

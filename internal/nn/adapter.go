@@ -31,20 +31,20 @@ func (a *Adapter) Params() ParamSet {
 	return append(a.Down.Params(), a.Up.Params()...)
 }
 
-// Forward computes y = z + up(relu(down(z))).
-func (a *Adapter) Forward(z *tensor.Tensor) *tensor.Tensor {
-	h := a.Down.Forward(z)
-	a.mask = tensor.ReLU(h, true)
-	y := a.Up.Forward(h)
+// Forward computes y = z + up(relu(down(z))). ws is the step workspace.
+func (a *Adapter) Forward(z *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
+	h := a.Down.Forward(z, ws)
+	a.mask = tensor.ReLUIn(ws, h, true)
+	y := a.Up.Forward(h, ws)
 	tensor.AddInto(y, z)
 	return y
 }
 
 // Backward propagates dy through the bottleneck and the residual.
-func (a *Adapter) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dh := a.Up.Backward(dy)
+func (a *Adapter) Backward(dy *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
+	dh := a.Up.Backward(dy, ws)
 	tensor.MulInto(dh, a.mask)
-	dz := a.Down.Backward(dh)
+	dz := a.Down.Backward(dh, ws)
 	tensor.AddInto(dz, dy) // residual branch
 	return dz
 }

@@ -20,17 +20,53 @@ import (
 //
 // The backward pass mirrors the forward structure, so the computational
 // savings of a sparse layout apply to gradient computation too (§II-D).
+//
+// Saved-for-backward attention state does not live on the layer struct:
+// each invocation's state is keyed by the workspace it ran with (the
+// layer's own fallback state serves nil-workspace calls), removing the
+// probsDense/probsSparse layer-struct sharing hazard. Note this makes the
+// *attention state* invocation-scoped, not the whole layer: the Linear
+// projections still cache their inputs on their structs, so the supported
+// unit of concurrency remains one model replica per worker (as
+// train.DataParallel arranges and the -race replica tests pin) — not one
+// layer shared by concurrent steps.
 type MultiHeadAttention struct {
 	Dim, Heads, HeadDim int
 	Wq, Wk, Wv, Wo      *Linear
 
-	// Forward cache.
-	batch, seq  int
+	// def serves nil-workspace invocations (single-owner usage).
+	def attnState
+}
+
+// attnState is one invocation's forward cache plus backward scratch. The
+// [][]float32 headers and backing structs persist across steps (they live
+// on the arena's per-layer state or on the layer's def), while the float
+// buffers they point at are re-Got from the workspace every step.
+type attnState struct {
+	batch, seq int
+	blk        int
+	layouts    []*sparse.Layout
+
 	qh, kh, vh  [][]float32 // per (b,h): [seq*headDim]
+	ctx         [][]float32
 	probsDense  []*tensor.Tensor
 	probsSparse []*sparse.BlockSparse
-	layouts     []*sparse.Layout // per head; nil → dense path
-	blk         int
+	spBacking   []sparse.BlockSparse // storage behind probsSparse
+	dpBacking   []sparse.BlockSparse // storage behind backward's dProb
+	dpViews     []*sparse.BlockSparse
+
+	// Backward scratch headers (buffers are step-lived).
+	dCtxH, dqh, dkh, dvh [][]float32
+	dProbH, dScoreH      [][]float32
+}
+
+// state resolves the invocation state for a workspace: the arena-held
+// per-layer state when ws is non-nil, the layer's own fallback otherwise.
+func (a *MultiHeadAttention) state(ws *tensor.Arena) *attnState {
+	if ws == nil {
+		return &a.def
+	}
+	return ws.StateFor(a, func() any { return new(attnState) }).(*attnState)
 }
 
 // NewMultiHeadAttention constructs the four projection layers.
@@ -58,46 +94,60 @@ func (a *MultiHeadAttention) Params() ParamSet {
 	return ps
 }
 
+// headBuffers returns bh buffers of n floats reusing the header slice hdr.
+// With a workspace the buffers are carved from one slab Got on the calling
+// goroutine (so parallel fills never touch the arena); without one each
+// buffer is a fresh make, exactly like the seed code. dirty skips zeroing
+// on the arena path — only for buffers the caller fully overwrites.
+func headBuffers(hdr [][]float32, bh, n int, ws *tensor.Arena, dirty bool) [][]float32 {
+	if cap(hdr) < bh {
+		hdr = make([][]float32, 0, bh)
+	}
+	hdr = hdr[:0]
+	if ws == nil {
+		for i := 0; i < bh; i++ {
+			hdr = append(hdr, make([]float32, n))
+		}
+		return hdr
+	}
+	var slab []float32
+	if dirty {
+		slab = ws.FloatsDirty(bh * n)
+	} else {
+		slab = ws.Floats(bh * n)
+	}
+	for i := 0; i < bh; i++ {
+		hdr = append(hdr, slab[i*n:(i+1)*n])
+	}
+	return hdr
+}
+
 // splitHeads copies a [batch*seq, dim] tensor into per-(batch, head)
 // contiguous [seq, headDim] buffers — the permute step of multi-head
-// attention.
-func (a *MultiHeadAttention) splitHeads(x *tensor.Tensor) [][]float32 {
-	b, s, h, hd := a.batch, a.seq, a.Heads, a.HeadDim
-	out := make([][]float32, b*h)
-	parallel.For(b*h, func(bh int) {
-		bi, hi := bh/h, bh%h
-		buf := make([]float32, s*hd)
-		for si := 0; si < s; si++ {
-			src := x.Data[(bi*s+si)*a.Dim+hi*hd : (bi*s+si)*a.Dim+(hi+1)*hd]
-			copy(buf[si*hd:(si+1)*hd], src)
-		}
-		out[bh] = buf
-	})
+// attention. hdr is the reused header slice of the destination.
+func (a *MultiHeadAttention) splitHeads(hdr [][]float32, x *tensor.Tensor, batch, seq int, ws *tensor.Arena) [][]float32 {
+	h, hd := a.Heads, a.HeadDim
+	out := headBuffers(hdr, batch*h, seq*hd, ws, true)
+	parallel.ForArg(batch*h, permuteArgs{out, x.Data, a.Dim, hd, h, seq}, splitHeadsItem)
 	return out
 }
 
 // mergeHeads inverts splitHeads.
-func (a *MultiHeadAttention) mergeHeads(heads [][]float32) *tensor.Tensor {
-	b, s, h, hd := a.batch, a.seq, a.Heads, a.HeadDim
-	out := tensor.New(b*s, a.Dim)
-	parallel.For(b*h, func(bh int) {
-		bi, hi := bh/h, bh%h
-		buf := heads[bh]
-		for si := 0; si < s; si++ {
-			dst := out.Data[(bi*s+si)*a.Dim+hi*hd : (bi*s+si)*a.Dim+(hi+1)*hd]
-			copy(dst, buf[si*hd:(si+1)*hd])
-		}
-	})
+func (a *MultiHeadAttention) mergeHeads(heads [][]float32, batch, seq int, ws *tensor.Arena) *tensor.Tensor {
+	h, hd := a.Heads, a.HeadDim
+	out := tensor.NewIn(ws, batch*seq, a.Dim)
+	parallel.ForArg(batch*h, permuteArgs{heads, out.Data, a.Dim, hd, h, seq}, mergeHeadsItem)
 	return out
 }
 
 // Forward runs attention over x: [batch*seq, dim]. layouts selects the
 // execution path: nil runs dense causal attention; otherwise layouts[h] is
 // head h's block layout (blk is the block size in tokens, and seq must be
-// a multiple of blk).
-func (a *MultiHeadAttention) Forward(x *tensor.Tensor, batch, seq int, layouts []*sparse.Layout, blk int) *tensor.Tensor {
-	a.batch, a.seq = batch, seq
-	a.layouts, a.blk = layouts, blk
+// a multiple of blk). ws is the step workspace (nil allocates).
+func (a *MultiHeadAttention) Forward(x *tensor.Tensor, batch, seq int, layouts []*sparse.Layout, blk int, ws *tensor.Arena) *tensor.Tensor {
+	st := a.state(ws)
+	st.batch, st.seq = batch, seq
+	st.layouts, st.blk = layouts, blk
 	if layouts != nil {
 		if len(layouts) != a.Heads {
 			panic(fmt.Sprintf("nn: %d layouts for %d heads", len(layouts), a.Heads))
@@ -107,105 +157,212 @@ func (a *MultiHeadAttention) Forward(x *tensor.Tensor, batch, seq int, layouts [
 		}
 	}
 
-	q := a.Wq.Forward(x)
-	k := a.Wk.Forward(x)
-	v := a.Wv.Forward(x)
-	a.qh, a.kh, a.vh = a.splitHeads(q), a.splitHeads(k), a.splitHeads(v)
+	q := a.Wq.Forward(x, ws)
+	k := a.Wk.Forward(x, ws)
+	v := a.Wv.Forward(x, ws)
+	st.qh = a.splitHeads(st.qh, q, batch, seq, ws)
+	st.kh = a.splitHeads(st.kh, k, batch, seq, ws)
+	st.vh = a.splitHeads(st.vh, v, batch, seq, ws)
 
 	bh := batch * a.Heads
-	ctx := make([][]float32, bh)
+	st.ctx = headBuffers(st.ctx, bh, seq*a.HeadDim, ws, false)
+	ctx := st.ctx
 	scale := float32(1 / math.Sqrt(float64(a.HeadDim)))
 
 	if layouts == nil {
-		a.probsDense = make([]*tensor.Tensor, bh)
-		a.probsSparse = nil
-		parallel.For(bh, func(i int) {
-			out := make([]float32, seq*a.HeadDim)
-			a.probsDense[i] = sparse.DenseCausalAttention(out, a.qh[i], a.kh[i], a.vh[i], seq, a.HeadDim, scale)
-			ctx[i] = out
-		})
+		if cap(st.probsDense) < bh {
+			st.probsDense = make([]*tensor.Tensor, 0, bh)
+		}
+		st.probsDense = st.probsDense[:0]
+		for i := 0; i < bh; i++ {
+			st.probsDense = append(st.probsDense, tensor.NewIn(ws, seq, seq))
+		}
+		st.probsSparse = nil
+		parallel.ForArg(bh, denseFwdArgs{st.probsDense, ctx, st.qh, st.kh, st.vh, seq, a.HeadDim, scale}, denseFwdItem)
 	} else {
-		a.probsSparse = make([]*sparse.BlockSparse, bh)
-		a.probsDense = nil
-		parallel.For(bh, func(i int) {
-			h := i % a.Heads
-			sp := sparse.NewBlockSparse(layouts[h], blk)
-			sparse.SDD(sp, a.qh[i], a.kh[i], a.HeadDim)
-			sparse.CausalSoftmax(sp, scale)
-			out := make([]float32, seq*a.HeadDim)
-			sparse.DSD(out, sp, a.vh[i], a.HeadDim)
-			a.probsSparse[i] = sp
-			ctx[i] = out
-		})
+		st.probsSparse = resetBlockSparse(&st.spBacking, st.probsSparse, bh, a.Heads, layouts, blk, ws)
+		st.probsDense = nil
+		parallel.ForArg(bh, sparseFwdArgs{st.probsSparse, ctx, st.qh, st.kh, st.vh, a.HeadDim, scale}, sparseFwdItem)
 	}
 
-	return a.Wo.Forward(a.mergeHeads(ctx))
+	return a.Wo.Forward(a.mergeHeads(ctx, batch, seq, ws), ws)
+}
+
+// resetBlockSparse rebuilds the per-(batch, head) block-sparse views over a
+// persistent backing array, taking each view's storage from the workspace.
+// Arena Gets run serially here, on the owning goroutine, before any
+// parallel fill.
+func resetBlockSparse(backing *[]sparse.BlockSparse, views []*sparse.BlockSparse, bh, heads int, layouts []*sparse.Layout, blk int, ws *tensor.Arena) []*sparse.BlockSparse {
+	if cap(*backing) < bh {
+		*backing = make([]sparse.BlockSparse, bh)
+	}
+	*backing = (*backing)[:bh]
+	if cap(views) < bh {
+		views = make([]*sparse.BlockSparse, 0, bh)
+	}
+	views = views[:0]
+	for i := 0; i < bh; i++ {
+		(*backing)[i].ResetIn(ws, layouts[i%heads], blk)
+		views = append(views, &(*backing)[i])
+	}
+	return views
 }
 
 // DenseProbs exposes the per-(batch,head) probability matrices of the last
-// dense forward — the ground-truth signal the exposer derives head-specific
+// dense forward run with the given workspace (nil for workspace-less
+// forwards) — the ground-truth signal the exposer derives head-specific
 // masks from and the predictor trains against. Index is batch*Heads + head.
 // Nil after a sparse forward.
-func (a *MultiHeadAttention) DenseProbs() []*tensor.Tensor { return a.probsDense }
+func (a *MultiHeadAttention) DenseProbs(ws *tensor.Arena) []*tensor.Tensor {
+	return a.state(ws).probsDense
+}
 
 // Backward propagates dOut: [batch*seq, dim] and returns dx. The sparse
-// path computes gradients only on active blocks.
-func (a *MultiHeadAttention) Backward(dOut *tensor.Tensor) *tensor.Tensor {
-	seq, hd := a.seq, a.HeadDim
+// path computes gradients only on active blocks. ws must be the workspace
+// the matching Forward ran with.
+func (a *MultiHeadAttention) Backward(dOut *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
+	st := a.state(ws)
+	batch, seq, hd := st.batch, st.seq, a.HeadDim
 	scale := float32(1 / math.Sqrt(float64(hd)))
 
-	dCtx := a.Wo.Backward(dOut)
-	dCtxH := a.splitHeads(dCtx)
+	dCtx := a.Wo.Backward(dOut, ws)
+	st.dCtxH = a.splitHeads(st.dCtxH, dCtx, batch, seq, ws)
+	dCtxH := st.dCtxH
 
-	bh := a.batch * a.Heads
-	dqh := make([][]float32, bh)
-	dkh := make([][]float32, bh)
-	dvh := make([][]float32, bh)
+	bh := batch * a.Heads
+	st.dqh = headBuffers(st.dqh, bh, seq*hd, ws, false)
+	st.dkh = headBuffers(st.dkh, bh, seq*hd, ws, false)
+	st.dvh = headBuffers(st.dvh, bh, seq*hd, ws, false)
+	dqh, dkh, dvh := st.dqh, st.dkh, st.dvh
 
-	if a.layouts == nil {
-		parallel.For(bh, func(i int) {
-			p := a.probsDense[i] // [seq, seq]
-			// dProb = dCtx·Vᵀ.
-			dProb := make([]float32, seq*seq)
-			tensor.GemmTBRange(dProb, dCtxH[i], a.vh[i], hd, seq, 0, seq)
-			// Softmax backward row-wise, then score scale.
-			dScore := make([]float32, seq*seq)
-			for r := 0; r < seq; r++ {
-				tensor.SoftmaxBackwardRow(dScore[r*seq:(r+1)*seq], p.Row(r), dProb[r*seq:(r+1)*seq])
-			}
-			for j := range dScore {
-				dScore[j] *= scale
-			}
-			dq := make([]float32, seq*hd)
-			dk := make([]float32, seq*hd)
-			dv := make([]float32, seq*hd)
-			tensor.GemmRange(dq, dScore, a.kh[i], seq, hd, 0, seq)        // dQ = dS·K
-			tensor.GemmTARange(dk, dScore, a.qh[i], seq, seq, hd, 0, seq) // dK = dSᵀ·Q
-			tensor.GemmTARange(dv, p.Data, dCtxH[i], seq, seq, hd, 0, seq)
-			dqh[i], dkh[i], dvh[i] = dq, dk, dv
-		})
+	if st.layouts == nil {
+		st.dProbH = headBuffers(st.dProbH, bh, seq*seq, ws, false)
+		st.dScoreH = headBuffers(st.dScoreH, bh, seq*seq, ws, false)
+		parallel.ForArg(bh, denseBwdArgs{
+			probs: st.probsDense, dProbH: st.dProbH, dScoreH: st.dScoreH,
+			dCtxH: dCtxH, qh: st.qh, kh: st.kh, vh: st.vh,
+			dqh: dqh, dkh: dkh, dvh: dvh, seq: seq, hd: hd, scale: scale,
+		}, denseBwdItem)
 	} else {
-		parallel.For(bh, func(i int) {
-			p := a.probsSparse[i]
-			// dProb restricted to active blocks (SDD).
-			dProb := sparse.NewBlockSparse(p.L, p.Blk)
-			sparse.SDD(dProb, dCtxH[i], a.vh[i], hd)
-			sparse.SoftmaxBackward(dProb, p, scale) // dProb now holds dScore
-			dq := make([]float32, seq*hd)
-			dk := make([]float32, seq*hd)
-			dv := make([]float32, seq*hd)
-			sparse.DSD(dq, dProb, a.kh[i], hd)
-			sparse.DSDT(dk, dProb, a.qh[i], hd)
-			sparse.DSDT(dv, p, dCtxH[i], hd)
-			dqh[i], dkh[i], dvh[i] = dq, dk, dv
-		})
+		st.dpViews = resetBlockSparse(&st.dpBacking, st.dpViews, bh, a.Heads, st.layouts, st.blk, ws)
+		parallel.ForArg(bh, sparseBwdArgs{
+			probs: st.probsSparse, dProbs: st.dpViews,
+			dCtxH: dCtxH, qh: st.qh, kh: st.kh, vh: st.vh,
+			dqh: dqh, dkh: dkh, dvh: dvh, hd: hd, scale: scale,
+		}, sparseBwdItem)
 	}
 
-	dq := a.mergeHeads(dqh)
-	dk := a.mergeHeads(dkh)
-	dv := a.mergeHeads(dvh)
-	dx := a.Wq.Backward(dq)
-	tensor.AddInto(dx, a.Wk.Backward(dk))
-	tensor.AddInto(dx, a.Wv.Backward(dv))
+	dq := a.mergeHeads(dqh, batch, seq, ws)
+	dk := a.mergeHeads(dkh, batch, seq, ws)
+	dv := a.mergeHeads(dvh, batch, seq, ws)
+	dx := a.Wq.Backward(dq, ws)
+	tensor.AddInto(dx, a.Wk.Backward(dk, ws))
+	tensor.AddInto(dx, a.Wv.Backward(dv, ws))
 	return dx
+}
+
+// The static parallel bodies below carry their state in small arg structs
+// so the per-(batch, head) fan-outs allocate nothing per call (see
+// parallel.ForArg). Their loops are verbatim the former closures.
+
+// permuteArgs serves both split (heads = dst) and merge (heads = src).
+type permuteArgs struct {
+	heads   [][]float32
+	flat    []float32
+	dim, hd int
+	h, seq  int
+}
+
+func splitHeadsItem(a permuteArgs, bh int) {
+	bi, hi := bh/a.h, bh%a.h
+	buf := a.heads[bh]
+	for si := 0; si < a.seq; si++ {
+		src := a.flat[(bi*a.seq+si)*a.dim+hi*a.hd : (bi*a.seq+si)*a.dim+(hi+1)*a.hd]
+		copy(buf[si*a.hd:(si+1)*a.hd], src)
+	}
+}
+
+func mergeHeadsItem(a permuteArgs, bh int) {
+	bi, hi := bh/a.h, bh%a.h
+	buf := a.heads[bh]
+	for si := 0; si < a.seq; si++ {
+		dst := a.flat[(bi*a.seq+si)*a.dim+hi*a.hd : (bi*a.seq+si)*a.dim+(hi+1)*a.hd]
+		copy(dst, buf[si*a.hd:(si+1)*a.hd])
+	}
+}
+
+type denseFwdArgs struct {
+	probs      []*tensor.Tensor
+	ctx        [][]float32
+	qh, kh, vh [][]float32
+	seq, hd    int
+	scale      float32
+}
+
+func denseFwdItem(a denseFwdArgs, i int) {
+	sparse.DenseCausalAttentionInto(a.probs[i], a.ctx[i], a.qh[i], a.kh[i], a.vh[i], a.seq, a.hd, a.scale)
+}
+
+type sparseFwdArgs struct {
+	probs      []*sparse.BlockSparse
+	ctx        [][]float32
+	qh, kh, vh [][]float32
+	hd         int
+	scale      float32
+}
+
+func sparseFwdItem(a sparseFwdArgs, i int) {
+	sp := a.probs[i]
+	sparse.SDD(sp, a.qh[i], a.kh[i], a.hd)
+	sparse.CausalSoftmax(sp, a.scale)
+	sparse.DSD(a.ctx[i], sp, a.vh[i], a.hd)
+}
+
+type denseBwdArgs struct {
+	probs           []*tensor.Tensor
+	dProbH, dScoreH [][]float32
+	dCtxH           [][]float32
+	qh, kh, vh      [][]float32
+	dqh, dkh, dvh   [][]float32
+	seq, hd         int
+	scale           float32
+}
+
+func denseBwdItem(a denseBwdArgs, i int) {
+	seq, hd := a.seq, a.hd
+	p := a.probs[i] // [seq, seq]
+	// dProb = dCtx·Vᵀ.
+	dProb := a.dProbH[i]
+	tensor.GemmTBRange(dProb, a.dCtxH[i], a.vh[i], hd, seq, 0, seq)
+	// Softmax backward row-wise, then score scale.
+	dScore := a.dScoreH[i]
+	for r := 0; r < seq; r++ {
+		tensor.SoftmaxBackwardRow(dScore[r*seq:(r+1)*seq], p.Row(r), dProb[r*seq:(r+1)*seq])
+	}
+	for j := range dScore {
+		dScore[j] *= a.scale
+	}
+	tensor.GemmRange(a.dqh[i], dScore, a.kh[i], seq, hd, 0, seq)        // dQ = dS·K
+	tensor.GemmTARange(a.dkh[i], dScore, a.qh[i], seq, seq, hd, 0, seq) // dK = dSᵀ·Q
+	tensor.GemmTARange(a.dvh[i], p.Data, a.dCtxH[i], seq, seq, hd, 0, seq)
+}
+
+type sparseBwdArgs struct {
+	probs, dProbs []*sparse.BlockSparse
+	dCtxH         [][]float32
+	qh, kh, vh    [][]float32
+	dqh, dkh, dvh [][]float32
+	hd            int
+	scale         float32
+}
+
+func sparseBwdItem(a sparseBwdArgs, i int) {
+	p := a.probs[i]
+	// dProb restricted to active blocks (SDD).
+	dProb := a.dProbs[i]
+	sparse.SDD(dProb, a.dCtxH[i], a.vh[i], a.hd)
+	sparse.SoftmaxBackward(dProb, p, a.scale) // dProb now holds dScore
+	sparse.DSD(a.dqh[i], dProb, a.kh[i], a.hd)
+	sparse.DSDT(a.dkh[i], dProb, a.qh[i], a.hd)
+	sparse.DSDT(a.dvh[i], p, a.dCtxH[i], a.hd)
 }

@@ -57,57 +57,57 @@ func (b *TransformerBlock) Params() ParamSet {
 // sublayer at runtime (nil → fully dense). The planner is consulted with
 // the LayerNorm outputs — the exact tensors the sublayers consume, and the
 // inputs the predictors were trained on.
-func (b *TransformerBlock) Forward(x *tensor.Tensor, batch, seq int, planner LayerPlanner) *tensor.Tensor {
-	h := b.LN1.Forward(x)
+func (b *TransformerBlock) Forward(x *tensor.Tensor, batch, seq int, planner LayerPlanner, ws *tensor.Arena) *tensor.Tensor {
+	h := b.LN1.Forward(x, ws)
 	b.ln1Out = h
 	var attnLayouts []*sparse.Layout
 	blk := 0
 	if planner != nil {
 		attnLayouts, blk = planner.PlanAttention(h, batch, seq)
 	}
-	attnOut := b.Attn.Forward(h, batch, seq, attnLayouts, blk)
+	attnOut := b.Attn.Forward(h, batch, seq, attnLayouts, blk, ws)
 	if b.AdptA != nil {
-		attnOut = b.AdptA.Forward(attnOut)
+		attnOut = b.AdptA.Forward(attnOut, ws)
 	}
-	x1 := x.Clone()
+	x1 := tensor.CloneIn(ws, x)
 	tensor.AddInto(x1, attnOut)
 
-	h2 := b.LN2.Forward(x1)
+	h2 := b.LN2.Forward(x1, ws)
 	b.ln2Out = h2
 	var mlpBlocks []int
 	mblk := 0
 	if planner != nil {
 		mlpBlocks, mblk = planner.PlanMLP(h2, batch, seq)
 	}
-	mlpOut := b.MLP.Forward(h2, mlpBlocks, mblk)
+	mlpOut := b.MLP.Forward(h2, mlpBlocks, mblk, ws)
 	if b.AdptM != nil {
-		mlpOut = b.AdptM.Forward(mlpOut)
+		mlpOut = b.AdptM.Forward(mlpOut, ws)
 	}
-	x2 := x1.Clone()
+	x2 := tensor.CloneIn(ws, x1)
 	tensor.AddInto(x2, mlpOut)
 	return x2
 }
 
 // Backward propagates dy through both residual sublayers.
-func (b *TransformerBlock) Backward(dy *tensor.Tensor) *tensor.Tensor {
+func (b *TransformerBlock) Backward(dy *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
 	// MLP sublayer: x2 = x1 + f(LN2(x1)).
 	dm := dy
 	if b.AdptM != nil {
-		dm = b.AdptM.Backward(dm)
+		dm = b.AdptM.Backward(dm, ws)
 	}
-	dm = b.MLP.Backward(dm)
-	dm = b.LN2.Backward(dm)
-	dx1 := dy.Clone()
+	dm = b.MLP.Backward(dm, ws)
+	dm = b.LN2.Backward(dm, ws)
+	dx1 := tensor.CloneIn(ws, dy)
 	tensor.AddInto(dx1, dm)
 
 	// Attention sublayer: x1 = x + g(LN1(x)).
 	da := dx1
 	if b.AdptA != nil {
-		da = b.AdptA.Backward(da)
+		da = b.AdptA.Backward(da, ws)
 	}
-	da = b.Attn.Backward(da)
-	da = b.LN1.Backward(da)
-	dx := dx1.Clone()
+	da = b.Attn.Backward(da, ws)
+	da = b.LN1.Backward(da, ws)
+	dx := tensor.CloneIn(ws, dx1)
 	tensor.AddInto(dx, da)
 	return dx
 }

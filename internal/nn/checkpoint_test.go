@@ -20,12 +20,12 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	// Fresh model with different weights; loading must restore function.
 	m2 := NewTransformer(cfg, tensor.NewRNG(401))
 	ids := [][]int{{1, 2, 3, 4}}
-	before := m2.Forward(ids, nil).Clone()
+	before := m2.Forward(ids, nil, nil).Clone()
 	if err := m2.Params().Load(bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
 	}
-	after := m2.Forward(ids, nil)
-	orig := m.Forward(ids, nil)
+	after := m2.Forward(ids, nil, nil)
+	orig := m.Forward(ids, nil, nil)
 	if d := tensor.MaxAbsDiff(after, orig); d != 0 {
 		t.Fatalf("restored model diverges: %v", d)
 	}
@@ -131,10 +131,10 @@ func TestGenerateLearnedPattern(t *testing.T) {
 	flat := m.FlattenTargets(targets)
 	ps := m.Params()
 	for i := 0; i < 120; i++ {
-		logits := m.Forward(ids, nil)
+		logits := m.Forward(ids, nil, nil)
 		_, dLogits := CrossEntropy(logits, flat)
 		ps.ZeroGrads()
-		m.Backward(dLogits)
+		m.Backward(dLogits, nil)
 		for _, p := range ps {
 			tensor.AddScaledInto(p.W, p.Grad, -0.3)
 		}

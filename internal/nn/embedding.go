@@ -29,10 +29,12 @@ func NewEmbedding(name string, vocab, dim int, rng *tensor.RNG) *Embedding {
 // Params returns the table.
 func (e *Embedding) Params() ParamSet { return ParamSet{e.Table} }
 
-// Forward gathers rows for ids → [len(ids), dim].
-func (e *Embedding) Forward(ids []int) *tensor.Tensor {
+// Forward gathers rows for ids → [len(ids), dim]. ws is the step
+// workspace; ids may itself be workspace-backed (it is only read until the
+// step's Release).
+func (e *Embedding) Forward(ids []int, ws *tensor.Arena) *tensor.Tensor {
 	e.ids = ids
-	out := tensor.New(len(ids), e.Dim)
+	out := tensor.NewIn(ws, len(ids), e.Dim)
 	for i, id := range ids {
 		if id < 0 || id >= e.Vocab {
 			panic(fmt.Sprintf("nn: embedding id %d outside vocab %d", id, e.Vocab))
@@ -58,10 +60,10 @@ func (e *Embedding) Backward(dy *tensor.Tensor) {
 }
 
 // ForwardRange gathers the rows [lo, lo+n) — the positional-embedding path.
-func (e *Embedding) ForwardRange(lo, n int) *tensor.Tensor {
-	ids := make([]int, n)
+func (e *Embedding) ForwardRange(lo, n int, ws *tensor.Arena) *tensor.Tensor {
+	ids := tensor.IntsIn(ws, n)
 	for i := range ids {
 		ids[i] = lo + i
 	}
-	return e.Forward(ids)
+	return e.Forward(ids, ws)
 }

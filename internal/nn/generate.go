@@ -31,7 +31,7 @@ func (m *Transformer) Generate(prompt []int, cfg GenerateConfig) []int {
 		if m.TotalSeq(len(seq)) >= m.Cfg.MaxSeq {
 			break
 		}
-		logits := m.Forward([][]int{seq}, nil)
+		logits := m.Forward([][]int{seq}, nil, nil)
 		last := logits.Row(logits.Dim(0) - 1)
 		next := pickToken(last, cfg.Temperature, cfg.RNG)
 		out = append(out, next)

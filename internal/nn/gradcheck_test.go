@@ -41,6 +41,50 @@ func sampleIndices(r *tensor.RNG, n, count int) []int {
 	return idx
 }
 
+func cloneGrads(ps ParamSet) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		out[i] = p.Grad.Clone()
+	}
+	return out
+}
+
+// checkWorkspaceParity is the workspace-vs-nil regression harness every
+// gradcheck test runs through: pass performs one forward + ZeroGrads +
+// backward with the given workspace and returns the output and the input
+// gradient. The nil pass establishes the reference; two arena passes (the
+// second exercising recycled buffers) must reproduce output, input
+// gradient, and every parameter gradient bit-for-bit — the refactor's
+// "results stay bit-identical to the allocating path" contract.
+func checkWorkspaceParity(t *testing.T, params ParamSet, pass func(ws *tensor.Arena) (y, dx *tensor.Tensor)) (yRef, dxRef *tensor.Tensor) {
+	t.Helper()
+	yRef, dxRef = pass(nil)
+	gradsRef := cloneGrads(params)
+
+	ws := tensor.NewArena()
+	for round := 0; round < 2; round++ {
+		y, dx := pass(ws)
+		if d := tensor.MaxAbsDiff(yRef, y); d != 0 {
+			t.Fatalf("workspace round %d: output differs by %v", round, d)
+		}
+		if dxRef != nil {
+			if d := tensor.MaxAbsDiff(dxRef, dx); d != 0 {
+				t.Fatalf("workspace round %d: input gradient differs by %v", round, d)
+			}
+		}
+		for i, p := range params {
+			if d := tensor.MaxAbsDiff(gradsRef[i], p.Grad); d != 0 {
+				t.Fatalf("workspace round %d: %s gradient differs by %v", round, p.Name, d)
+			}
+		}
+		ws.Release()
+	}
+
+	// Leave the nil-workspace analytic gradients in place for the numeric
+	// check that follows (the arena passes reproduced them exactly).
+	return yRef, dxRef
+}
+
 func TestLinearGradCheck(t *testing.T) {
 	r := tensor.NewRNG(100)
 	l := NewLinear("lin", 6, 5, r)
@@ -54,7 +98,7 @@ func TestLinearGradCheck(t *testing.T) {
 
 	// Scalar loss: 0.5·‖y − target‖².
 	loss := func() float64 {
-		y := l.Forward(x)
+		y := l.Forward(x, nil)
 		var s float64
 		for i := range y.Data {
 			dv := float64(y.Data[i] - target.Data[i])
@@ -63,12 +107,14 @@ func TestLinearGradCheck(t *testing.T) {
 		return s
 	}
 
-	// Analytic gradients.
-	y := l.Forward(x)
-	dy := y.Clone()
-	tensor.AddScaledInto(dy, target, -1)
-	l.Params().ZeroGrads()
-	dx := l.Backward(dy)
+	// Analytic gradients, workspace and allocating paths bit-identical.
+	_, dx := checkWorkspaceParity(t, l.Params(), func(ws *tensor.Arena) (*tensor.Tensor, *tensor.Tensor) {
+		y := l.Forward(x, ws)
+		dy := y.Clone()
+		tensor.AddScaledInto(dy, target, -1)
+		l.Params().ZeroGrads()
+		return y.Clone(), l.Backward(dy, ws).Clone()
+	})
 
 	checkGrad(t, "W", loss, l.W.W, l.W.Grad, sampleIndices(r, l.W.W.Len(), 10))
 	checkGrad(t, "B", loss, l.B.W, l.B.Grad, sampleIndices(r, l.B.W.Len(), 5))
@@ -90,7 +136,7 @@ func TestLayerNormGradCheck(t *testing.T) {
 	r.FillNormal(target, 1)
 
 	loss := func() float64 {
-		y := ln.Forward(x)
+		y := ln.Forward(x, nil)
 		var s float64
 		for i := range y.Data {
 			dv := float64(y.Data[i] - target.Data[i])
@@ -99,11 +145,13 @@ func TestLayerNormGradCheck(t *testing.T) {
 		return s
 	}
 
-	y := ln.Forward(x)
-	dy := y.Clone()
-	tensor.AddScaledInto(dy, target, -1)
-	ln.Params().ZeroGrads()
-	dx := ln.Backward(dy)
+	_, dx := checkWorkspaceParity(t, ln.Params(), func(ws *tensor.Arena) (*tensor.Tensor, *tensor.Tensor) {
+		y := ln.Forward(x, ws)
+		dy := y.Clone()
+		tensor.AddScaledInto(dy, target, -1)
+		ln.Params().ZeroGrads()
+		return y.Clone(), ln.Backward(dy, ws).Clone()
+	})
 
 	checkGrad(t, "gamma", loss, ln.Gamma.W, ln.Gamma.Grad, sampleIndices(r, 7, 7))
 	checkGrad(t, "beta", loss, ln.Beta.W, ln.Beta.Grad, sampleIndices(r, 7, 7))
@@ -120,6 +168,21 @@ func TestCrossEntropyGradCheck(t *testing.T) {
 	if lossVal <= 0 {
 		t.Fatalf("loss = %v", lossVal)
 	}
+
+	// The workspace variant must reproduce loss and gradient exactly,
+	// including on recycled buffers.
+	ws := tensor.NewArena()
+	for round := 0; round < 2; round++ {
+		lw, dw := CrossEntropyIn(ws, logits, targets)
+		if lw != lossVal {
+			t.Fatalf("round %d: workspace loss %v vs %v", round, lw, lossVal)
+		}
+		if d := tensor.MaxAbsDiff(dLogits, dw); d != 0 {
+			t.Fatalf("round %d: workspace dLogits differs by %v", round, d)
+		}
+		ws.Release()
+	}
+
 	loss := func() float64 {
 		l, _ := CrossEntropy(logits, targets)
 		return l
@@ -149,15 +212,18 @@ func TestTransformerFullGradCheck(t *testing.T) {
 	flat := m.FlattenTargets(targets)
 
 	loss := func() float64 {
-		logits := m.Forward(ids, nil)
+		logits := m.Forward(ids, nil, nil)
 		l, _ := CrossEntropy(logits, flat)
 		return l
 	}
 
-	logits := m.Forward(ids, nil)
-	_, dLogits := CrossEntropy(logits, flat)
-	m.Params().ZeroGrads()
-	m.Backward(dLogits)
+	checkWorkspaceParity(t, m.Params(), func(ws *tensor.Arena) (*tensor.Tensor, *tensor.Tensor) {
+		logits := m.Forward(ids, nil, ws)
+		_, dLogits := CrossEntropyIn(ws, logits, flat)
+		m.Params().ZeroGrads()
+		m.Backward(dLogits, ws)
+		return logits.Clone(), nil
+	})
 
 	// Spot-check a parameter from every layer family.
 	cases := []*Parameter{
@@ -196,14 +262,17 @@ func TestTransformerPromptGradCheck(t *testing.T) {
 	}
 
 	loss := func() float64 {
-		logits := m.Forward(ids, nil)
+		logits := m.Forward(ids, nil, nil)
 		l, _ := CrossEntropy(logits, flat)
 		return l
 	}
-	logits := m.Forward(ids, nil)
-	_, dLogits := CrossEntropy(logits, flat)
-	m.Params().ZeroGrads()
-	m.Backward(dLogits)
+	checkWorkspaceParity(t, m.Params(), func(ws *tensor.Arena) (*tensor.Tensor, *tensor.Tensor) {
+		logits := m.Forward(ids, nil, ws)
+		_, dLogits := CrossEntropyIn(ws, logits, flat)
+		m.Params().ZeroGrads()
+		m.Backward(dLogits, ws)
+		return logits.Clone(), nil
+	})
 	checkGrad(t, "prompt", loss, m.Prompt.W, m.Prompt.Grad, sampleIndices(r, m.Prompt.W.Len(), 8))
 }
 
@@ -214,7 +283,7 @@ func TestAdapterGradCheckAndIdentityInit(t *testing.T) {
 	r.FillNormal(x, 1)
 
 	// Identity at init: Up.W is zero, so y = x + Up.B (bias is zero too).
-	y := a.Forward(x)
+	y := a.Forward(x, nil)
 	if d := tensor.MaxAbsDiff(y, x); d > 1e-6 {
 		t.Fatalf("fresh adapter is not identity: diff %v", d)
 	}
@@ -224,7 +293,7 @@ func TestAdapterGradCheckAndIdentityInit(t *testing.T) {
 	target := tensor.New(4, 6)
 	r.FillNormal(target, 1)
 	loss := func() float64 {
-		out := a.Forward(x)
+		out := a.Forward(x, nil)
 		var s float64
 		for i := range out.Data {
 			dv := float64(out.Data[i] - target.Data[i])
@@ -232,11 +301,13 @@ func TestAdapterGradCheckAndIdentityInit(t *testing.T) {
 		}
 		return s
 	}
-	out := a.Forward(x)
-	dy := out.Clone()
-	tensor.AddScaledInto(dy, target, -1)
-	a.Params().ZeroGrads()
-	dx := a.Backward(dy)
+	_, dx := checkWorkspaceParity(t, a.Params(), func(ws *tensor.Arena) (*tensor.Tensor, *tensor.Tensor) {
+		out := a.Forward(x, ws)
+		dy := out.Clone()
+		tensor.AddScaledInto(dy, target, -1)
+		a.Params().ZeroGrads()
+		return out.Clone(), a.Backward(dy, ws).Clone()
+	})
 
 	checkGrad(t, "down.W", loss, a.Down.W.W, a.Down.W.Grad, sampleIndices(r, a.Down.W.W.Len(), 8))
 	checkGrad(t, "up.W", loss, a.Up.W.W, a.Up.W.Grad, sampleIndices(r, a.Up.W.W.Len(), 8))
@@ -253,7 +324,7 @@ func TestAttentionIsolatedGradCheck(t *testing.T) {
 	r.FillNormal(target, 1)
 
 	loss := func() float64 {
-		y := a.Forward(x, batch, seq, nil, 0)
+		y := a.Forward(x, batch, seq, nil, 0, nil)
 		var s float64
 		for i := range y.Data {
 			dv := float64(y.Data[i] - target.Data[i])
@@ -261,11 +332,13 @@ func TestAttentionIsolatedGradCheck(t *testing.T) {
 		}
 		return s
 	}
-	y := a.Forward(x, batch, seq, nil, 0)
-	dy := y.Clone()
-	tensor.AddScaledInto(dy, target, -1)
-	a.Params().ZeroGrads()
-	dx := a.Backward(dy)
+	_, dx := checkWorkspaceParity(t, a.Params(), func(ws *tensor.Arena) (*tensor.Tensor, *tensor.Tensor) {
+		y := a.Forward(x, batch, seq, nil, 0, ws)
+		dy := y.Clone()
+		tensor.AddScaledInto(dy, target, -1)
+		a.Params().ZeroGrads()
+		return y.Clone(), a.Backward(dy, ws).Clone()
+	})
 
 	checkGrad(t, "Wq", loss, a.Wq.W.W, a.Wq.W.Grad, sampleIndices(r, 64, 12))
 	checkGrad(t, "Wk", loss, a.Wk.W.W, a.Wk.W.Grad, sampleIndices(r, 64, 12))
@@ -282,7 +355,7 @@ func TestMLPIsolatedGradCheck(t *testing.T) {
 	target := tensor.New(4, 6)
 	r.FillNormal(target, 1)
 	loss := func() float64 {
-		y := m.Forward(x, nil, 0)
+		y := m.Forward(x, nil, 0, nil)
 		var s float64
 		for i := range y.Data {
 			dv := float64(y.Data[i] - target.Data[i])
@@ -290,11 +363,13 @@ func TestMLPIsolatedGradCheck(t *testing.T) {
 		}
 		return s
 	}
-	y := m.Forward(x, nil, 0)
-	dy := y.Clone()
-	tensor.AddScaledInto(dy, target, -1)
-	m.Params().ZeroGrads()
-	dx := m.Backward(dy)
+	_, dx := checkWorkspaceParity(t, m.Params(), func(ws *tensor.Arena) (*tensor.Tensor, *tensor.Tensor) {
+		y := m.Forward(x, nil, 0, ws)
+		dy := y.Clone()
+		tensor.AddScaledInto(dy, target, -1)
+		m.Params().ZeroGrads()
+		return y.Clone(), m.Backward(dy, ws).Clone()
+	})
 	checkGrad(t, "W1", loss, m.W1.W, m.W1.Grad, sampleIndices(r, m.W1.W.Len(), 12))
 	checkGrad(t, "W2", loss, m.W2.W, m.W2.Grad, sampleIndices(r, m.W2.W.Len(), 12))
 	checkGrad(t, "x", loss, x, dx, sampleIndices(r, x.Len(), 12))
@@ -310,7 +385,7 @@ func TestBlockIsolatedGradCheck(t *testing.T) {
 	r.FillNormal(target, 1)
 
 	loss := func() float64 {
-		y := b.Forward(x, batch, seq, nil)
+		y := b.Forward(x, batch, seq, nil, nil)
 		var s float64
 		for i := range y.Data {
 			dv := float64(y.Data[i] - target.Data[i])
@@ -318,12 +393,13 @@ func TestBlockIsolatedGradCheck(t *testing.T) {
 		}
 		return s
 	}
-	y := b.Forward(x, batch, seq, nil)
-	dy := y.Clone()
-	tensor.AddScaledInto(dy, target, -1)
-	ps := b.Params()
-	ps.ZeroGrads()
-	dx := b.Backward(dy)
+	_, dx := checkWorkspaceParity(t, b.Params(), func(ws *tensor.Arena) (*tensor.Tensor, *tensor.Tensor) {
+		y := b.Forward(x, batch, seq, nil, ws)
+		dy := y.Clone()
+		tensor.AddScaledInto(dy, target, -1)
+		b.Params().ZeroGrads()
+		return y.Clone(), b.Backward(dy, ws).Clone()
+	})
 
 	checkGrad(t, "ln1.gamma", loss, b.LN1.Gamma.W, b.LN1.Gamma.Grad, sampleIndices(r, 8, 8))
 	checkGrad(t, "Wq", loss, b.Attn.Wq.W.W, b.Attn.Wq.W.Grad, sampleIndices(r, 64, 10))

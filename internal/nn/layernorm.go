@@ -35,87 +35,125 @@ func NewLayerNorm(name string, dim int) *LayerNorm {
 // Params returns gamma and beta.
 func (ln *LayerNorm) Params() ParamSet { return ParamSet{ln.Gamma, ln.Beta} }
 
-// Forward normalizes x: [tokens, dim] → y of the same shape.
-func (ln *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+// Forward normalizes x: [tokens, dim] → y of the same shape. ws is the
+// step workspace (nil allocates).
+func (ln *LayerNorm) Forward(x *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
 	tokens, d := x.Dim(0), x.Dim(1)
-	y := tensor.New(tokens, d)
-	ln.xhat = tensor.New(tokens, d)
-	ln.invStd = make([]float32, tokens)
+	y := tensor.NewIn(ws, tokens, d)
+	ln.xhat = tensor.NewIn(ws, tokens, d)
+	ln.invStd = tensor.FloatsIn(ws, tokens)
 	g, b := ln.Gamma.W.Data, ln.Beta.W.Data
-	parallel.ForChunked(tokens, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			xi := x.Data[i*d : (i+1)*d]
-			var mean float64
-			for _, v := range xi {
-				mean += float64(v)
-			}
-			mean /= float64(d)
-			var varr float64
-			for _, v := range xi {
-				dv := float64(v) - mean
-				varr += dv * dv
-			}
-			varr /= float64(d)
-			inv := float32(1 / math.Sqrt(varr+ln.Eps))
-			ln.invStd[i] = inv
-			xh := ln.xhat.Data[i*d : (i+1)*d]
-			yi := y.Data[i*d : (i+1)*d]
-			for j, v := range xi {
-				h := (v - float32(mean)) * inv
-				xh[j] = h
-				yi[j] = h*g[j] + b[j]
-			}
-		}
-	})
+	parallel.ForChunkedArg(tokens, lnFwdArgs{
+		x: x.Data, y: y.Data, xhat: ln.xhat.Data, invStd: ln.invStd,
+		g: g, b: b, d: d, eps: ln.Eps,
+	}, lnForwardChunk)
 	return y
 }
 
+// lnFwdArgs / lnForwardChunk: static normalization body (allocation-free
+// parallel fan-out, see parallel.ForChunkedArg).
+type lnFwdArgs struct {
+	x, y, xhat, invStd, g, b []float32
+	d                        int
+	eps                      float64
+}
+
+func lnForwardChunk(a lnFwdArgs, lo, hi int) {
+	d := a.d
+	for i := lo; i < hi; i++ {
+		xi := a.x[i*d : (i+1)*d]
+		var mean float64
+		for _, v := range xi {
+			mean += float64(v)
+		}
+		mean /= float64(d)
+		var varr float64
+		for _, v := range xi {
+			dv := float64(v) - mean
+			varr += dv * dv
+		}
+		varr /= float64(d)
+		inv := float32(1 / math.Sqrt(varr+a.eps))
+		a.invStd[i] = inv
+		xh := a.xhat[i*d : (i+1)*d]
+		yi := a.y[i*d : (i+1)*d]
+		for j, v := range xi {
+			h := (v - float32(mean)) * inv
+			xh[j] = h
+			yi[j] = h*a.g[j] + a.b[j]
+		}
+	}
+}
+
 // Backward propagates dy and accumulates dGamma/dBeta when trainable.
-func (ln *LayerNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
+func (ln *LayerNorm) Backward(dy *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
 	tokens, d := dy.Dim(0), dy.Dim(1)
-	dx := tensor.New(tokens, d)
+	dx := tensor.NewIn(ws, tokens, d)
 	g := ln.Gamma.W.Data
 
 	// Parameter grads: reductions over tokens, parallel over features.
 	if !ln.Gamma.Frozen || !ln.Beta.Frozen {
-		gg, gb := ln.Gamma.Grad.Data, ln.Beta.Grad.Data
-		parallel.ForChunked(d, func(lo, hi int) {
-			for j := lo; j < hi; j++ {
-				var sg, sb float64
-				for i := 0; i < tokens; i++ {
-					dyv := float64(dy.Data[i*d+j])
-					sg += dyv * float64(ln.xhat.Data[i*d+j])
-					sb += dyv
-				}
-				if !ln.Gamma.Frozen {
-					gg[j] += float32(sg)
-				}
-				if !ln.Beta.Frozen {
-					gb[j] += float32(sb)
-				}
-			}
-		})
+		parallel.ForChunkedArg(d, lnGradArgs{
+			dy: dy.Data, xhat: ln.xhat.Data,
+			gg: ln.Gamma.Grad.Data, gb: ln.Beta.Grad.Data,
+			tokens: tokens, d: d,
+			wantG: !ln.Gamma.Frozen, wantB: !ln.Beta.Frozen,
+		}, lnParamGradChunk)
 	}
 
 	// Input grad: dx = (invStd/d) · (d·dŷ − Σdŷ − x̂·Σ(dŷ·x̂)) with
 	// dŷ = dy ⊙ gamma.
-	parallel.ForChunked(tokens, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dyi := dy.Data[i*d : (i+1)*d]
-			xh := ln.xhat.Data[i*d : (i+1)*d]
-			dxi := dx.Data[i*d : (i+1)*d]
-			var sum1, sum2 float64
-			for j := range dyi {
-				dh := float64(dyi[j]) * float64(g[j])
-				sum1 += dh
-				sum2 += dh * float64(xh[j])
-			}
-			inv := float64(ln.invStd[i])
-			for j := range dyi {
-				dh := float64(dyi[j]) * float64(g[j])
-				dxi[j] = float32(inv * (dh - sum1/float64(d) - float64(xh[j])*sum2/float64(d)))
-			}
-		}
-	})
+	parallel.ForChunkedArg(tokens, lnBwdArgs{
+		dy: dy.Data, xhat: ln.xhat.Data, dx: dx.Data,
+		g: g, invStd: ln.invStd, d: d,
+	}, lnInputGradChunk)
 	return dx
+}
+
+type lnGradArgs struct {
+	dy, xhat, gg, gb []float32
+	tokens, d        int
+	wantG, wantB     bool
+}
+
+func lnParamGradChunk(a lnGradArgs, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		var sg, sb float64
+		for i := 0; i < a.tokens; i++ {
+			dyv := float64(a.dy[i*a.d+j])
+			sg += dyv * float64(a.xhat[i*a.d+j])
+			sb += dyv
+		}
+		if a.wantG {
+			a.gg[j] += float32(sg)
+		}
+		if a.wantB {
+			a.gb[j] += float32(sb)
+		}
+	}
+}
+
+type lnBwdArgs struct {
+	dy, xhat, dx, g, invStd []float32
+	d                       int
+}
+
+func lnInputGradChunk(a lnBwdArgs, lo, hi int) {
+	d := a.d
+	for i := lo; i < hi; i++ {
+		dyi := a.dy[i*d : (i+1)*d]
+		xh := a.xhat[i*d : (i+1)*d]
+		dxi := a.dx[i*d : (i+1)*d]
+		var sum1, sum2 float64
+		for j := range dyi {
+			dh := float64(dyi[j]) * float64(a.g[j])
+			sum1 += dh
+			sum2 += dh * float64(xh[j])
+		}
+		inv := float64(a.invStd[i])
+		for j := range dyi {
+			dh := float64(dyi[j]) * float64(a.g[j])
+			dxi[j] = float32(inv * (dh - sum1/float64(d) - float64(xh[j])*sum2/float64(d)))
+		}
+	}
 }

@@ -58,14 +58,15 @@ func (l *Linear) Params() ParamSet {
 }
 
 // Forward computes y = x·W + b (+ LoRA branch), caching x for backward.
-// x: [tokens, in] → y: [tokens, out].
-func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+// x: [tokens, in] → y: [tokens, out]. ws is the step workspace all
+// step-lived outputs come from (nil allocates, exactly as the seed code).
+func (l *Linear) Forward(x *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
 	l.x = x
-	y := tensor.MatMul(x, l.W.W)
+	y := tensor.MatMulIn(ws, x, l.W.W)
 	tensor.AddRowVector(y, l.B.W.Data)
 	if l.HasLoRA() {
-		l.xa = tensor.MatMul(x, l.LoRAA.W)
-		delta := tensor.MatMul(l.xa, l.LoRAB.W)
+		l.xa = tensor.MatMulIn(ws, x, l.LoRAA.W)
+		delta := tensor.MatMulIn(ws, l.xa, l.LoRAB.W)
 		tensor.AddScaledInto(y, delta, l.LoRAScale)
 	}
 	return y
@@ -74,7 +75,7 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 // Backward propagates dy: accumulates parameter gradients for unfrozen
 // parameters and returns dx. The frozen-weight gradients are genuinely
 // skipped — the PEFT cost structure the paper analyses in §II-C.
-func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
+func (l *Linear) Backward(dy *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
 	tokens := dy.Dim(0)
 	if !l.W.Frozen {
 		tensor.MatMulTAInto(l.W.Grad, l.x, dy) // dW += xᵀ·dy
@@ -82,37 +83,46 @@ func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if !l.B.Frozen {
 		accumulateColumnSum(l.B.Grad.Data, dy)
 	}
-	dx := tensor.New(tokens, l.In)
+	dx := tensor.NewIn(ws, tokens, l.In)
 	tensor.MatMulTBInto(dx, dy, l.W.W) // dx = dy·Wᵀ  (W: [in,out])
 
 	if l.HasLoRA() {
 		// d(xa) = scale · dy·Bᵀ ; dB += scale · xaᵀ·dy ; dA += xᵀ·dxa ;
 		// dx += dxa·Aᵀ.
-		dxa := tensor.MatMulTB(dy, l.LoRAB.W) // B: [r,out] → dy·Bᵀ
+		dxa := tensor.MatMulTBIn(ws, dy, l.LoRAB.W) // B: [r,out] → dy·Bᵀ
 		tensor.Scale(dxa, l.LoRAScale)
 		if !l.LoRAB.Frozen {
-			ga := tensor.MatMulTA(l.xa, dy)
+			ga := tensor.MatMulTAIn(ws, l.xa, dy)
 			tensor.AddScaledInto(l.LoRAB.Grad, ga, l.LoRAScale)
 		}
 		if !l.LoRAA.Frozen {
 			tensor.MatMulTAInto(l.LoRAA.Grad, l.x, dxa)
 		}
-		dxL := tensor.MatMulTB(dxa, l.LoRAA.W) // A: [in,r] → dxa·Aᵀ
+		dxL := tensor.MatMulTBIn(ws, dxa, l.LoRAA.W) // A: [in,r] → dxa·Aᵀ
 		tensor.AddInto(dx, dxL)
 	}
 	return dx
 }
 
+// colSumArgs / columnSumChunk: static body for accumulateColumnSum so the
+// bias-gradient reduction allocates nothing on the hot path.
+type colSumArgs struct {
+	dst, data []float32
+	tokens, n int
+}
+
+func columnSumChunk(a colSumArgs, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		var s float32
+		for i := 0; i < a.tokens; i++ {
+			s += a.data[i*a.n+j]
+		}
+		a.dst[j] += s
+	}
+}
+
 // accumulateColumnSum adds the column sums of a [tokens, n] tensor into dst.
 func accumulateColumnSum(dst []float32, t *tensor.Tensor) {
 	tokens, n := t.Dim(0), t.Dim(1)
-	parallel.ForChunked(n, func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			var s float32
-			for i := 0; i < tokens; i++ {
-				s += t.Data[i*n+j]
-			}
-			dst[j] += s
-		}
-	})
+	parallel.ForChunkedArg(n, colSumArgs{dst, t.Data, tokens, n}, columnSumChunk)
 }

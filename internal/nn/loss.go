@@ -17,11 +17,18 @@ const IgnoreIndex = -1
 // of contributing positions). This is the fused loss kernel: probabilities
 // are never materialized beyond the gradient buffer.
 func CrossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor) {
+	return CrossEntropyIn(nil, logits, targets)
+}
+
+// CrossEntropyIn is CrossEntropy with dLogits and the per-token loss
+// scratch taken from the step workspace (plain allocation when ws is nil).
+// The returned gradient is valid until the workspace's Release.
+func CrossEntropyIn(ws *tensor.Arena, logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor) {
 	tokens, vocab := logits.Dim(0), logits.Dim(1)
 	if len(targets) != tokens {
 		panic("nn: CrossEntropy targets length mismatch")
 	}
-	dLogits := tensor.New(tokens, vocab)
+	dLogits := tensor.NewIn(ws, tokens, vocab)
 
 	count := 0
 	for _, t := range targets {
@@ -34,41 +41,57 @@ func CrossEntropy(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor
 	}
 	invCount := float32(1 / float64(count))
 
-	losses := make([]float64, tokens)
-	parallel.ForChunked(tokens, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			t := targets[i]
-			if t == IgnoreIndex {
-				continue
-			}
-			row := logits.Data[i*vocab : (i+1)*vocab]
-			grad := dLogits.Data[i*vocab : (i+1)*vocab]
-			// Stable log-softmax.
-			maxV := row[0]
-			for _, v := range row[1:] {
-				if v > maxV {
-					maxV = v
-				}
-			}
-			var sum float64
-			for _, v := range row {
-				sum += math.Exp(float64(v - maxV))
-			}
-			logSum := math.Log(sum)
-			losses[i] = logSum - float64(row[t]-maxV)
-			for j, v := range row {
-				p := math.Exp(float64(v-maxV)) / sum
-				grad[j] = float32(p) * invCount
-			}
-			grad[t] -= invCount
-		}
-	})
+	losses := tensor.Float64sIn(ws, tokens)
+	parallel.ForChunkedArg(tokens, ceArgs{
+		logits: logits.Data, grad: dLogits.Data, losses: losses,
+		targets: targets, vocab: vocab, invCount: invCount,
+	}, crossEntropyChunk)
 
 	var total float64
 	for _, l := range losses {
 		total += l
 	}
 	return total / float64(count), dLogits
+}
+
+// ceArgs / crossEntropyChunk: static fused-loss body (allocation-free
+// parallel fan-out, see parallel.ForChunkedArg).
+type ceArgs struct {
+	logits, grad []float32
+	losses       []float64
+	targets      []int
+	vocab        int
+	invCount     float32
+}
+
+func crossEntropyChunk(a ceArgs, lo, hi int) {
+	vocab := a.vocab
+	for i := lo; i < hi; i++ {
+		t := a.targets[i]
+		if t == IgnoreIndex {
+			continue
+		}
+		row := a.logits[i*vocab : (i+1)*vocab]
+		grad := a.grad[i*vocab : (i+1)*vocab]
+		// Stable log-softmax.
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxV))
+		}
+		logSum := math.Log(sum)
+		a.losses[i] = logSum - float64(row[t]-maxV)
+		for j, v := range row {
+			p := math.Exp(float64(v-maxV)) / sum
+			grad[j] = float32(p) * a.invCount
+		}
+		grad[t] -= a.invCount
+	}
 }
 
 // Accuracy returns the fraction of non-ignored positions where the argmax

@@ -85,7 +85,7 @@ func (m *MLP) rowMajorW2(t *tensor.Tensor) *sparse.RowMajor {
 // (of size blk) are computed, and all other hidden units are treated as
 // inactive — including their biases, matching the predictor contract that
 // unlisted neurons contribute nothing.
-func (m *MLP) Forward(x *tensor.Tensor, blocks []int, blk int) *tensor.Tensor {
+func (m *MLP) Forward(x *tensor.Tensor, blocks []int, blk int, ws *tensor.Arena) *tensor.Tensor {
 	if blocks != nil && m.Act == ActGeLU {
 		panic("nn: neuron sparsity requires ReLU activation")
 	}
@@ -93,27 +93,27 @@ func (m *MLP) Forward(x *tensor.Tensor, blocks []int, blk int) *tensor.Tensor {
 	m.x = x
 	m.blocks, m.blk = blocks, blk
 
-	m.hidden = tensor.New(tokens, m.Hidden)
+	m.hidden = tensor.NewIn(ws, tokens, m.Hidden)
 	if blocks == nil {
 		// Dense: hidden = x·W1ᵀ(param) + b1.
 		tensor.MatMulTBInto(m.hidden, x, m.W1.W)
 		tensor.AddRowVector(m.hidden, m.B1.W.Data)
 		switch m.Act {
 		case ActReLU:
-			m.mask = tensor.ReLU(m.hidden, true)
+			m.mask = tensor.ReLUIn(ws, m.hidden, true)
 			m.preAct = nil
 		case ActGeLU:
-			m.preAct = tensor.GeLU(m.hidden)
+			m.preAct = tensor.GeLUIn(ws, m.hidden)
 			m.mask = nil
 		}
 	} else {
 		sparse.FC1Sparse(m.hidden.Data, x.Data, tokens, m.colMajorW1(m.W1.W), blocks, blk)
 		addBiasBlocks(m.hidden, m.B1.W.Data, blocks, blk)
-		m.mask = tensor.ReLU(m.hidden, true)
+		m.mask = tensor.ReLUIn(ws, m.hidden, true)
 		m.preAct = nil
 	}
 
-	out := tensor.New(tokens, m.Dim)
+	out := tensor.NewIn(ws, tokens, m.Dim)
 	if blocks == nil {
 		tensor.MatMulInto(out, m.hidden, m.W2.W)
 	} else {
@@ -127,13 +127,13 @@ func (m *MLP) Forward(x *tensor.Tensor, blocks []int, blk int) *tensor.Tensor {
 // hidden gradient and any weight gradients are computed only on active
 // blocks — inactive neurons are excluded from gradient computation exactly
 // as §II-D derives.
-func (m *MLP) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+func (m *MLP) Backward(dOut *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
 	tokens := dOut.Dim(0)
 	if !m.B2.Frozen {
 		accumulateColumnSum(m.B2.Grad.Data, dOut)
 	}
 
-	dHidden := tensor.New(tokens, m.Hidden)
+	dHidden := tensor.NewIn(ws, tokens, m.Hidden)
 	if m.blocks == nil {
 		tensor.MatMulTBInto(dHidden, dOut, m.W2.W) // dHidden = dOut·W2ᵀ (W2: [hidden,dim])
 		if !m.W2.Frozen {
@@ -153,18 +153,17 @@ func (m *MLP) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	case ActGeLU:
 		dh := dHidden.Data
 		pre := m.preAct.Data
-		dy := append([]float32(nil), dh...)
+		dy := tensor.FloatsDirtyIn(ws, len(dh))
+		copy(dy, dh)
 		clear(dh)
-		parallel.ForChunked(len(dh), func(lo, hi int) {
-			tensor.GeLUGradRange(dh, dy, pre, lo, hi)
-		})
+		parallel.ForChunkedArg(len(dh), geluGradArgs{dh, dy, pre}, geluGradChunk)
 	}
 
 	if !m.B1.Frozen {
 		accumulateColumnSum(m.B1.Grad.Data, dHidden)
 	}
 
-	dx := tensor.New(tokens, m.Dim)
+	dx := tensor.NewIn(ws, tokens, m.Dim)
 	if m.blocks == nil {
 		tensor.MatMulInto(dx, dHidden, m.W1.W) // dx = dHidden·W1(param) = dHidden·Wcᵀ
 		if !m.W1.Frozen {
@@ -188,17 +187,29 @@ func (m *MLP) ActivationMask() *tensor.Tensor { return m.mask }
 // importance filter ranks.
 func (m *MLP) HiddenActivations() *tensor.Tensor { return m.hidden }
 
+type geluGradArgs struct{ dh, dy, pre []float32 }
+
+func geluGradChunk(a geluGradArgs, lo, hi int) { tensor.GeLUGradRange(a.dh, a.dy, a.pre, lo, hi) }
+
+type biasBlockArgs struct {
+	hidden, b []float32
+	blocks    []int
+	blk, h    int
+}
+
+func addBiasBlocksChunk(a biasBlockArgs, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := a.hidden[i*a.h : (i+1)*a.h]
+		for _, nb := range a.blocks {
+			for c := nb * a.blk; c < (nb+1)*a.blk && c < a.h; c++ {
+				row[c] += a.b[c]
+			}
+		}
+	}
+}
+
 // addBiasBlocks adds b to hidden only on the listed neuron blocks.
 func addBiasBlocks(hidden *tensor.Tensor, b []float32, blocks []int, blk int) {
 	tokens, H := hidden.Dim(0), hidden.Dim(1)
-	parallel.ForChunked(tokens, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := hidden.Data[i*H : (i+1)*H]
-			for _, nb := range blocks {
-				for c := nb * blk; c < (nb+1)*blk && c < H; c++ {
-					row[c] += b[c]
-				}
-			}
-		}
-	})
+	parallel.ForChunkedArg(tokens, biasBlockArgs{hidden.Data, b, blocks, blk, H}, addBiasBlocksChunk)
 }

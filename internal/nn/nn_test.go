@@ -34,8 +34,8 @@ func TestSparseFullPlanMatchesDenseForward(t *testing.T) {
 	m := NewTransformer(cfg, r)
 	ids := [][]int{{1, 2, 3, 4, 5, 6, 7, 8}, {8, 7, 6, 5, 4, 3, 2, 1}}
 
-	dense := m.Forward(ids, nil)
-	sparseOut := m.Forward(ids, fullSparsePlan(cfg, 8, 4))
+	dense := m.Forward(ids, nil, nil)
+	sparseOut := m.Forward(ids, fullSparsePlan(cfg, 8, 4), nil)
 	if d := tensor.MaxAbsDiff(dense, sparseOut); d > 1e-3 {
 		t.Fatalf("sparse full plan diverges from dense: %v", d)
 	}
@@ -50,10 +50,10 @@ func TestSparseFullPlanMatchesDenseGradients(t *testing.T) {
 	flat := m.FlattenTargets(targets)
 
 	run := func(plan *SparsePlan) map[string][]float32 {
-		logits := m.Forward(ids, plan)
+		logits := m.Forward(ids, plan, nil)
 		_, dLogits := CrossEntropy(logits, flat)
 		m.Params().ZeroGrads()
-		m.Backward(dLogits)
+		m.Backward(dLogits, nil)
 		out := make(map[string][]float32)
 		for _, p := range m.Params() {
 			out[p.Name] = append([]float32(nil), p.Grad.Data...)
@@ -82,7 +82,7 @@ func TestMLPSparseSubsetMatchesMaskedDense(t *testing.T) {
 	r.FillNormal(x, 1)
 
 	blocks := []int{0, 2} // neurons 0-3 and 8-11 active
-	got := m.Forward(x, blocks, blk)
+	got := m.Forward(x, blocks, blk, nil)
 
 	// Reference: dense forward with inactive neurons' FC1 columns, biases
 	// and FC2 rows zeroed.
@@ -101,7 +101,7 @@ func TestMLPSparseSubsetMatchesMaskedDense(t *testing.T) {
 			m2.B1.W.Data[h] = 0
 		}
 	}
-	want := m2.Forward(x, nil, 0)
+	want := m2.Forward(x, nil, 0, nil)
 	if d := tensor.MaxAbsDiff(got, want); d > 1e-4 {
 		t.Fatalf("sparse subset forward mismatch: %v", d)
 	}
@@ -111,8 +111,8 @@ func TestMLPSparseSubsetMatchesMaskedDense(t *testing.T) {
 	r.FillNormal(dOut, 1)
 	m.Params().ZeroGrads()
 	m2.Params().ZeroGrads()
-	dx := m.Backward(dOut)
-	dx2 := m2.Backward(dOut)
+	dx := m.Backward(dOut, nil)
+	dx2 := m2.Backward(dOut, nil)
 	if d := tensor.MaxAbsDiff(dx, dx2); d > 1e-4 {
 		t.Fatalf("sparse subset backward mismatch: %v", d)
 	}
@@ -127,7 +127,7 @@ func TestMLPGeLURejectsSparsity(t *testing.T) {
 		}
 	}()
 	x := tensor.New(2, 8)
-	m.Forward(x, []int{0}, 4)
+	m.Forward(x, []int{0}, 4, nil)
 }
 
 func TestFrozenParametersReceiveNoGradient(t *testing.T) {
@@ -142,10 +142,10 @@ func TestFrozenParametersReceiveNoGradient(t *testing.T) {
 
 	ids := [][]int{{1, 2, 3, 4}}
 	flat := m.FlattenTargets([][]int{{2, 3, 4, 5}})
-	logits := m.Forward(ids, nil)
+	logits := m.Forward(ids, nil, nil)
 	_, dLogits := CrossEntropy(logits, flat)
 	ps.ZeroGrads()
-	m.Backward(dLogits)
+	m.Backward(dLogits, nil)
 
 	for _, p := range ps {
 		norm := tensor.L2Norm(p.Grad)
@@ -195,14 +195,14 @@ func TestTransformerLearnsCopyTask(t *testing.T) {
 
 	var first, last float64
 	for step := 0; step < 60; step++ {
-		logits := m.Forward(ids, nil)
+		logits := m.Forward(ids, nil, nil)
 		loss, dLogits := CrossEntropy(logits, flat)
 		if step == 0 {
 			first = loss
 		}
 		last = loss
 		ps.ZeroGrads()
-		m.Backward(dLogits)
+		m.Backward(dLogits, nil)
 		for _, p := range ps {
 			tensor.AddScaledInto(p.W, p.Grad, -0.5)
 		}
@@ -215,14 +215,14 @@ func TestTransformerLearnsCopyTask(t *testing.T) {
 func TestAttentionHeadSplitMergeRoundTrip(t *testing.T) {
 	r := tensor.NewRNG(207)
 	a := NewMultiHeadAttention("attn", 12, 3, r)
-	a.batch, a.seq = 2, 4
+	batch, seq := 2, 4
 	x := tensor.New(8, 12)
 	r.FillNormal(x, 1)
-	heads := a.splitHeads(x)
+	heads := a.splitHeads(nil, x, batch, seq, nil)
 	if len(heads) != 6 {
 		t.Fatalf("splitHeads gave %d buffers", len(heads))
 	}
-	back := a.mergeHeads(heads)
+	back := a.mergeHeads(heads, batch, seq, nil)
 	if d := tensor.MaxAbsDiff(back, x); d != 0 {
 		t.Fatalf("merge∘split != identity: %v", d)
 	}

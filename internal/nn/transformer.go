@@ -159,8 +159,11 @@ func (m *Transformer) TotalSeq(s int) int { return s + m.PromptLen }
 
 // Forward runs the model over a batch of equal-length token sequences and
 // returns logits [batch·totalSeq, vocab]. planner selects sparse execution
-// per layer at runtime; pass nil for fully dense.
-func (m *Transformer) Forward(ids [][]int, planner Planner) *tensor.Tensor {
+// per layer at runtime; pass nil for fully dense. ws is the step workspace
+// every step-lived buffer comes from — nil allocates exactly like the seed
+// code; the logits (and all saved-for-backward state) are valid until the
+// workspace's Release.
+func (m *Transformer) Forward(ids [][]int, planner Planner, ws *tensor.Arena) *tensor.Tensor {
 	batch := len(ids)
 	if batch == 0 {
 		panic("nn: empty batch")
@@ -179,14 +182,15 @@ func (m *Transformer) Forward(ids [][]int, planner Planner) *tensor.Tensor {
 	d := m.Cfg.Dim
 
 	// Token embeddings for the real tokens.
-	flat := make([]int, 0, batch*s)
+	flat := tensor.IntsIn(ws, batch*s)
+	fi := 0
 	for _, row := range ids {
-		flat = append(flat, row...)
+		fi += copy(flat[fi:], row)
 	}
-	tok := m.TokEmb.Forward(flat)
+	tok := m.TokEmb.Forward(flat, ws)
 
 	// Assemble [batch·total, dim]: prompt rows then token rows, per batch.
-	x := tensor.New(batch*total, d)
+	x := tensor.NewIn(ws, batch*total, d)
 	for b := 0; b < batch; b++ {
 		for p := 0; p < m.PromptLen; p++ {
 			copy(x.Data[(b*total+p)*d:(b*total+p+1)*d], m.Prompt.W.Data[p*d:(p+1)*d])
@@ -198,13 +202,13 @@ func (m *Transformer) Forward(ids [][]int, planner Planner) *tensor.Tensor {
 	}
 
 	// Positional embeddings over all positions.
-	posIDs := make([]int, batch*total)
+	posIDs := tensor.IntsIn(ws, batch*total)
 	for b := 0; b < batch; b++ {
 		for p := 0; p < total; p++ {
 			posIDs[b*total+p] = p
 		}
 	}
-	pos := m.PosEmb.Forward(posIDs)
+	pos := m.PosEmb.Forward(posIDs, ws)
 	tensor.AddInto(x, pos)
 
 	for li, blk := range m.Blocks {
@@ -212,20 +216,21 @@ func (m *Transformer) Forward(ids [][]int, planner Planner) *tensor.Tensor {
 		if planner != nil {
 			lp = planner.Layer(li)
 		}
-		x = blk.Forward(x, batch, total, lp)
+		x = blk.Forward(x, batch, total, lp, ws)
 	}
 
-	x = m.LNF.Forward(x)
-	return m.Head.Forward(x)
+	x = m.LNF.Forward(x, ws)
+	return m.Head.Forward(x, ws)
 }
 
 // Backward propagates dLogits through the whole model, accumulating
-// gradients on every trainable parameter.
-func (m *Transformer) Backward(dLogits *tensor.Tensor) {
-	dx := m.Head.Backward(dLogits)
-	dx = m.LNF.Backward(dx)
+// gradients on every trainable parameter. ws must be the workspace the
+// matching Forward ran with (or nil for both).
+func (m *Transformer) Backward(dLogits *tensor.Tensor, ws *tensor.Arena) {
+	dx := m.Head.Backward(dLogits, ws)
+	dx = m.LNF.Backward(dx, ws)
 	for i := len(m.Blocks) - 1; i >= 0; i-- {
-		dx = m.Blocks[i].Backward(dx)
+		dx = m.Blocks[i].Backward(dx, ws)
 	}
 
 	// Positional embeddings see every position.
@@ -247,7 +252,7 @@ func (m *Transformer) Backward(dLogits *tensor.Tensor) {
 
 	// Token embedding gradient: gather real-token rows.
 	if !m.TokEmb.Table.Frozen {
-		dTok := tensor.New(batch*s, d)
+		dTok := tensor.NewIn(ws, batch*s, d)
 		for b := 0; b < batch; b++ {
 			for si := 0; si < s; si++ {
 				copy(dTok.Data[(b*s+si)*d:(b*s+si+1)*d],
@@ -261,10 +266,16 @@ func (m *Transformer) Backward(dLogits *tensor.Tensor) {
 // FlattenTargets aligns per-sequence targets with the model's flattened
 // logits: prompt positions receive IgnoreIndex.
 func (m *Transformer) FlattenTargets(targets [][]int) []int {
+	return m.FlattenTargetsIn(nil, targets)
+}
+
+// FlattenTargetsIn is FlattenTargets with the flat slice taken from the
+// step workspace.
+func (m *Transformer) FlattenTargetsIn(ws *tensor.Arena, targets [][]int) []int {
 	batch := len(targets)
 	s := len(targets[0])
 	total := m.TotalSeq(s)
-	out := make([]int, batch*total)
+	out := tensor.IntsIn(ws, batch*total)
 	for b := 0; b < batch; b++ {
 		for p := 0; p < m.PromptLen; p++ {
 			out[b*total+p] = IgnoreIndex

@@ -53,7 +53,24 @@ func For(n int, body func(i int)) {
 // body(lo, hi) for each chunk, in parallel. A chunk is never empty.
 // With a single worker (or n == 1) the body runs on the calling goroutine,
 // which keeps small kernels allocation-free.
+//
+// Note on allocation: because body may cross a goroutine boundary, a
+// closure passed here is always heap-allocated at its creation site, even
+// on the single-worker fast path — Go's escape analysis is path-
+// insensitive. Hot kernels that must be allocation-free in steady state
+// use the *Arg variants below, which take a plain function plus an explicit
+// argument struct so nothing escapes.
 func ForChunked(n int, body func(lo, hi int)) {
+	ForChunkedArg(n, body, func(b func(lo, hi int), lo, hi int) { b(lo, hi) })
+}
+
+// ForChunkedArg is ForChunked for allocation-free call sites: body should
+// be a plain top-level function (or a closure that captures nothing), with
+// all per-call state carried in arg by value. On the single-worker fast
+// path neither body nor arg escapes, so a warm training step performs no
+// heap allocation; with multiple workers each spawned chunk captures one
+// copy of arg.
+func ForChunkedArg[T any](n int, arg T, body func(arg T, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -62,9 +79,17 @@ func ForChunked(n int, body func(lo, hi int)) {
 		w = n
 	}
 	if w == 1 {
-		body(0, n)
+		body(arg, 0, n)
 		return
 	}
+	forChunkedArgSlow(n, w, arg, body)
+}
+
+// forChunkedArgSlow holds the goroutine fan-out apart from the fast path:
+// its WaitGroup/panic-capture locals are moved to the heap by the escape
+// analysis, and keeping them here (out of the inlinable fast path) is what
+// makes the single-worker ForChunkedArg call truly allocation-free.
+func forChunkedArgSlow[T any](n, w int, arg T, body func(arg T, lo, hi int)) {
 	chunk := (n + w - 1) / w
 	var wg sync.WaitGroup
 	var firstPanic atomic.Value
@@ -81,13 +106,89 @@ func ForChunked(n int, body func(lo, hi int)) {
 					firstPanic.CompareAndSwap(nil, r)
 				}
 			}()
-			body(lo, hi)
+			body(arg, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
 	if p := firstPanic.Load(); p != nil {
 		panic(p)
 	}
+}
+
+// ForArg runs body(arg, i) for every i in [0, n) across the worker pool —
+// the allocation-free variant of For (see ForChunkedArg). Implemented
+// directly rather than by delegation: referencing a generic function as a
+// value binds its dictionary at runtime, which itself allocates.
+func ForArg[T any](n int, arg T, body func(arg T, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			body(arg, i)
+		}
+		return
+	}
+	// The slow path may allocate freely (goroutine spawns dwarf an adapter
+	// struct), so it reuses forChunkedArgSlow instead of repeating the
+	// fan-out. Chunk boundaries are unchanged.
+	forChunkedArgSlow(n, w, forItem[T]{arg, body}, forItemChunk[T])
+}
+
+// forItem adapts a per-index body onto the chunked slow path.
+type forItem[T any] struct {
+	arg  T
+	body func(arg T, i int)
+}
+
+func forItemChunk[T any](p forItem[T], lo, hi int) {
+	for i := lo; i < hi; i++ {
+		p.body(p.arg, i)
+	}
+}
+
+// ForBlockedArg is ForBlocked for allocation-free call sites (see
+// ForChunkedArg). Chunk boundaries are identical to ForBlocked's: the tile
+// count is chunked exactly like ForChunked, and each chunk's half-open
+// range is scaled back to elements with the final boundary clamped to n.
+func ForBlockedArg[T any](n, block int, arg T, body func(arg T, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if block < 1 {
+		block = 1
+	}
+	tiles := (n + block - 1) / block
+	w := Workers()
+	if w > tiles {
+		w = tiles
+	}
+	if w == 1 {
+		body(arg, 0, n)
+		return
+	}
+	// Slow path: chunk the tile count exactly as ForChunked would, mapping
+	// each tile chunk back to a clamped element range.
+	forChunkedArgSlow(tiles, w, forBlock[T]{n, block, arg, body}, forBlockChunk[T])
+}
+
+// forBlock adapts tile-aligned chunking onto the chunked slow path.
+type forBlock[T any] struct {
+	n, block int
+	arg      T
+	body     func(arg T, lo, hi int)
+}
+
+func forBlockChunk[T any](p forBlock[T], tLo, tHi int) {
+	hi := tHi * p.block
+	if hi > p.n {
+		hi = p.n
+	}
+	p.body(p.arg, tLo*p.block, hi)
 }
 
 // ForBlocked splits [0, n) into at most Workers() contiguous chunks whose
@@ -99,20 +200,7 @@ func ForChunked(n int, body func(lo, hi int)) {
 // Workers() always produce the same boundaries. A chunk is never empty;
 // block values below 1 are treated as 1.
 func ForBlocked(n, block int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if block < 1 {
-		block = 1
-	}
-	tiles := (n + block - 1) / block
-	ForChunked(tiles, func(tLo, tHi int) {
-		hi := tHi * block
-		if hi > n {
-			hi = n
-		}
-		body(tLo*block, hi)
-	})
+	ForBlockedArg(n, block, body, func(b func(lo, hi int), lo, hi int) { b(lo, hi) })
 }
 
 // ReduceFloat64 computes a deterministic parallel reduction over [0, n):
@@ -121,6 +209,14 @@ func ForBlocked(n, block int, body func(lo, hi int)) {
 // of scheduling (though it may differ from a single serial sum by the usual
 // floating-point reassociation across the fixed chunk boundaries).
 func ReduceFloat64(n int, body func(i int) float64) float64 {
+	return ReduceFloat64Arg(n, body, func(b func(i int) float64, i int) float64 { return b(i) })
+}
+
+// ReduceFloat64Arg is ReduceFloat64 for allocation-free call sites: body
+// should be a plain function with per-call state carried in arg (see
+// ForChunkedArg). Chunking — and therefore the floating-point association —
+// is identical to ReduceFloat64's.
+func ReduceFloat64Arg[T any](n int, arg T, body func(arg T, i int) float64) float64 {
 	if n <= 0 {
 		return 0
 	}
@@ -131,7 +227,7 @@ func ReduceFloat64(n int, body func(i int) float64) float64 {
 	if w == 1 {
 		var s float64
 		for i := 0; i < n; i++ {
-			s += body(i)
+			s += body(arg, i)
 		}
 		return s
 	}
@@ -150,7 +246,7 @@ func ReduceFloat64(n int, body func(i int) float64) float64 {
 			defer wg.Done()
 			var s float64
 			for i := lo; i < hi; i++ {
-				s += body(i)
+				s += body(arg, i)
 			}
 			partials[c] = s
 		}(c, lo, hi)

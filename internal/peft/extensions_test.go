@@ -39,14 +39,14 @@ func TestLoRAFAStillLearns(t *testing.T) {
 	flat := m.FlattenTargets([][]int{{1, 2, 3, 4, 5, 6, 7, 8}})
 	var first, last float64
 	for step := 0; step < 40; step++ {
-		logits := m.Forward(ids, nil)
+		logits := m.Forward(ids, nil, nil)
 		loss, dLogits := nn.CrossEntropy(logits, flat)
 		if step == 0 {
 			first = loss
 		}
 		last = loss
 		ps.ZeroGrads()
-		m.Backward(dLogits)
+		m.Backward(dLogits, nil)
 		opt.Step(ps)
 	}
 	if last >= first {
@@ -85,8 +85,8 @@ func TestQuantizeBackboneRoundsFrozenOnly(t *testing.T) {
 	m2 := freshModel(23)
 	Apply(m2, LoRA, Options{}, tensor.NewRNG(24))
 	ids := [][]int{{1, 2, 3, 4}}
-	a := m.Forward(ids, nil)
-	b := m2.Forward(ids, nil)
+	a := m.Forward(ids, nil, nil)
+	b := m2.Forward(ids, nil, nil)
 	if d := tensor.MaxAbsDiff(a, b); d == 0 || d > 0.1 {
 		t.Fatalf("fp16 backbone perturbation %v out of expected band", d)
 	}
@@ -104,11 +104,11 @@ func TestQuantizeBackboneKeepsAccuracyBehaviour(t *testing.T) {
 		flat := m.FlattenTargets([][]int{{1, 2, 3, 4, 5, 6, 7, 8}})
 		var last float64
 		for step := 0; step < 30; step++ {
-			logits := m.Forward(ids, nil)
+			logits := m.Forward(ids, nil, nil)
 			loss, dLogits := nn.CrossEntropy(logits, flat)
 			last = loss
 			ps.ZeroGrads()
-			m.Backward(dLogits)
+			m.Backward(dLogits, nil)
 			opt.Step(ps)
 		}
 		return last

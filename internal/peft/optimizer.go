@@ -105,18 +105,31 @@ func (o *AdamW) Step(params nn.ParamSet) {
 			o.v[p] = make([]float32, len(w))
 		}
 		vBuf := o.v[p]
-		b1, b2 := float32(o.Beta1), float32(o.Beta2)
-		lr, wd, eps := o.LR, o.WeightDecay, o.Eps
-		parallel.ForChunked(len(w), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				mBuf[i] = b1*mBuf[i] + (1-b1)*g[i]
-				vBuf[i] = b2*vBuf[i] + (1-b2)*g[i]*g[i]
-				mHat := float64(mBuf[i]) / bc1
-				vHat := float64(vBuf[i]) / bc2
-				upd := lr * (mHat/(math.Sqrt(vHat)+eps) + wd*float64(w[i]))
-				w[i] -= float32(upd)
-			}
-		})
+		parallel.ForChunkedArg(len(w), adamChunkArgs{
+			w: w, g: g, m: mBuf, v: vBuf,
+			b1: float32(o.Beta1), b2: float32(o.Beta2),
+			bc1: bc1, bc2: bc2, lr: o.LR, wd: o.WeightDecay, eps: o.Eps,
+		}, adamChunk)
+	}
+}
+
+// adamChunkArgs / adamChunk: static update body so the optimizer step does
+// not allocate a closure per parameter (see parallel.ForChunkedArg).
+type adamChunkArgs struct {
+	w, g, m, v  []float32
+	b1, b2      float32
+	bc1, bc2    float64
+	lr, wd, eps float64
+}
+
+func adamChunk(a adamChunkArgs, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a.m[i] = a.b1*a.m[i] + (1-a.b1)*a.g[i]
+		a.v[i] = a.b2*a.v[i] + (1-a.b2)*a.g[i]*a.g[i]
+		mHat := float64(a.m[i]) / a.bc1
+		vHat := float64(a.v[i]) / a.bc2
+		upd := a.lr * (mHat/(math.Sqrt(vHat)+a.eps) + a.wd*float64(a.w[i]))
+		a.w[i] -= float32(upd)
 	}
 }
 

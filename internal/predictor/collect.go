@@ -32,14 +32,14 @@ func Collect(m *nn.Transformer, batches [][][]int) []Sample {
 	for _, ids := range batches {
 		batch := len(ids)
 		seq := m.TotalSeq(len(ids[0]))
-		m.Forward(ids, nil)
+		m.Forward(ids, nil, nil)
 		s := Sample{Batch: batch, Seq: seq}
 		for _, blk := range m.Blocks {
 			ls := LayerSample{
 				AttnInput: blk.LN1Out().Clone(),
 				MLPInput:  blk.LN2Out().Clone(),
 			}
-			for _, p := range blk.Attn.DenseProbs() {
+			for _, p := range blk.Attn.DenseProbs(nil) {
 				ls.Probs = append(ls.Probs, p.Clone())
 			}
 			if mask := blk.MLP.ActivationMask(); mask != nil {

@@ -173,6 +173,14 @@ func SoftmaxBackward(dProb, p *BlockSparse, scale float32) {
 // It returns the probability matrix for reuse by the dense backward.
 func DenseCausalAttention(out, q, k, v []float32, s, hd int, scale float32) *tensor.Tensor {
 	scores := tensor.New(s, s)
+	DenseCausalAttentionInto(scores, out, q, k, v, s, hd, scale)
+	return scores
+}
+
+// DenseCausalAttentionInto is DenseCausalAttention writing the probability
+// matrix into a caller-provided zeroed [s, s] tensor — the workspace path,
+// where scores come from the step arena instead of a fresh allocation.
+func DenseCausalAttentionInto(scores *tensor.Tensor, out, q, k, v []float32, s, hd int, scale float32) {
 	tensor.GemmTBRange(scores.Data, q, k, hd, s, 0, s)
 	for i := 0; i < s; i++ {
 		row := scores.Row(i)
@@ -185,5 +193,4 @@ func DenseCausalAttention(out, q, k, v []float32, s, hd int, scale float32) *ten
 		tensor.SoftmaxRow(row)
 	}
 	tensor.GemmRange(out, scores.Data, v, s, hd, 0, s)
-	return scores
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"longexposure/internal/parallel"
+	"longexposure/internal/tensor"
 )
 
 // CombinedSparse holds the block-sparse score matrices of *all* heads of
@@ -20,7 +21,15 @@ type CombinedSparse struct {
 
 // NewCombinedSparse allocates zeroed storage for a head combination.
 func NewCombinedSparse(hl *HeadLayouts, blk int) *CombinedSparse {
-	return &CombinedSparse{HL: hl, Blk: blk, Data: make([]float32, hl.TotalBlocks()*blk*blk)}
+	return NewCombinedSparseIn(nil, hl, blk)
+}
+
+// NewCombinedSparseIn takes the combined buffer from the workspace arena
+// (keyed, like all arena storage, by the buffer's size class — layouts of
+// equal total active-block count share recycled storage); ws == nil
+// allocates fresh zeroed storage.
+func NewCombinedSparseIn(ws *tensor.Arena, hl *HeadLayouts, blk int) *CombinedSparse {
+	return &CombinedSparse{HL: hl, Blk: blk, Data: tensor.FloatsIn(ws, hl.TotalBlocks()*blk*blk)}
 }
 
 // block returns the storage of the combined block offset.

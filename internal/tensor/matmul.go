@@ -110,6 +110,18 @@ func GemmTARangeNaive(c, a, b []float32, kDim, m, n, loM, hiM int) {
 // so the per-call panel packing of the tiled cores stays amortized.
 const matmulRowTile = 8
 
+// gemmCall carries one driver invocation's operands so the parallel fan-out
+// uses static chunk functions — no closure, no per-call heap allocation on
+// the single-worker fast path (see parallel.ForChunkedArg).
+type gemmCall struct {
+	c, a, b []float32
+	k, n, m int
+}
+
+func gemmRangeChunk(g gemmCall, lo, hi int)   { GemmRange(g.c, g.a, g.b, g.k, g.n, lo, hi) }
+func gemmTBRangeChunk(g gemmCall, lo, hi int) { GemmTBRange(g.c, g.a, g.b, g.k, g.n, lo, hi) }
+func gemmTARangeChunk(g gemmCall, lo, hi int) { GemmTARange(g.c, g.a, g.b, g.k, g.m, g.n, lo, hi) }
+
 func check2D(t *Tensor, name string) (rows, cols int) {
 	if t.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: %s must be rank 2, got shape %v", name, t.Shape()))
@@ -126,9 +138,7 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
 	}
 	c := New(m, n)
-	parallel.ForBlocked(m, matmulRowTile, func(lo, hi int) {
-		GemmRange(c.Data, a.Data, b.Data, k, n, lo, hi)
-	})
+	parallel.ForBlockedArg(m, matmulRowTile, gemmCall{c.Data, a.Data, b.Data, k, n, m}, gemmRangeChunk)
 	return c
 }
 
@@ -140,9 +150,7 @@ func MatMulInto(c, a, b *Tensor) {
 	if k != k2 || cm != m || cn != n {
 		panic(fmt.Sprintf("tensor: MatMulInto shapes a%v b%v c%v", a.Shape(), b.Shape(), c.Shape()))
 	}
-	parallel.ForBlocked(m, matmulRowTile, func(lo, hi int) {
-		GemmRange(c.Data, a.Data, b.Data, k, n, lo, hi)
-	})
+	parallel.ForBlockedArg(m, matmulRowTile, gemmCall{c.Data, a.Data, b.Data, k, n, m}, gemmRangeChunk)
 }
 
 // MatMulTB returns a·bᵀ for a: [m,k], b: [n,k], in parallel.
@@ -153,9 +161,7 @@ func MatMulTB(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTB inner dims %d vs %d", k, k2))
 	}
 	c := New(m, n)
-	parallel.ForBlocked(m, matmulRowTile, func(lo, hi int) {
-		GemmTBRange(c.Data, a.Data, b.Data, k, n, lo, hi)
-	})
+	parallel.ForBlockedArg(m, matmulRowTile, gemmCall{c.Data, a.Data, b.Data, k, n, m}, gemmTBRangeChunk)
 	return c
 }
 
@@ -167,9 +173,7 @@ func MatMulTBInto(c, a, b *Tensor) {
 	if k != k2 || cm != m || cn != n {
 		panic(fmt.Sprintf("tensor: MatMulTBInto shapes a%v b%v c%v", a.Shape(), b.Shape(), c.Shape()))
 	}
-	parallel.ForBlocked(m, matmulRowTile, func(lo, hi int) {
-		GemmTBRange(c.Data, a.Data, b.Data, k, n, lo, hi)
-	})
+	parallel.ForBlockedArg(m, matmulRowTile, gemmCall{c.Data, a.Data, b.Data, k, n, m}, gemmTBRangeChunk)
 }
 
 // MatMulTA returns aᵀ·b for a: [kDim,m], b: [kDim,n], in parallel.
@@ -180,9 +184,7 @@ func MatMulTA(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTA leading dims %d vs %d", kDim, kDim2))
 	}
 	c := New(m, n)
-	parallel.ForBlocked(m, matmulRowTile, func(lo, hi int) {
-		GemmTARange(c.Data, a.Data, b.Data, kDim, m, n, lo, hi)
-	})
+	parallel.ForBlockedArg(m, matmulRowTile, gemmCall{c.Data, a.Data, b.Data, kDim, n, m}, gemmTARangeChunk)
 	return c
 }
 
@@ -194,9 +196,38 @@ func MatMulTAInto(c, a, b *Tensor) {
 	if kDim != kDim2 || cm != m || cn != n {
 		panic(fmt.Sprintf("tensor: MatMulTAInto shapes a%v b%v c%v", a.Shape(), b.Shape(), c.Shape()))
 	}
-	parallel.ForBlocked(m, matmulRowTile, func(lo, hi int) {
-		GemmTARange(c.Data, a.Data, b.Data, kDim, m, n, lo, hi)
-	})
+	parallel.ForBlockedArg(m, matmulRowTile, gemmCall{c.Data, a.Data, b.Data, kDim, n, m}, gemmTARangeChunk)
+}
+
+// MatMulIn returns a·b with the result taken from ws (plain MatMul when ws
+// is nil) — the workspace entry point of the forward/backward drivers.
+func MatMulIn(ws *Arena, a, b *Tensor) *Tensor {
+	if ws == nil {
+		return MatMul(a, b)
+	}
+	c := ws.Get(a.Dim(0), b.Dim(1))
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulTBIn returns a·bᵀ with the result taken from ws.
+func MatMulTBIn(ws *Arena, a, b *Tensor) *Tensor {
+	if ws == nil {
+		return MatMulTB(a, b)
+	}
+	c := ws.Get(a.Dim(0), b.Dim(0))
+	MatMulTBInto(c, a, b)
+	return c
+}
+
+// MatMulTAIn returns aᵀ·b with the result taken from ws.
+func MatMulTAIn(ws *Arena, a, b *Tensor) *Tensor {
+	if ws == nil {
+		return MatMulTA(a, b)
+	}
+	c := ws.Get(a.Dim(1), b.Dim(1))
+	MatMulTAInto(c, a, b)
+	return c
 }
 
 // Transpose returns the transpose of a rank-2 tensor.

@@ -47,6 +47,22 @@ func MulInto(dst, src *Tensor) {
 	}
 }
 
+// rowVecArgs / addRowVectorChunk: static kernel body for AddRowVector so
+// the hot bias-add never allocates a closure (parallel.ForChunkedArg).
+type rowVecArgs struct {
+	data, v []float32
+	n       int
+}
+
+func addRowVectorChunk(a rowVecArgs, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := a.data[i*a.n : (i+1)*a.n]
+		for j := range row {
+			row[j] += a.v[j]
+		}
+	}
+}
+
 // AddRowVector adds vector v (length n) to every row of a [m,n] tensor —
 // the bias-add kernel.
 func AddRowVector(t *Tensor, v []float32) {
@@ -54,20 +70,13 @@ func AddRowVector(t *Tensor, v []float32) {
 	if len(v) != n {
 		panic(fmt.Sprintf("tensor: AddRowVector length %d vs cols %d", len(v), n))
 	}
-	parallel.ForChunked(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := t.Data[i*n : (i+1)*n]
-			for j := range row {
-				row[j] += v[j]
-			}
-		}
-	})
+	parallel.ForChunkedArg(m, rowVecArgs{t.Data, v, n}, addRowVectorChunk)
 }
 
 // Sum returns the sum of all elements (deterministic parallel reduction).
 func Sum(t *Tensor) float64 {
 	d := t.Data
-	return parallel.ReduceFloat64(len(d), func(i int) float64 { return float64(d[i]) })
+	return parallel.ReduceFloat64Arg(len(d), d, func(d []float32, i int) float64 { return float64(d[i]) })
 }
 
 // Mean returns the arithmetic mean of all elements.
@@ -126,31 +135,44 @@ func ReLURange(dst, mask []float32, lo, hi int) {
 // ReLU applies the rectifier in place, in parallel, returning the 0/1
 // activation mask when wantMask is set.
 func ReLU(t *Tensor, wantMask bool) *Tensor {
+	return ReLUIn(nil, t, wantMask)
+}
+
+// ReLUIn is ReLU with the mask taken from ws (allocated when ws is nil).
+func ReLUIn(ws *Arena, t *Tensor, wantMask bool) *Tensor {
 	var mask *Tensor
 	var md []float32
 	if wantMask {
-		mask = New(t.Shape()...)
+		mask = NewIn(ws, t.Shape()...)
 		md = mask.Data
 	}
 	d := t.Data
-	parallel.ForChunked(len(d), func(lo, hi int) {
-		ReLURange(d, md, lo, hi)
-	})
+	parallel.ForChunkedArg(len(d), reluArgs{d, md}, reluChunk)
 	return mask
 }
+
+type reluArgs struct{ d, mask []float32 }
+
+func reluChunk(a reluArgs, lo, hi int) { ReLURange(a.d, a.mask, lo, hi) }
 
 // GeLU applies the Gaussian error linear unit (tanh approximation) in place
 // and returns the pre-activation copy needed for backward.
 func GeLU(t *Tensor) *Tensor {
-	pre := t.Clone()
-	d := t.Data
-	parallel.ForChunked(len(d), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			x := float64(d[i])
-			d[i] = float32(0.5 * x * (1 + math.Tanh(0.7978845608028654*(x+0.044715*x*x*x))))
-		}
-	})
+	return GeLUIn(nil, t)
+}
+
+// GeLUIn is GeLU with the pre-activation copy taken from ws.
+func GeLUIn(ws *Arena, t *Tensor) *Tensor {
+	pre := CloneIn(ws, t)
+	parallel.ForChunkedArg(len(t.Data), t.Data, geluChunk)
 	return pre
+}
+
+func geluChunk(d []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		x := float64(d[i])
+		d[i] = float32(0.5 * x * (1 + math.Tanh(0.7978845608028654*(x+0.044715*x*x*x))))
+	}
 }
 
 // GeLUGradRange computes dx[i] += dy[i] * gelu'(pre[i]) over [lo, hi).
@@ -223,7 +245,7 @@ func SoftmaxBackwardRow(dst, p, dprob []float32) {
 // L2Norm returns the Euclidean norm of the tensor.
 func L2Norm(t *Tensor) float64 {
 	d := t.Data
-	s := parallel.ReduceFloat64(len(d), func(i int) float64 { return float64(d[i]) * float64(d[i]) })
+	s := parallel.ReduceFloat64Arg(len(d), d, func(d []float32, i int) float64 { return float64(d[i]) * float64(d[i]) })
 	return math.Sqrt(s)
 }
 

@@ -60,6 +60,13 @@ type DataParallel struct {
 	Workers  []*nn.Transformer
 	Opts     []peft.Optimizer
 	ClipNorm float64
+
+	// arenas holds one private workspace per replica: concurrent workers
+	// never share step-lived buffers or saved-for-backward state, keeping
+	// the forward/backward phase race-free under the race detector.
+	arenas    []*tensor.Arena
+	paramSets []nn.ParamSet // cached per-replica parameter sets
+	losses    []float64
 }
 
 // NewDataParallel replicates the (already PEFT-configured) model.
@@ -70,6 +77,13 @@ func NewDataParallel(m *nn.Transformer, nWorkers int, mkOpt func() peft.Optimize
 	for w := 1; w < nWorkers; w++ {
 		dp.Workers = append(dp.Workers, CloneModel(m, rng.Split()))
 		dp.Opts = append(dp.Opts, mkOpt())
+	}
+	for range dp.Workers {
+		dp.arenas = append(dp.arenas, tensor.NewArena())
+	}
+	dp.losses = make([]float64, len(dp.Workers))
+	for _, w := range dp.Workers {
+		dp.paramSets = append(dp.paramSets, w.Params())
 	}
 	return dp
 }
@@ -85,7 +99,7 @@ func (dp *DataParallel) Step(b data.Batch) (float64, time.Duration) {
 	}
 	shard := len(b.Inputs) / n
 
-	losses := make([]float64, n)
+	losses := dp.losses
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < n; w++ {
@@ -93,22 +107,21 @@ func (dp *DataParallel) Step(b data.Batch) (float64, time.Duration) {
 		go func(w int) {
 			defer wg.Done()
 			m := dp.Workers[w]
+			ws := dp.arenas[w] // private per-replica workspace
 			ins := b.Inputs[w*shard : (w+1)*shard]
 			tgts := b.Targets[w*shard : (w+1)*shard]
-			logits := m.Forward(ins, nil)
-			loss, dLogits := nn.CrossEntropy(logits, m.FlattenTargets(tgts))
-			m.Params().ZeroGrads()
-			m.Backward(dLogits)
+			logits := m.Forward(ins, nil, ws)
+			loss, dLogits := nn.CrossEntropyIn(ws, logits, m.FlattenTargetsIn(ws, tgts))
+			dp.paramSets[w].ZeroGrads()
+			m.Backward(dLogits, ws)
+			ws.Release() // gradients live on the parameters; scratch is done
 			losses[w] = loss
 		}(w)
 	}
 	wg.Wait()
 
 	// All-reduce (average) trainable gradients across replicas.
-	paramSets := make([]nn.ParamSet, n)
-	for w := range dp.Workers {
-		paramSets[w] = dp.Workers[w].Params()
-	}
+	paramSets := dp.paramSets
 	base := paramSets[0]
 	inv := float32(1 / float64(n))
 	for pi, p := range base {

@@ -51,6 +51,13 @@ func (p PhaseTimes) Scale(n int) PhaseTimes {
 }
 
 // Engine drives fine-tuning of one model replica.
+//
+// Memory model: the engine owns one workspace arena per replica. Every
+// step Gets its step-lived buffers (activations, gradients-in-flight,
+// saved-for-backward state) from that arena and Releases them after the
+// optimizer update, so steady-state training performs near-zero heap
+// allocation. Set NoWorkspace to fall back to the allocating path — the
+// two paths are bit-identical, which the determinism tests pin.
 type Engine struct {
 	Model *nn.Transformer
 	Opt   peft.Optimizer
@@ -62,17 +69,42 @@ type Engine struct {
 	RP *predictor.RuntimePlanner
 	// ClipNorm, when positive, applies global gradient-norm clipping.
 	ClipNorm float64
+	// NoWorkspace disables the step arena: every step allocates fresh
+	// buffers exactly like the seed code. Results are bit-identical; only
+	// allocation behavior differs.
+	NoWorkspace bool
+
+	ws *tensor.Arena
+	// params caches Model.Params() — rebuilding the set every step
+	// allocates. The cache is invalidated when Model is swapped; changing
+	// the parameter *structure* of the current model (e.g. injecting LoRA
+	// after the first Step) is not supported mid-training.
+	params      nn.ParamSet
+	paramsModel *nn.Transformer
+}
+
+// Workspace returns the engine's step arena, creating it on first use
+// (nil when NoWorkspace is set).
+func (e *Engine) Workspace() *tensor.Arena {
+	if e.NoWorkspace {
+		return nil
+	}
+	if e.ws == nil {
+		e.ws = tensor.NewArena()
+	}
+	return e.ws
 }
 
 // Step runs one fine-tuning step on a batch and returns the loss and the
 // per-phase times.
 func (e *Engine) Step(b data.Batch) (float64, PhaseTimes) {
 	var times PhaseTimes
+	ws := e.Workspace()
 
 	t0 := time.Now()
-	logits := e.Model.Forward(b.Inputs, e.Planner)
-	flat := e.Model.FlattenTargets(b.Targets)
-	loss, dLogits := nn.CrossEntropy(logits, flat)
+	logits := e.Model.Forward(b.Inputs, e.Planner, ws)
+	flat := e.Model.FlattenTargetsIn(ws, b.Targets)
+	loss, dLogits := nn.CrossEntropyIn(ws, logits, flat)
 	times.Forward = time.Since(t0)
 	if e.RP != nil {
 		times.Predict = e.RP.TakeElapsed()
@@ -80,9 +112,13 @@ func (e *Engine) Step(b data.Batch) (float64, PhaseTimes) {
 	}
 
 	t1 := time.Now()
-	params := e.Model.Params()
+	if e.params == nil || e.paramsModel != e.Model {
+		e.params = e.Model.Params()
+		e.paramsModel = e.Model
+	}
+	params := e.params
 	params.ZeroGrads()
-	e.Model.Backward(dLogits)
+	e.Model.Backward(dLogits, ws)
 	times.Backward = time.Since(t1)
 
 	t2 := time.Now()
@@ -92,6 +128,8 @@ func (e *Engine) Step(b data.Batch) (float64, PhaseTimes) {
 	e.Opt.Step(params)
 	times.Optim = time.Since(t2)
 
+	// The step is fully applied; recycle every step-lived buffer.
+	ws.Release()
 	return loss, times
 }
 
@@ -179,6 +217,7 @@ func (e *Engine) RunContext(ctx context.Context, batches []data.Batch, epochs in
 // answer tokens at its answer position.
 func EvaluateTask(m *nn.Transformer, examples []data.Example, seqLen int, planner nn.Planner) float64 {
 	correct, total := 0, 0
+	ws := tensor.NewArena() // per-example workspace, recycled across examples
 	for _, e := range examples {
 		// The logit row is offset by the prompt length of prompted
 		// (P-Tuning) models, so bound-check the row itself — and reject
@@ -191,7 +230,7 @@ func EvaluateTask(m *nn.Transformer, examples []data.Example, seqLen int, planne
 			continue
 		}
 		p := data.PadTo(e, seqLen)
-		logits := m.Forward([][]int{p.Input}, planner)
+		logits := m.Forward([][]int{p.Input}, planner, ws)
 		best, bestV := -1, float32(tensor.NegInf)
 		for ci, tok := range e.Choices {
 			v := logits.At(pos, tok)
@@ -199,6 +238,7 @@ func EvaluateTask(m *nn.Transformer, examples []data.Example, seqLen int, planne
 				best, bestV = ci, v
 			}
 		}
+		ws.Release()
 		if best == e.Label {
 			correct++
 		}

@@ -5,6 +5,7 @@ import (
 
 	"longexposure/internal/data"
 	"longexposure/internal/nn"
+	"longexposure/internal/tensor"
 )
 
 // Perplexity evaluates exp(mean NLL) over the supervised positions of the
@@ -13,16 +14,18 @@ import (
 func Perplexity(m *nn.Transformer, batches []data.Batch, planner nn.Planner) float64 {
 	var totalLoss float64
 	var n int
+	ws := tensor.NewArena() // per-batch workspace, recycled across batches
 	for _, b := range batches {
-		logits := m.Forward(b.Inputs, planner)
-		flat := m.FlattenTargets(b.Targets)
-		loss, _ := nn.CrossEntropy(logits, flat)
+		logits := m.Forward(b.Inputs, planner, ws)
+		flat := m.FlattenTargetsIn(ws, b.Targets)
+		loss, _ := nn.CrossEntropyIn(ws, logits, flat)
 		count := 0
 		for _, t := range flat {
 			if t != nn.IgnoreIndex {
 				count++
 			}
 		}
+		ws.Release()
 		totalLoss += loss * float64(count)
 		n += count
 	}

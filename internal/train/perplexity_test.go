@@ -48,7 +48,7 @@ func TestPerplexityConsistentWithLoss(t *testing.T) {
 	r := tensor.NewRNG(93)
 	m := nn.NewTransformer(model.SimSmall(nn.ActReLU).Config, r)
 	batches := copyTaskBatches(64, 2, 8, 2, 94)
-	logits := m.Forward(batches[0].Inputs, nil)
+	logits := m.Forward(batches[0].Inputs, nil, nil)
 	loss, _ := nn.CrossEntropy(logits, m.FlattenTargets(batches[0].Targets))
 	ppl := Perplexity(m, batches[:1], nil)
 	if math.Abs(math.Log(ppl)-loss) > 1e-6 {

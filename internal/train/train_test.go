@@ -167,8 +167,8 @@ func TestCloneModelPreservesFunction(t *testing.T) {
 	clone := CloneModel(m, tensor.NewRNG(10))
 
 	ids := [][]int{{1, 2, 3, 4}}
-	a := m.Forward(ids, nil)
-	b := clone.Forward(ids, nil)
+	a := m.Forward(ids, nil, nil)
+	b := clone.Forward(ids, nil, nil)
 	if d := tensor.MaxAbsDiff(a, b); d != 0 {
 		t.Fatalf("clone diverges: %v", d)
 	}
