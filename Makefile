@@ -14,14 +14,15 @@ test:
 	$(GO) test ./...
 
 # Race detector over the concurrent packages (job service, HTTP API,
-# worker pool, concurrent training replicas) — the same set CI runs.
+# worker pool, concurrent training replicas, multi-adapter decoding on a
+# shared base) — the same set CI runs.
 race:
-	$(GO) test -race ./internal/jobs/... ./internal/serve/... ./internal/parallel/... ./internal/train/... ./internal/tensor/...
+	$(GO) test -race ./internal/jobs/... ./internal/serve/... ./internal/parallel/... ./internal/train/... ./internal/tensor/... ./internal/infer/... ./internal/registry/... ./internal/nn/...
 
 # CI-sized benchmarks, gated against the checked-in baselines on both
 # ns/op (relative tolerance) and allocs/op (absolute tolerance).
 bench:
-	$(GO) run ./cmd/lebench -suite kernels,train_step -short -baseline $(BASELINES) -tolerance 0.20 -alloc-tolerance 16
+	$(GO) run ./cmd/lebench -suite kernels,train_step,generate -short -baseline $(BASELINES) -tolerance 0.20 -alloc-tolerance 16
 
 # Allocation gate alone: the train_step suite compares the workspace-arena
 # step against its checked-in near-zero allocs/op baseline — mirrors the
@@ -37,7 +38,7 @@ bench-all:
 # only when intentionally resetting the perf reference (e.g. after a
 # deliberate trade-off or a runner change).
 baseline:
-	$(GO) run ./cmd/lebench -suite kernels,train_step -short -repeats 4 -out .github/bench
+	$(GO) run ./cmd/lebench -suite kernels,train_step,generate -short -repeats 4 -out .github/bench
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

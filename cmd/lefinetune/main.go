@@ -8,7 +8,12 @@
 //
 //	lefinetune -method lora -steps 20 -sparse
 //	lefinetune -method adapter -steps 10 -save model.ckpt
-//	lefinetune -method lora -load model.ckpt -steps 0   # inference only
+//	lefinetune -method lora -load model.ckpt -steps 0     # inference only
+//	lefinetune -method lora -save model.ckpt -resume      # continue an interrupted run
+//
+// -resume reloads -save's checkpoint (when it exists) before training, so
+// an interrupted run picks up from its last saved weights; optimizer
+// moments restart, exactly like resuming from a weights-only checkpoint.
 package main
 
 import (
@@ -41,6 +46,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "seed")
 		save     = flag.String("save", "", "write a weight checkpoint here after training")
 		load     = flag.String("load", "", "load a weight checkpoint before training")
+		resume   = flag.Bool("resume", false, "reload -save's checkpoint (if present) before training, continuing an interrupted run")
 		progress = flag.Bool("progress", false, "print a line per training step")
 	)
 	flag.Parse()
@@ -72,17 +78,26 @@ func main() {
 		fmt.Printf("predictors: attention recall %.2f, MLP recall %.2f\n", stats.AttnRecall, stats.MLPRecall)
 	}
 
+	if *resume {
+		if *save == "" {
+			fmt.Fprintln(os.Stderr, "lefinetune: -resume needs -save (the checkpoint to continue from)")
+			os.Exit(2)
+		}
+		switch err := loadCheckpoint(*save, eng.Model.Params()); {
+		case os.IsNotExist(err):
+			fmt.Printf("no checkpoint at %s yet, starting fresh\n", *save)
+		case err != nil:
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		default:
+			fmt.Printf("resumed from checkpoint %s\n", *save)
+		}
+	}
 	if *load != "" {
-		f, err := os.Open(*load)
-		if err != nil {
+		if err := loadCheckpoint(*load, eng.Model.Params()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := eng.Model.Params().Load(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		f.Close()
 		fmt.Printf("loaded checkpoint %s\n", *load)
 	}
 
@@ -118,18 +133,45 @@ func main() {
 	fmt.Printf("sample generation from %v: %v\n", prompt, out)
 
 	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
+		if err := saveCheckpoint(*save, eng.Model.Params()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := eng.Model.Params().Save(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		f.Close()
 		fmt.Printf("saved checkpoint %s\n", *save)
 	}
+}
+
+// saveCheckpoint writes the parameter set to path atomically (temp file +
+// rename), so a crash mid-write never corrupts the checkpoint a -resume
+// run would reload.
+func saveCheckpoint(path string, ps nn.ParamSet) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := ps.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadCheckpoint restores the parameter set from path. The os.IsNotExist
+// case is surfaced unchanged so -resume can treat a missing checkpoint as
+// a fresh start.
+func loadCheckpoint(path string, ps nn.ParamSet) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ps.Load(f)
 }
 
 func parseMethod(s string) (peft.Method, error) {

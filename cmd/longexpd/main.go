@@ -1,16 +1,21 @@
-// Command longexpd is the Long Exposure fine-tuning daemon: it serves the
-// job API (internal/serve) over a scheduler and bounded worker pool
-// (internal/jobs), turning fine-tuning sessions and paper experiments into
-// queued, cancellable, observable HTTP workloads.
+// Command longexpd is the Long Exposure fine-tuning and serving daemon: it
+// serves the job API (internal/serve) over a scheduler and bounded worker
+// pool (internal/jobs), and — with a registry directory — the inference
+// gateway: completed fine-tuning jobs are auto-published as adapter
+// artifacts and served with KV-cached, continuously-batched generation on
+// a shared frozen base.
 //
 // Usage:
 //
-//	longexpd -addr :8080 -workers 4 -cache 128
+//	longexpd -addr :8080 -workers 4 -cache 128 -registry adapters
 //
-//	# submit a fine-tune job
+//	# submit a fine-tune job (its adapter publishes on completion)
 //	curl -s localhost:8080/v1/jobs -d '{"kind":"finetune","finetune":{"method":"lora","steps":8}}'
 //	# follow its progress
 //	curl -N localhost:8080/v1/jobs/job-000001/events
+//	# list published adapters, then stream tokens from one
+//	curl -s localhost:8080/v1/adapters
+//	curl -N localhost:8080/v1/generate -d '{"adapter":"ad-…","prompt":[11,12,13],"max_tokens":16}'
 //	# run a paper experiment
 //	curl -s localhost:8080/v1/jobs -d '{"kind":"experiment","experiment":{"id":"fig4"}}'
 //	# cancel
@@ -31,27 +36,45 @@ import (
 	"time"
 
 	"longexposure/internal/jobs"
+	"longexposure/internal/registry"
 	"longexposure/internal/serve"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", max(1, runtime.NumCPU()/2), "concurrent job executions")
-		cache   = flag.Int("cache", 64, "result cache capacity (entries)")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget for draining jobs")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", max(1, runtime.NumCPU()/2), "concurrent job executions")
+		cache    = flag.Int("cache", 64, "result cache capacity (entries)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget for draining jobs")
+		regDir   = flag.String("registry", "adapters", "adapter registry directory; empty disables publishing and serving")
+		maxBatch = flag.Int("max-batch", 4, "concurrent sequences per decode step in the generation engine")
 	)
 	flag.Parse()
 
-	store := jobs.NewStore(jobs.Config{Workers: *workers, CacheSize: *cache})
-	srv := serve.New(store)
+	jcfg := jobs.Config{Workers: *workers, CacheSize: *cache}
+	var opts []serve.Option
+	if *regDir != "" {
+		reg, err := registry.Open(*regDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "longexpd:", err)
+			os.Exit(1)
+		}
+		jcfg.Registry = reg
+		opts = append(opts, serve.WithRegistry(reg, *maxBatch))
+	}
+	store := jobs.NewStore(jcfg)
+	srv := serve.New(store, opts...)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
-	fmt.Printf("longexpd: listening on %s (%d workers, cache %d)\n", *addr, store.Workers(), *cache)
+	serving := "serving disabled"
+	if *regDir != "" {
+		serving = "registry " + *regDir
+	}
+	fmt.Printf("longexpd: listening on %s (%d workers, cache %d, %s)\n", *addr, store.Workers(), *cache, serving)
 
 	select {
 	case err := <-errc:

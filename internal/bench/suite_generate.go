@@ -1,0 +1,103 @@
+// The generate suite measures autoregressive decoding to the model's full
+// MaxSeq on a primed sim config — the serving hot path — comparing the
+// KV-cached decode (with and without the workspace arena) against the
+// naive full-prefix re-run nn.Generate performs. One op is one complete
+// generation, so tokens/s = emitted tokens / (ns_per_op · 1e-9) and the
+// cached-vs-naive ns/op ratio is exactly the tokens/s speedup the
+// inference gateway banks per sequence. allocs_per_op locks in the cached
+// path's arena discipline next to the naive path's per-token reallocation
+// of the whole prefix.
+package bench
+
+import (
+	"longexposure/internal/model"
+	"longexposure/internal/nn"
+	"longexposure/internal/peft"
+	"longexposure/internal/tensor"
+)
+
+func init() {
+	Register("generate", generateSuite)
+}
+
+// generateModel builds the primed LoRA sim model decoding runs on: the
+// same construction path fine-tuning jobs use, so the measured shapes are
+// the served shapes.
+func generateModel(short bool) (*nn.Transformer, []int) {
+	spec := model.Sim(model.OPT1p3B())
+	if short {
+		spec = model.SimSmall(nn.ActReLU)
+	}
+	r := tensor.NewRNG(1234)
+	m := nn.NewTransformer(spec.Config, r)
+	model.PrimeSparsity(m, r.Split(), 8)
+	peft.Apply(m, peft.LoRA, peft.Options{}, r.Split())
+	prompt := make([]int, 8)
+	for i := range prompt {
+		prompt[i] = 10 + i
+	}
+	return m, prompt
+}
+
+// genFlops approximates decode arithmetic per generation: ~2·P multiply
+// -adds per token over P parameters for the cached path's per-token cost
+// reference (the naive path does the same useful work, just recomputed).
+func genFlops(spec model.Spec, tokens int) int64 {
+	return 2 * spec.ParamCount() * int64(tokens)
+}
+
+func generateSuite(o Options) []Benchmark {
+	spec := model.Sim(model.OPT1p3B())
+	if o.Short {
+		spec = model.SimSmall(nn.ActReLU)
+	}
+	promptLen := 8
+	// Decode to the MaxSeq bound: Generate stops once the model-visible
+	// sequence reaches MaxSeq, so MaxTokens just needs to be large enough.
+	tokens := spec.Config.MaxSeq - promptLen
+	cfg := nn.GenerateConfig{MaxTokens: spec.Config.MaxSeq}
+	flops := genFlops(spec, tokens)
+
+	var m *nn.Transformer
+	var prompt []int
+	setup := func() {
+		if m == nil {
+			m, prompt = generateModel(o.Short)
+		}
+	}
+
+	var cache *nn.KVCache
+	var ws *tensor.Arena
+	return []Benchmark{
+		{
+			Name:  "generate/cached_ws",
+			Flops: flops,
+			Setup: func() {
+				setup()
+				cache = m.NewKVCache()
+				ws = tensor.NewArena()
+				m.GenerateCached(prompt, cfg, nil, cache, ws) // warm the arena
+			},
+			Fn: func() {
+				cache.Reset()
+				m.GenerateCached(prompt, cfg, nil, cache, ws)
+			},
+		},
+		{
+			Name:  "generate/cached_nows",
+			Flops: flops,
+			Setup: setup,
+			Fn: func() {
+				m.GenerateCached(prompt, cfg, nil, nil, nil)
+			},
+		},
+		{
+			Name:  "generate/naive",
+			Flops: flops,
+			Setup: setup,
+			Fn: func() {
+				m.Generate(prompt, cfg)
+			},
+		},
+	}
+}

@@ -1,0 +1,330 @@
+package infer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"longexposure/internal/nn"
+	"longexposure/internal/tensor"
+)
+
+// Config sizes an Engine.
+type Config struct {
+	// MaxBatch bounds sequences decoded per scheduler step (default 4).
+	MaxBatch int
+	// Queue bounds submitted-but-unadmitted sequences (default 64).
+	Queue int
+}
+
+// ErrClosed rejects submissions to a closed engine.
+var ErrClosed = errors.New("infer: engine closed")
+
+// Engine decodes generation requests on one shared frozen base with
+// continuous batching: a scheduler loop admits queued sequences up to
+// MaxBatch, runs one decode step for every active sequence concurrently,
+// retires finished ones, and immediately backfills from the queue — a new
+// request never waits for the longest running sequence to drain. The base
+// model is strictly read-only here; every sequence owns its KV cache,
+// workspace arena, RNG and adapter.
+type Engine struct {
+	base *nn.Transformer
+	cfg  Config
+
+	submit    chan *sequence
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// closeMu orders submissions against Close: a Generate holding the
+	// read lock past the isClosed check completes its enqueue before Close
+	// (write lock) proceeds to drain the queue, so no stream is orphaned.
+	closeMu  sync.RWMutex
+	isClosed bool
+}
+
+// New starts an engine over the base model.
+func New(base *nn.Transformer, cfg Config) *Engine {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 64
+	}
+	e := &Engine{
+		base:   base,
+		cfg:    cfg,
+		submit: make(chan *sequence, cfg.Queue),
+		closed: make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.run()
+	return e
+}
+
+// Base returns the engine's shared model (read-only by contract).
+func (e *Engine) Base() *nn.Transformer { return e.base }
+
+// Close stops the scheduler. Queued and in-flight sequences are terminated
+// with an "engine closed" error event.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		e.closeMu.Lock()
+		e.isClosed = true
+		e.closeMu.Unlock()
+		close(e.closed)
+	})
+	e.wg.Wait()
+}
+
+// Request describes one generation.
+type Request struct {
+	Prompt      []int
+	MaxTokens   int     // default 16
+	Temperature float64 // 0 = greedy
+	StopToken   int     // stop after emitting this token; <= 0 disables
+	Seed        uint64  // sampling seed (default 1)
+
+	// Adapter is the compiled PEFT delta to decode with; nil serves the
+	// plain base. Concurrent requests may carry different adapters.
+	Adapter *nn.DecodeAdapter
+	// AdapterID tags events for observability (not interpreted here).
+	AdapterID string
+}
+
+// Event is one item on a generation stream: a token, or the terminal
+// marker carrying the finish reason ("stop", "length", "max_seq",
+// "cancelled", or an error).
+type Event struct {
+	Token  int    `json:"token,omitempty"`
+	Index  int    `json:"index"`
+	Done   bool   `json:"done,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	Err    error  `json:"-"`
+}
+
+// Stream delivers a generation's events. The channel is buffered for the
+// whole generation, so a slow consumer never stalls the scheduler, and is
+// closed after the terminal event.
+type Stream struct {
+	Events <-chan Event
+}
+
+// Collect drains the stream into the emitted tokens plus the finish
+// reason — the non-streaming consumption mode.
+func (s *Stream) Collect() (tokens []int, reason string, err error) {
+	for ev := range s.Events {
+		if ev.Err != nil {
+			return tokens, ev.Reason, ev.Err
+		}
+		if ev.Done {
+			return tokens, ev.Reason, nil
+		}
+		tokens = append(tokens, ev.Token)
+	}
+	return tokens, "", fmt.Errorf("infer: stream ended without terminal event")
+}
+
+type sequence struct {
+	ctx     context.Context
+	prompt  []int
+	ad      *nn.DecodeAdapter
+	pRows   int // adapter prompt rows
+	maxTok  int
+	temp    float64
+	stop    int
+	rng     *tensor.RNG
+	cache   *nn.KVCache
+	ws      *tensor.Arena
+	out     chan Event
+	emitted int
+	started bool
+	nextBuf [1]int
+
+	done   bool
+	reason string
+	err    error
+}
+
+// Generate validates and enqueues a request. The returned stream starts
+// delivering as soon as the scheduler admits the sequence. ctx cancels a
+// queued or running sequence.
+func (e *Engine) Generate(ctx context.Context, req Request) (*Stream, error) {
+	if len(req.Prompt) == 0 {
+		return nil, fmt.Errorf("infer: empty prompt")
+	}
+	for _, tok := range req.Prompt {
+		if tok < 0 || tok >= e.base.Cfg.Vocab {
+			return nil, fmt.Errorf("infer: prompt token %d outside vocab %d", tok, e.base.Cfg.Vocab)
+		}
+	}
+	if req.MaxTokens <= 0 {
+		req.MaxTokens = 16
+	}
+	// MaxSeq already bounds how many tokens any sequence can emit, and
+	// MaxTokens sizes the stream buffer below — clamp it so a hostile
+	// request cannot turn the buffer allocation into memory exhaustion.
+	if req.MaxTokens > e.base.Cfg.MaxSeq {
+		req.MaxTokens = e.base.Cfg.MaxSeq
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	pRows := req.Adapter.PromptLen()
+	if pRows+len(req.Prompt) >= e.base.Cfg.MaxSeq {
+		return nil, fmt.Errorf("infer: prompt of %d tokens (+%d prompt-tuning rows) leaves no room under MaxSeq %d",
+			len(req.Prompt), pRows, e.base.Cfg.MaxSeq)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	s := &sequence{
+		ctx:    ctx,
+		prompt: append([]int(nil), req.Prompt...),
+		ad:     req.Adapter,
+		pRows:  pRows,
+		maxTok: req.MaxTokens,
+		temp:   req.Temperature,
+		stop:   req.StopToken,
+		rng:    tensor.NewRNG(req.Seed),
+		cache:  e.base.NewKVCache(),
+		ws:     tensor.NewArena(),
+		// One slot per possible token plus the terminal event: sends from
+		// the scheduler can never block on a lagging consumer.
+		out: make(chan Event, req.MaxTokens+1),
+	}
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.isClosed {
+		return nil, ErrClosed
+	}
+	select {
+	case e.submit <- s:
+		return &Stream{Events: s.out}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// run is the continuous-batching scheduler loop.
+func (e *Engine) run() {
+	defer e.wg.Done()
+	var active []*sequence
+	for {
+		// Block for work when idle; otherwise top up without blocking.
+		if len(active) == 0 {
+			select {
+			case s := <-e.submit:
+				active = append(active, s)
+			case <-e.closed:
+				e.failAll(active)
+				return
+			}
+		}
+		for len(active) < e.cfg.MaxBatch {
+			select {
+			case s := <-e.submit:
+				active = append(active, s)
+			default:
+				goto step
+			}
+		}
+	step:
+		// One decode step per active sequence, concurrently. Each sequence
+		// touches only its own cache/arena/RNG; the base is read-only.
+		var wg sync.WaitGroup
+		for _, s := range active {
+			wg.Add(1)
+			go func(s *sequence) {
+				defer wg.Done()
+				s.step(e.base)
+			}(s)
+		}
+		wg.Wait()
+
+		keep := active[:0]
+		for _, s := range active {
+			if s.done {
+				s.finish()
+				continue
+			}
+			keep = append(keep, s)
+		}
+		active = keep
+
+		select {
+		case <-e.closed:
+			e.failAll(active)
+			return
+		default:
+		}
+	}
+}
+
+// failAll terminates every active and queued sequence on engine close.
+func (e *Engine) failAll(active []*sequence) {
+	for _, s := range active {
+		s.err, s.reason = ErrClosed, "error"
+		s.finish()
+	}
+	for {
+		select {
+		case s := <-e.submit:
+			s.err, s.reason = ErrClosed, "error"
+			s.finish()
+		default:
+			return
+		}
+	}
+}
+
+// step advances the sequence by one token: the first call runs the full
+// prompt prefill, later calls decode exactly one row against the cache.
+// Bounds and stop conditions mirror nn.Generate so served tokens are
+// bit-identical to the naive path.
+func (s *sequence) step(base *nn.Transformer) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.done = true
+			s.reason = "error"
+			s.err = fmt.Errorf("infer: decode panicked: %v", r)
+		}
+	}()
+	if s.ctx.Err() != nil {
+		s.done, s.reason = true, "cancelled"
+		return
+	}
+	if s.pRows+len(s.prompt)+s.emitted >= base.Cfg.MaxSeq {
+		s.done, s.reason = true, "max_seq"
+		return
+	}
+
+	var logits *tensor.Tensor
+	if !s.started {
+		logits = base.DecodeStep(s.cache, s.prompt, s.ad, s.ws)
+		s.started = true
+	} else {
+		logits = base.DecodeStep(s.cache, s.nextBuf[:], s.ad, s.ws)
+	}
+	tok := nn.SampleToken(logits.Row(0), s.temp, s.rng)
+	s.ws.Release()
+	s.nextBuf[0] = tok
+
+	s.out <- Event{Token: tok, Index: s.emitted} // buffered for the full run
+	s.emitted++
+
+	switch {
+	case s.stop > 0 && tok == s.stop:
+		s.done, s.reason = true, "stop"
+	case s.emitted >= s.maxTok:
+		s.done, s.reason = true, "length"
+	}
+}
+
+// finish emits the terminal event and closes the stream.
+func (s *sequence) finish() {
+	s.out <- Event{Done: true, Index: s.emitted, Reason: s.reason, Err: s.err}
+	close(s.out)
+}

@@ -1,0 +1,50 @@
+package jobs
+
+import (
+	"fmt"
+
+	"longexposure/internal/model"
+	"longexposure/internal/nn"
+	"longexposure/internal/registry"
+	"longexposure/internal/tensor"
+)
+
+// BuildBase reconstructs the frozen base model an adapter artifact was
+// trained against, bit-for-bit: the same model resolution, the same RNG
+// seed, the same sparsity priming as core's buildModel runs for a
+// fine-tuning job. PEFT methods freeze the backbone before training, so a
+// rebuild from the manifest's BaseDesc equals the backbone the delta was
+// trained on — the shared base the inference gateway serves every adapter
+// of that description from.
+func BuildBase(desc registry.BaseDesc) (*nn.Transformer, error) {
+	spec, err := FinetuneSpec{Model: desc.Model, Activation: desc.Activation}.normalized().modelSpec()
+	if err != nil {
+		return nil, err
+	}
+	if desc.Seed == 0 || desc.Blk <= 0 {
+		return nil, fmt.Errorf("jobs: base desc missing seed or blk: %+v", desc)
+	}
+	rng := tensor.NewRNG(desc.Seed)
+	m := nn.NewTransformer(spec.Config, rng)
+	if desc.Prime {
+		model.PrimeSparsity(m, rng.Split(), desc.Blk)
+	}
+	return m, nil
+}
+
+// baseDesc derives the artifact base description of a normalized finetune
+// spec, mirroring CoreConfig's resolution exactly (Prime is always set for
+// job-built models).
+func (f FinetuneSpec) baseDesc() (registry.BaseDesc, error) {
+	cfg, err := f.CoreConfig()
+	if err != nil {
+		return registry.BaseDesc{}, err
+	}
+	return registry.BaseDesc{
+		Model:      f.Model,
+		Activation: f.Activation,
+		Seed:       cfg.Seed,
+		Blk:        cfg.Blk,
+		Prime:      cfg.Prime,
+	}, nil
+}

@@ -1,0 +1,136 @@
+package jobs
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"longexposure/internal/core"
+	"longexposure/internal/registry"
+	"longexposure/internal/tensor"
+)
+
+// TestBuildBaseMatchesJobBackbone pins the serving contract: the base
+// rebuilt from an artifact's BaseDesc is bit-identical to the frozen
+// backbone a fine-tuning job trained against. PEFT freezes the backbone,
+// so this is what makes a published delta servable on a shared base.
+func TestBuildBaseMatchesJobBackbone(t *testing.T) {
+	f := FinetuneSpec{Method: "lora"}.normalized()
+	cfg, err := f.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewBaseline(cfg) // the exact constructor runFinetune uses
+
+	desc, err := f.baseDesc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := BuildBase(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jobParams := eng.Model.Params()
+	for _, p := range base.Params() {
+		jp := jobParams.ByName(p.Name)
+		if jp == nil {
+			t.Fatalf("job model missing base parameter %s", p.Name)
+		}
+		if d := tensor.MaxAbsDiff(p.W, jp.W); d != 0 {
+			t.Fatalf("base parameter %s differs from job backbone by %v", p.Name, d)
+		}
+	}
+	// The job model additionally carries the injected LoRA params.
+	if len(jobParams) <= len(base.Params()) {
+		t.Fatal("job model carries no injected parameters")
+	}
+}
+
+// TestFinetuneAutoPublish pins that a store with a registry publishes a
+// completed job's delta and threads the adapter id through the result.
+func TestFinetuneAutoPublish(t *testing.T) {
+	reg, err := registry.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(Config{Workers: 1, Registry: reg})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("store shutdown: %v", err)
+		}
+	}()
+
+	sparse := false
+	j, err := s.Submit(Spec{Kind: KindFinetune, Finetune: &FinetuneSpec{
+		Method: "lora", Sparse: &sparse, Steps: 2, Batch: 1, Seq: 12,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitTerminal(t, s, j.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("job finished %s (error %q)", done.Status, done.Error)
+	}
+	id := done.Result.Finetune.AdapterID
+	if id == "" {
+		t.Fatal("completed job carries no adapter id")
+	}
+	man, ok := reg.Get(id)
+	if !ok {
+		t.Fatalf("adapter %s not in registry", id)
+	}
+	if man.Method != "lora" || man.Name != j.ID {
+		t.Fatalf("manifest mismatch: %+v", man)
+	}
+	wantDesc, _ := done.Spec.Finetune.baseDesc()
+	if man.Base != wantDesc {
+		t.Fatalf("manifest base %+v, want %+v", man.Base, wantDesc)
+	}
+
+	// Servability: the method must carry its LoRA pairs for every layer.
+	_, params, err := reg.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(params) == 0 {
+		t.Fatal("published delta is empty")
+	}
+
+	// A cache hit serves the same adapter id without re-running…
+	spec := Spec{Kind: KindFinetune, Finetune: &FinetuneSpec{
+		Method: "lora", Sparse: &sparse, Steps: 2, Batch: 1, Seq: 12,
+	}}
+	hit, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit || hit.Result.Finetune.AdapterID != id {
+		t.Fatalf("cache hit lost the adapter id: %+v", hit.Result)
+	}
+
+	// …but once the artifact is deleted, the cached result is stale: the
+	// job must re-run and republish (content addressing → same id again).
+	if err := reg.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	rerun, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun.CacheHit {
+		t.Fatal("stale cached result served after its adapter was deleted")
+	}
+	redone := waitTerminal(t, s, rerun.ID)
+	if redone.Status != StatusDone {
+		t.Fatalf("re-run finished %s (error %q)", redone.Status, redone.Error)
+	}
+	if redone.Result.Finetune.AdapterID != id {
+		t.Fatalf("re-run republished %s, want the content-addressed id %s", redone.Result.Finetune.AdapterID, id)
+	}
+	if !reg.Has(id) {
+		t.Fatal("re-run did not restore the artifact")
+	}
+}

@@ -33,6 +33,9 @@ type FinetuneResult struct {
 	// AttnRecall/MLPRecall report predictor quality (sparse jobs only).
 	AttnRecall float64 `json:"attn_recall,omitempty"`
 	MLPRecall  float64 `json:"mlp_recall,omitempty"`
+	// AdapterID names the registry artifact the job's trainable delta was
+	// published as (set when the store runs with a registry attached).
+	AdapterID string `json:"adapter_id,omitempty"`
 }
 
 // ExperimentResult carries a regenerated paper artifact.

@@ -10,7 +10,10 @@ import (
 	"longexposure/internal/core"
 	"longexposure/internal/data"
 	"longexposure/internal/experiments"
+	"longexposure/internal/nn"
+	"longexposure/internal/peft"
 	"longexposure/internal/predictor"
+	"longexposure/internal/registry"
 	"longexposure/internal/train"
 )
 
@@ -103,7 +106,7 @@ func (s *Store) runFinetune(j *Job) (*Result, error) {
 		return nil, err
 	}
 	f := j.Spec.Finetune // normalized at submit
-	cfg, err := f.coreConfig()
+	cfg, err := f.CoreConfig()
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +171,38 @@ func (s *Store) runFinetune(j *Job) (*Result, error) {
 	if len(res.Losses) > 0 {
 		out.FirstLoss = res.Losses[0]
 	}
+	if s.registry != nil {
+		man, err := s.publishAdapter(j, f, eng.Model)
+		if err != nil {
+			// Training succeeded but its output is unreachable — that is a
+			// failed job, not a quietly adapter-less success.
+			return nil, fmt.Errorf("jobs: publishing adapter: %w", err)
+		}
+		out.AdapterID = man.ID
+		s.publish(j.ID, Event{Kind: EventProgress, Message: "adapter published: " + man.ID})
+	}
 	return &Result{Finetune: out}, nil
+}
+
+// publishAdapter extracts the trained delta and stores it as a registry
+// artifact keyed to the exact base the job built. Content addressing makes
+// this idempotent: re-running identical work republished the same id (and
+// a result served from the cache carries the same id without re-running).
+func (s *Store) publishAdapter(j *Job, f *FinetuneSpec, m *nn.Transformer) (registry.Manifest, error) {
+	desc, err := f.baseDesc()
+	if err != nil {
+		return registry.Manifest{}, err
+	}
+	opts := peft.Options{}.Resolved(m.Cfg.Dim) // jobs always run default PEFT options
+	return s.registry.Publish(registry.Spec{
+		Name:         j.ID,
+		Method:       f.Method,
+		Base:         desc,
+		Rank:         opts.LoRARank,
+		Alpha:        opts.LoRAAlpha,
+		PromptTokens: opts.PromptTokens,
+		Bottleneck:   opts.Bottleneck,
+	}, peft.Delta(m))
 }
 
 // runExperiment executes one registry driver. Drivers run as a unit (they

@@ -221,9 +221,9 @@ func (f FinetuneSpec) modelSpec() (model.Spec, error) {
 	return model.Sim(base), nil
 }
 
-// coreConfig assembles the session config of a normalized spec, resolving
+// CoreConfig assembles the session config of a normalized spec, resolving
 // core's own defaults too so the hash covers exactly what gets built.
-func (f FinetuneSpec) coreConfig() (core.Config, error) {
+func (f FinetuneSpec) CoreConfig() (core.Config, error) {
 	spec, err := f.modelSpec()
 	if err != nil {
 		return core.Config{}, err
@@ -243,20 +243,11 @@ func (f FinetuneSpec) coreConfig() (core.Config, error) {
 }
 
 func methodFromString(s string) (peft.Method, error) {
-	switch strings.ToLower(s) {
-	case "full":
-		return peft.FullFT, nil
-	case "lora":
-		return peft.LoRA, nil
-	case "adapter":
-		return peft.Adapter, nil
-	case "bitfit":
-		return peft.BitFit, nil
-	case "ptuning":
-		return peft.PTuning, nil
-	default:
-		return 0, fmt.Errorf("jobs: unknown method %q (want full|lora|adapter|bitfit|ptuning)", s)
+	m, err := peft.ParseMethod(s)
+	if err != nil {
+		return 0, fmt.Errorf("jobs: %w", err)
 	}
+	return m, nil
 }
 
 // Hash returns the deterministic cache key of the spec: SHA-256 over the

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"longexposure/internal/registry"
 )
 
 // Config sizes a Store.
@@ -19,6 +21,10 @@ type Config struct {
 	// memory stays bounded. Queued and running jobs are never evicted.
 	// Default 1024.
 	MaxJobs int
+	// Registry, when set, receives every completed fine-tuning job's
+	// trainable delta as a published adapter artifact (the job result
+	// carries the adapter id). Nil disables auto-publish.
+	Registry *registry.Store
 }
 
 // Store owns every job: the pending priority queue, the bounded worker
@@ -38,6 +44,7 @@ type Store struct {
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+	registry   *registry.Store // nil: auto-publish disabled
 	workers    int
 	maxJobs    int
 	nextSeq    int64
@@ -61,6 +68,7 @@ func NewStore(cfg Config) *Store {
 		subs:       make(map[string][]*subscriber),
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		registry:   cfg.Registry,
 		workers:    cfg.Workers,
 		maxJobs:    cfg.MaxJobs,
 	}
@@ -106,7 +114,7 @@ func (s *Store) Submit(spec Spec) (Job, error) {
 	s.order = append(s.order, j.ID)
 	s.evictLocked()
 
-	if res, ok := s.cache.get(hash); ok {
+	if res, ok := s.cache.get(hash); ok && s.resultServable(res) {
 		j.Status = StatusDone
 		j.CacheHit = true
 		now := time.Now()
@@ -123,6 +131,18 @@ func (s *Store) Submit(spec Spec) (Job, error) {
 	s.publishLocked(j.ID, Event{Kind: EventQueued})
 	s.cond.Signal()
 	return *j, nil
+}
+
+// resultServable guards cache hits against dangling artifacts: a cached
+// fine-tune result naming an adapter that has since been deleted from the
+// registry must not be served — the job re-runs and (content addressing)
+// republishes the same id.
+func (s *Store) resultServable(res *Result) bool {
+	if s.registry == nil || res.Finetune == nil || res.Finetune.AdapterID == "" {
+		return true
+	}
+	_, ok := s.registry.Get(res.Finetune.AdapterID)
+	return ok
 }
 
 // Get returns a snapshot of one job.

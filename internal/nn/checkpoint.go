@@ -121,6 +121,65 @@ func (ps ParamSet) Load(r io.Reader) error {
 	return nil
 }
 
+// LoadParams reads a checkpoint stream written by Save and returns a
+// freshly allocated parameter set in checkpoint order — the loader for
+// artifacts whose structure is not known in advance (the adapter deltas
+// internal/registry stores).
+func LoadParams(r io.Reader) (ParamSet, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != ckptMagic {
+		return nil, fmt.Errorf("nn: bad checkpoint magic %q", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != ckptVersion {
+		return nil, fmt.Errorf("nn: unsupported checkpoint version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	ps := make(ParamSet, 0, count)
+	for i := uint32(0); i < count; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		var rank uint32
+		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+			return nil, err
+		}
+		if rank > 8 {
+			return nil, fmt.Errorf("nn: implausible rank %d for %s", rank, name)
+		}
+		n := 1
+		shape := make([]int, rank)
+		for d := range shape {
+			var v uint32
+			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+				return nil, err
+			}
+			shape[d] = int(v)
+			n *= int(v)
+		}
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("nn: reading %s data: %w", name, err)
+		}
+		p := NewParameter(name, shape...)
+		for j := 0; j < n; j++ {
+			p.W.Data[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[j*4:]))
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}
+
 func writeString(w io.Writer, s string) error {
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
 		return err

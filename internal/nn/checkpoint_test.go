@@ -102,11 +102,46 @@ func TestGenerateGreedyDeterministic(t *testing.T) {
 func TestGenerateStopsAtStopToken(t *testing.T) {
 	r := tensor.NewRNG(409)
 	m := NewTransformer(tinyConfig(), r)
-	out := m.Generate([]int{1}, GenerateConfig{MaxTokens: 20, StopToken: -1})
-	// Force stop on whatever token comes first.
-	out2 := m.Generate([]int{1}, GenerateConfig{MaxTokens: 20, StopToken: out[0]})
-	if len(out2) != 1 || out2[0] != out[0] {
-		t.Fatalf("stop token ignored: %v", out2)
+	out := m.Generate([]int{1}, GenerateConfig{MaxTokens: 20})
+	// Force stop on the first emitted positive token (StopToken <= 0 means
+	// disabled, so token 0 cannot be a stop).
+	stopAt := -1
+	for i, tok := range out {
+		if tok > 0 {
+			stopAt = i
+			break
+		}
+	}
+	if stopAt < 0 {
+		t.Skip("greedy decode emitted only token 0")
+	}
+	out2 := m.Generate([]int{1}, GenerateConfig{MaxTokens: 20, StopToken: out[stopAt]})
+	if len(out2) != stopAt+1 || out2[stopAt] != out[stopAt] {
+		t.Fatalf("stop token ignored: %v (want stop after %d tokens)", out2, stopAt+1)
+	}
+}
+
+func TestGenerateZeroValueConfigDoesNotStopOnToken0(t *testing.T) {
+	// The footgun this pins: StopToken's zero value used to mean "stop on
+	// token 0", so a default GenerateConfig silently truncated the first
+	// time the argmax landed on the padding token. Force token 0 to win
+	// every step and check a zero-value config decodes to MaxTokens.
+	cfg := tinyConfig()
+	cfg.MaxSeq = 32 // room for the prompt plus the full MaxTokens default
+	m := NewTransformer(cfg, tensor.NewRNG(413))
+	for _, p := range m.Params() {
+		if p.Name == "lm_head.bias" {
+			p.W.Data[0] = 100 // token 0 dominates every logit row
+		}
+	}
+	out := m.Generate([]int{1}, GenerateConfig{})
+	if len(out) != 16 {
+		t.Fatalf("zero-value config emitted %d tokens, want the MaxTokens default 16", len(out))
+	}
+	for _, tok := range out {
+		if tok != 0 {
+			t.Fatalf("expected forced token 0, got %v", out)
+		}
 	}
 }
 

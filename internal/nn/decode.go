@@ -1,0 +1,391 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"longexposure/internal/parallel"
+	"longexposure/internal/tensor"
+)
+
+// This file is the serving-side forward path: incremental decoding with a
+// per-sequence KV cache, bit-identical to re-running Forward over the full
+// prefix every token (the naive Generate loop). Bit-identity holds because
+// every kernel in the training forward is per-row independent — a row's
+// result depends only on that row's input and the weights, never on how
+// many rows share the call — and the tiled/naive GEMM cores are pinned
+// bit-identical. The decode path recomputes exactly the rows the naive
+// path would have appended, against cached K/V rows that are themselves
+// bit-equal to what a full re-run would produce.
+//
+// Unlike Forward, nothing here writes to the layer structs (no l.x, no
+// ln.xhat, no attention state): the model is treated as read-only weights,
+// so any number of sequences — each with its own KVCache, Arena and
+// DecodeAdapter — can decode concurrently on one shared frozen base. That
+// is the multi-adapter serving structure internal/infer builds on.
+
+// KVCache holds one sequence's cached attention keys and values: per layer,
+// per head, a packed [MaxSeq·headDim] buffer. Len counts cached positions
+// (prompt-tuning rows included). Buffers are plainly allocated — a cache
+// outlives every step arena the sequence uses.
+type KVCache struct {
+	Heads, HeadDim, MaxSeq int
+	Len                    int
+
+	layers []kvLayer
+}
+
+type kvLayer struct {
+	k, v [][]float32 // [head][MaxSeq*headDim]
+}
+
+// NewKVCache allocates an empty cache sized for the model.
+func (m *Transformer) NewKVCache() *KVCache {
+	hd := m.Cfg.Dim / m.Cfg.Heads
+	c := &KVCache{Heads: m.Cfg.Heads, HeadDim: hd, MaxSeq: m.Cfg.MaxSeq}
+	c.layers = make([]kvLayer, m.Cfg.Layers)
+	for li := range c.layers {
+		c.layers[li].k = make([][]float32, c.Heads)
+		c.layers[li].v = make([][]float32, c.Heads)
+		for h := 0; h < c.Heads; h++ {
+			c.layers[li].k[h] = make([]float32, c.MaxSeq*hd)
+			c.layers[li].v[h] = make([]float32, c.MaxSeq*hd)
+		}
+	}
+	return c
+}
+
+// Reset empties the cache for reuse by a new sequence.
+func (c *KVCache) Reset() { c.Len = 0 }
+
+// LoRAPair is one linear layer's low-rank delta: y += Scale·(x·A)·B.
+type LoRAPair struct {
+	A, B  *tensor.Tensor // A: [in, r], B: [r, out]
+	Scale float32
+}
+
+// BottleneckWeights is one Houlsby adapter's weight set:
+// y = z + (relu(z·DownW + DownB))·UpW + UpB.
+type BottleneckWeights struct {
+	DownW, DownB *tensor.Tensor // [dim, bottleneck], [bottleneck]
+	UpW, UpB     *tensor.Tensor // [bottleneck, dim], [dim]
+}
+
+// LayerAdapter carries one transformer block's adapter weights. Nil fields
+// leave that injection point at the frozen base behavior.
+type LayerAdapter struct {
+	Q, V       *LoRAPair          // attention Q/V projection LoRA
+	AttnScaled *BottleneckWeights // bottleneck after the attention sublayer
+	MLPScaled  *BottleneckWeights // bottleneck after the MLP sublayer
+}
+
+// DecodeAdapter is a detachable PEFT delta applied functionally during
+// decoding — the base model's weights are never touched, so different
+// requests can decode with different adapters on one shared base
+// concurrently. A nil *DecodeAdapter decodes the plain base.
+type DecodeAdapter struct {
+	Prompt *tensor.Tensor // [P, dim] trainable prompt (P-Tuning), or nil
+	Layers []LayerAdapter // len == Cfg.Layers, or nil
+}
+
+// PromptLen returns the number of virtual prompt rows the adapter prepends.
+func (a *DecodeAdapter) PromptLen() int {
+	if a == nil || a.Prompt == nil {
+		return 0
+	}
+	return a.Prompt.Dim(0)
+}
+
+func (a *DecodeAdapter) layer(li int) *LayerAdapter {
+	if a == nil || a.Layers == nil {
+		return nil
+	}
+	return &a.Layers[li]
+}
+
+// SelfAdapter views the model's own attached PEFT modules (LoRA branches,
+// bottleneck adapters, trainable prompt) as a DecodeAdapter, so a
+// fine-tuned model decodes through the serving path without extracting an
+// artifact first. The returned adapter aliases the model's weights.
+func (m *Transformer) SelfAdapter() *DecodeAdapter {
+	ad := &DecodeAdapter{}
+	if m.Prompt != nil {
+		ad.Prompt = m.Prompt.W
+	}
+	ad.Layers = make([]LayerAdapter, len(m.Blocks))
+	for li, b := range m.Blocks {
+		la := &ad.Layers[li]
+		if b.Attn.Wq.HasLoRA() {
+			la.Q = &LoRAPair{A: b.Attn.Wq.LoRAA.W, B: b.Attn.Wq.LoRAB.W, Scale: b.Attn.Wq.LoRAScale}
+		}
+		if b.Attn.Wv.HasLoRA() {
+			la.V = &LoRAPair{A: b.Attn.Wv.LoRAA.W, B: b.Attn.Wv.LoRAB.W, Scale: b.Attn.Wv.LoRAScale}
+		}
+		if b.AdptA != nil {
+			la.AttnScaled = bottleneckOf(b.AdptA)
+		}
+		if b.AdptM != nil {
+			la.MLPScaled = bottleneckOf(b.AdptM)
+		}
+	}
+	return ad
+}
+
+func bottleneckOf(a *Adapter) *BottleneckWeights {
+	return &BottleneckWeights{
+		DownW: a.Down.W.W, DownB: a.Down.B.W,
+		UpW: a.Up.W.W, UpB: a.Up.B.W,
+	}
+}
+
+// DecodeStep feeds ids (batch 1) through the model against the cache,
+// appending their K/V rows, and returns the logits of the last new row as
+// a [1, vocab] tensor. The first call on an empty cache is the prefill: if
+// the adapter carries a trainable prompt, its rows are prepended exactly
+// as Forward prepends them. ws is the step workspace (nil allocates); the
+// returned logits are workspace-backed and must be read before the
+// caller's Release. The cache must not be shared across concurrent calls;
+// the model itself is only read.
+func (m *Transformer) DecodeStep(cache *KVCache, ids []int, ad *DecodeAdapter, ws *tensor.Arena) *tensor.Tensor {
+	if len(ids) == 0 {
+		panic("nn: DecodeStep with no tokens")
+	}
+	d := m.Cfg.Dim
+	promptRows := 0
+	if cache.Len == 0 {
+		promptRows = ad.PromptLen()
+	}
+	n := promptRows + len(ids)
+	p0 := cache.Len
+	if p0+n > m.Cfg.MaxSeq {
+		panic(fmt.Sprintf("nn: sequence %d exceeds MaxSeq %d", p0+n, m.Cfg.MaxSeq))
+	}
+
+	// Row assembly mirrors Forward: prompt rows, then token embeddings,
+	// then positional embeddings added over all rows.
+	x := tensor.NewIn(ws, n, d)
+	for p := 0; p < promptRows; p++ {
+		copy(x.Data[p*d:(p+1)*d], ad.Prompt.Data[p*d:(p+1)*d])
+	}
+	for i, id := range ids {
+		if id < 0 || id >= m.Cfg.Vocab {
+			panic(fmt.Sprintf("nn: embedding id %d outside vocab %d", id, m.Cfg.Vocab))
+		}
+		copy(x.Data[(promptRows+i)*d:(promptRows+i+1)*d], m.TokEmb.Table.W.Data[id*d:(id+1)*d])
+	}
+	for r := 0; r < n; r++ {
+		pos := m.PosEmb.Table.W.Data[(p0+r)*d : (p0+r+1)*d]
+		row := x.Data[r*d : (r+1)*d]
+		for j, v := range pos {
+			row[j] += v
+		}
+	}
+
+	for li, blk := range m.Blocks {
+		x = decodeBlock(blk, x, &cache.layers[li], cache, p0, ad.layer(li), ws)
+	}
+	cache.Len = p0 + n
+
+	// Only the last row's logits are consumed downstream (the final norm
+	// and head feed nothing back into the blocks), so the prefill skips
+	// the vocab projection for every earlier row.
+	last := tensor.FromSlice(x.Data[(n-1)*d:n*d], 1, d)
+	ln := decodeLayerNorm(m.LNF, last, ws)
+	logits := tensor.MatMulIn(ws, ln, m.Head.W.W)
+	tensor.AddRowVector(logits, m.Head.B.W.Data)
+	return logits
+}
+
+// decodeBlock mirrors TransformerBlock.Forward's dense path, with the
+// adapter's injections applied functionally.
+func decodeBlock(b *TransformerBlock, x *tensor.Tensor, kv *kvLayer, cache *KVCache, p0 int, la *LayerAdapter, ws *tensor.Arena) *tensor.Tensor {
+	h := decodeLayerNorm(b.LN1, x, ws)
+	attnOut := decodeAttention(b.Attn, h, kv, cache, p0, la, ws)
+	if la != nil && la.AttnScaled != nil {
+		attnOut = decodeBottleneck(la.AttnScaled, attnOut, ws)
+	}
+	x1 := tensor.CloneIn(ws, x)
+	tensor.AddInto(x1, attnOut)
+
+	h2 := decodeLayerNorm(b.LN2, x1, ws)
+	mlpOut := decodeMLP(b.MLP, h2, ws)
+	if la != nil && la.MLPScaled != nil {
+		mlpOut = decodeBottleneck(la.MLPScaled, mlpOut, ws)
+	}
+	x2 := tensor.CloneIn(ws, x1)
+	tensor.AddInto(x2, mlpOut)
+	return x2
+}
+
+// decodeLayerNorm is LayerNorm.Forward without the saved-for-backward
+// caches on the layer struct (scratch comes from the workspace instead).
+func decodeLayerNorm(ln *LayerNorm, x *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
+	tokens, d := x.Dim(0), x.Dim(1)
+	y := tensor.NewIn(ws, tokens, d)
+	xhat := tensor.FloatsDirtyIn(ws, tokens*d)
+	invStd := tensor.FloatsDirtyIn(ws, tokens)
+	parallel.ForChunkedArg(tokens, lnFwdArgs{
+		x: x.Data, y: y.Data, xhat: xhat, invStd: invStd,
+		g: ln.Gamma.W.Data, b: ln.Beta.W.Data, d: d, eps: ln.Eps,
+	}, lnForwardChunk)
+	return y
+}
+
+// decodeLinear is Linear.Forward against explicit LoRA weights, caching
+// nothing: y = x·W + b (+ Scale·(x·A)·B), the exact op sequence of the
+// training layer.
+func decodeLinear(l *Linear, x *tensor.Tensor, lw *LoRAPair, ws *tensor.Arena) *tensor.Tensor {
+	y := tensor.MatMulIn(ws, x, l.W.W)
+	tensor.AddRowVector(y, l.B.W.Data)
+	if lw != nil {
+		xa := tensor.MatMulIn(ws, x, lw.A)
+		delta := tensor.MatMulIn(ws, xa, lw.B)
+		tensor.AddScaledInto(y, delta, lw.Scale)
+	}
+	return y
+}
+
+// decodeAttention computes causal attention for the n new rows against the
+// cached prefix, appending the rows' K/V to the cache. Per new row r at
+// absolute position p0+r it mirrors row p0+r of the training kernel
+// (sparse.DenseCausalAttentionInto) operation for operation: raw dot
+// scores, scale on the visible prefix, stable softmax, probability-weighted
+// V accumulation with the zero-probability skip.
+func decodeAttention(a *MultiHeadAttention, x *tensor.Tensor, kv *kvLayer, cache *KVCache, p0 int, la *LayerAdapter, ws *tensor.Arena) *tensor.Tensor {
+	var loraQ, loraV *LoRAPair
+	if la != nil {
+		loraQ, loraV = la.Q, la.V
+	}
+	q := decodeLinear(a.Wq, x, loraQ, ws)
+	k := decodeLinear(a.Wk, x, nil, ws)
+	v := decodeLinear(a.Wv, x, loraV, ws)
+
+	n, d := x.Dim(0), a.Dim
+	hd := a.HeadDim
+	for r := 0; r < n; r++ {
+		for h := 0; h < a.Heads; h++ {
+			copy(kv.k[h][(p0+r)*hd:(p0+r+1)*hd], k.Data[r*d+h*hd:r*d+(h+1)*hd])
+			copy(kv.v[h][(p0+r)*hd:(p0+r+1)*hd], v.Data[r*d+h*hd:r*d+(h+1)*hd])
+		}
+	}
+
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	ctx := tensor.NewIn(ws, n, d)
+	scores := tensor.FloatsDirtyIn(ws, p0+n)
+	for h := 0; h < a.Heads; h++ {
+		kh, vh := kv.k[h], kv.v[h]
+		for r := 0; r < n; r++ {
+			p := p0 + r // absolute position; rows 0..p are visible
+			qrow := q.Data[r*d+h*hd : r*d+(h+1)*hd]
+			row := scores[:p+1]
+			for j := 0; j <= p; j++ {
+				kj := kh[j*hd : (j+1)*hd]
+				var s float32
+				for c, qv := range qrow {
+					s += qv * kj[c]
+				}
+				row[j] = s
+			}
+			for j := range row {
+				row[j] *= scale
+			}
+			tensor.SoftmaxRow(row)
+			out := ctx.Data[r*d+h*hd : r*d+(h+1)*hd]
+			for j, pj := range row {
+				if pj == 0 {
+					continue
+				}
+				vj := vh[j*hd : (j+1)*hd]
+				for c, vv := range vj {
+					out[c] += pj * vv
+				}
+			}
+		}
+	}
+
+	y := tensor.MatMulIn(ws, ctx, a.Wo.W.W)
+	tensor.AddRowVector(y, a.Wo.B.W.Data)
+	return y
+}
+
+// decodeMLP is MLP.Forward's dense path without the layer-struct caches.
+func decodeMLP(m *MLP, x *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
+	tokens := x.Dim(0)
+	hidden := tensor.NewIn(ws, tokens, m.Hidden)
+	tensor.MatMulTBInto(hidden, x, m.W1.W)
+	tensor.AddRowVector(hidden, m.B1.W.Data)
+	switch m.Act {
+	case ActReLU:
+		tensor.ReLUIn(ws, hidden, false)
+	case ActGeLU:
+		tensor.GeLUIn(ws, hidden)
+	}
+	out := tensor.NewIn(ws, tokens, m.Dim)
+	tensor.MatMulInto(out, hidden, m.W2.W)
+	tensor.AddRowVector(out, m.B2.W.Data)
+	return out
+}
+
+// decodeBottleneck is Adapter.Forward against explicit weights:
+// y = z + up(relu(down(z))).
+func decodeBottleneck(bw *BottleneckWeights, z *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
+	h := tensor.MatMulIn(ws, z, bw.DownW)
+	tensor.AddRowVector(h, bw.DownB.Data)
+	tensor.ReLUIn(ws, h, false)
+	y := tensor.MatMulIn(ws, h, bw.UpW)
+	tensor.AddRowVector(y, bw.UpB.Data)
+	tensor.AddInto(y, z)
+	return y
+}
+
+// GenerateCached is Generate on the KV-cached decode path: same sampling,
+// same stop conditions, same RNG consumption, bit-identical tokens — one
+// full-prefix prefill, then one row of compute per emitted token instead
+// of the naive O(prefix) re-run. cache may be nil (a fresh one is made);
+// pass a Reset cache to reuse its buffers. ad selects the adapter; nil
+// applies the model's own attached PEFT modules, matching what Forward
+// would run. ws is released after every emitted token.
+func (m *Transformer) GenerateCached(prompt []int, cfg GenerateConfig, ad *DecodeAdapter, cache *KVCache, ws *tensor.Arena) []int {
+	if cfg.MaxTokens == 0 {
+		cfg.MaxTokens = 16
+	}
+	if cfg.RNG == nil {
+		cfg.RNG = tensor.NewRNG(1)
+	}
+	if cache == nil {
+		cache = m.NewKVCache()
+	}
+	if ad == nil {
+		ad = m.SelfAdapter() // covers a prompt-tuned model's own prompt too
+	}
+	promptRows := ad.PromptLen()
+
+	var out []int
+	feed := prompt
+	var nextBuf [1]int
+	for t := 0; t < cfg.MaxTokens; t++ {
+		if promptRows+len(prompt)+len(out) >= m.Cfg.MaxSeq {
+			break
+		}
+		logits := m.DecodeStep(cache, feed, ad, ws)
+		next := pickToken(logits.Row(0), cfg.Temperature, cfg.RNG)
+		ws.Release()
+		out = append(out, next)
+		if cfg.StopToken > 0 && next == cfg.StopToken {
+			break
+		}
+		nextBuf[0] = next
+		feed = nextBuf[:]
+	}
+	return out
+}
+
+// SampleToken picks the next token from a logit row: greedy argmax when
+// temperature <= 0, tempered softmax sampling otherwise (rng may be nil
+// for greedy).
+func SampleToken(logits []float32, temperature float64, rng *tensor.RNG) int {
+	if rng == nil {
+		rng = tensor.NewRNG(1)
+	}
+	return pickToken(logits, temperature, rng)
+}

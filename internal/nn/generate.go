@@ -10,8 +10,12 @@ import (
 type GenerateConfig struct {
 	MaxTokens   int     // tokens to emit (default 16)
 	Temperature float64 // 0 = greedy; >0 samples from the tempered softmax
-	StopToken   int     // stop when emitted (-1 disables)
-	RNG         *tensor.RNG
+	// StopToken stops decoding once this token id has been emitted.
+	// Values <= 0 — including the zero value — disable the check, so a
+	// zero-value config never silently stops on token 0 (which is TokPad
+	// in every corpus here, never a legitimate stop).
+	StopToken int
+	RNG       *tensor.RNG
 }
 
 // Generate decodes autoregressively from a prompt, re-running the full
@@ -35,7 +39,7 @@ func (m *Transformer) Generate(prompt []int, cfg GenerateConfig) []int {
 		last := logits.Row(logits.Dim(0) - 1)
 		next := pickToken(last, cfg.Temperature, cfg.RNG)
 		out = append(out, next)
-		if next == cfg.StopToken {
+		if cfg.StopToken > 0 && next == cfg.StopToken {
 			break
 		}
 		seq = append(seq, next)

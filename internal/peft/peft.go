@@ -54,6 +54,43 @@ func (m Method) String() string {
 	}
 }
 
+// Key returns the stable lowercase identifier used in job specs and
+// adapter manifests — the inverse of ParseMethod.
+func (m Method) Key() string {
+	switch m {
+	case FullFT:
+		return "full"
+	case LoRA:
+		return "lora"
+	case Adapter:
+		return "adapter"
+	case BitFit:
+		return "bitfit"
+	case PTuning:
+		return "ptuning"
+	default:
+		return fmt.Sprintf("method-%d", uint8(m))
+	}
+}
+
+// ParseMethod resolves a method key (case-insensitive) — the inverse of Key.
+func ParseMethod(s string) (Method, error) {
+	switch strings.ToLower(s) {
+	case "full":
+		return FullFT, nil
+	case "lora":
+		return LoRA, nil
+	case "adapter":
+		return Adapter, nil
+	case "bitfit":
+		return BitFit, nil
+	case "ptuning":
+		return PTuning, nil
+	default:
+		return 0, fmt.Errorf("peft: unknown method %q (want full|lora|adapter|bitfit|ptuning)", s)
+	}
+}
+
 // AllMethods lists every method in Table I order.
 func AllMethods() []Method { return []Method{FullFT, LoRA, Adapter, BitFit, PTuning} }
 
@@ -77,6 +114,11 @@ type Options struct {
 	// kernels actually see under the paper's mixed-precision setup.
 	QuantizeBackbone bool
 }
+
+// Resolved fills zero fields exactly as Apply would for a model of the
+// given width — exported so artifact manifests (internal/registry) record
+// the options a session actually ran with.
+func (o Options) Resolved(dim int) Options { return o.withDefaults(dim) }
 
 // withDefaults fills zero fields.
 func (o Options) withDefaults(dim int) Options {
@@ -161,6 +203,30 @@ func QuantizeFrozen(m *nn.Transformer) {
 			p.W.Data[i] = half.RoundTrip(v)
 		}
 	}
+}
+
+// Delta returns the detachable fine-tuned parameter set: every parameter
+// the method injected (LoRA factors, bottleneck adapters, the prompt) plus
+// every unfrozen backbone parameter. Injected-but-frozen parameters (the A
+// matrix under LoRA-FA) are included — the artifact must carry the whole
+// module, not just what the optimizer walked. This is what
+// internal/registry publishes after a fine-tuning run.
+func Delta(m *nn.Transformer) nn.ParamSet {
+	var out nn.ParamSet
+	for _, p := range m.Params() {
+		if !p.Frozen || injectedParam(p.Name) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// injectedParam reports whether a parameter name belongs to a PEFT-injected
+// module rather than the backbone.
+func injectedParam(name string) bool {
+	return strings.Contains(name, ".lora_") ||
+		strings.Contains(name, ".adapter_") ||
+		name == "prompt"
 }
 
 // TrainableRatio reports trainable/total scalar parameters after Apply.

@@ -1,0 +1,183 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"longexposure/internal/nn"
+	"longexposure/internal/peft"
+	"longexposure/internal/tensor"
+)
+
+func testModel(t *testing.T) *nn.Transformer {
+	t.Helper()
+	cfg := nn.Config{Name: "reg-test", Vocab: 16, Dim: 16, Layers: 2, Heads: 2, Hidden: 32, MaxSeq: 16, Act: nn.ActReLU}
+	m := nn.NewTransformer(cfg, tensor.NewRNG(7))
+	peft.Apply(m, peft.LoRA, peft.Options{LoRARank: 2}, tensor.NewRNG(8))
+	return m
+}
+
+func testSpec() Spec {
+	return Spec{
+		Name:   "job-000001",
+		Method: "lora",
+		Base:   BaseDesc{Model: "sim-small", Activation: "relu", Seed: 1, Blk: 8, Prime: true},
+		Rank:   2, Alpha: 16,
+	}
+}
+
+func TestPublishLoadRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := peft.Delta(testModel(t))
+	man, err := s.Publish(testSpec(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.ID == "" || man.BaseHash == "" || len(man.Params) != len(delta) {
+		t.Fatalf("incomplete manifest: %+v", man)
+	}
+
+	got, ps, err := s.Load(man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != "lora" || got.Base != testSpec().Base {
+		t.Fatalf("manifest mismatch: %+v", got)
+	}
+	if len(ps) != len(delta) {
+		t.Fatalf("loaded %d params, want %d", len(ps), len(delta))
+	}
+	for i, p := range delta {
+		if ps[i].Name != p.Name {
+			t.Fatalf("param %d name %q, want %q", i, ps[i].Name, p.Name)
+		}
+		if d := tensor.MaxAbsDiff(ps[i].W, p.W); d != 0 {
+			t.Fatalf("param %s differs by %v", p.Name, d)
+		}
+	}
+}
+
+func TestPublishIsContentAddressedAndIdempotent(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := peft.Delta(testModel(t))
+	a, err := s.Publish(testSpec(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Publish(testSpec(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != b.ID {
+		t.Fatalf("identical publish produced distinct ids %s vs %s", a.ID, b.ID)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("idempotent republish grew the store to %d entries", s.Len())
+	}
+
+	// Different weights must address differently.
+	delta[0].W.Data[0] += 1
+	c, err := s.Publish(testSpec(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID == a.ID {
+		t.Fatal("different weights share an id")
+	}
+	// Different base must address differently even with equal weights.
+	spec := testSpec()
+	spec.Base.Seed = 99
+	d, err := s.Publish(spec, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID == c.ID {
+		t.Fatal("different base shares an id")
+	}
+	if d.BaseHash == c.BaseHash {
+		t.Fatal("different base shares a base hash")
+	}
+}
+
+func TestOpenRebuildsIndexFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := s.Publish(testSpec(), peft.Delta(testModel(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("reopened store has %d entries, want 1", re.Len())
+	}
+	got, ps, err := re.Load(man.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != man.ID || len(ps) == 0 {
+		t.Fatalf("reopened load mismatch: %+v, %d params", got, len(ps))
+	}
+}
+
+func TestDeleteRemovesFilesAndIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := s.Publish(testSpec(), peft.Delta(testModel(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(man.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(man.ID); ok {
+		t.Fatal("deleted adapter still indexed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, man.ID+".lexp")); !os.IsNotExist(err) {
+		t.Fatal("weights file survived delete")
+	}
+	if err := s.Delete(man.ID); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestListOrdersByCreation(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := peft.Delta(testModel(t))
+	first, err := s.Publish(testSpec(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta[0].W.Data[0] += 2
+	second, err := s.Publish(testSpec(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := s.List()
+	if len(list) != 2 {
+		t.Fatalf("listed %d adapters, want 2", len(list))
+	}
+	ids := map[string]bool{list[0].ID: true, list[1].ID: true}
+	if !ids[first.ID] || !ids[second.ID] {
+		t.Fatalf("listing missing entries: %v", list)
+	}
+}

@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"longexposure/internal/infer"
+	"longexposure/internal/jobs"
+	"longexposure/internal/nn"
+	"longexposure/internal/registry"
+)
+
+// maxEngines bounds how many distinct base models the gateway keeps in
+// memory. Registry-published adapters funnel into very few bases (equal
+// BaseDesc → equal hash → shared engine); the cap exists because
+// /v1/generate also accepts client-supplied base descriptions, which must
+// not be able to grow models and scheduler goroutines without bound.
+const maxEngines = 8
+
+// gateway is the inference half of the API: the adapter registry plus a
+// lazily-built infer.Engine per distinct base description (adapters that
+// share a BaseHash share one engine — one frozen base model in memory,
+// however many adapters are served from it), and a compiled-adapter cache
+// keyed by artifact id — artifacts are immutable and content-addressed,
+// so a compile is valid until the artifact is deleted.
+type gateway struct {
+	reg      *registry.Store
+	maxBatch int
+
+	mu       sync.Mutex
+	engines  map[string]*infer.Engine     // by BaseDesc.Hash()
+	compiled map[string]*nn.DecodeAdapter // by artifact id
+}
+
+func newGateway(reg *registry.Store, maxBatch int) *gateway {
+	return &gateway{
+		reg:      reg,
+		maxBatch: maxBatch,
+		engines:  map[string]*infer.Engine{},
+		compiled: map[string]*nn.DecodeAdapter{},
+	}
+}
+
+// engineFor returns (building if needed) the engine serving a base.
+func (g *gateway) engineFor(desc registry.BaseDesc) (*infer.Engine, error) {
+	key := desc.Hash()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if eng, ok := g.engines[key]; ok {
+		return eng, nil
+	}
+	if len(g.engines) >= maxEngines {
+		return nil, fmt.Errorf("serve: engine cache full (%d distinct bases); delete adapters or restart to serve new bases", maxEngines)
+	}
+	base, err := jobs.BuildBase(desc)
+	if err != nil {
+		return nil, err
+	}
+	eng := infer.New(base, infer.Config{MaxBatch: g.maxBatch})
+	g.engines[key] = eng
+	return eng, nil
+}
+
+// adapterFor loads and compiles an artifact, serving repeats from the
+// compiled cache (no disk read on the hot path).
+func (g *gateway) adapterFor(id string) (registry.Manifest, *nn.DecodeAdapter, error) {
+	man, ok := g.reg.Get(id)
+	if !ok {
+		return registry.Manifest{}, nil, fmt.Errorf("registry: unknown adapter %q", id)
+	}
+	g.mu.Lock()
+	ad, hit := g.compiled[id]
+	g.mu.Unlock()
+	if hit {
+		return man, ad, nil
+	}
+	man, params, err := g.reg.Load(id)
+	if err != nil {
+		return registry.Manifest{}, nil, err
+	}
+	eng, err := g.engineFor(man.Base)
+	if err != nil {
+		return registry.Manifest{}, nil, err
+	}
+	ad, err = infer.Compile(man.Method, man.Rank, man.Alpha, eng.Base().Cfg, params)
+	if err != nil {
+		return registry.Manifest{}, nil, err
+	}
+	g.mu.Lock()
+	g.compiled[id] = ad
+	g.mu.Unlock()
+	return man, ad, nil
+}
+
+// evict drops an artifact's compiled form (on delete).
+func (g *gateway) evict(id string) {
+	g.mu.Lock()
+	delete(g.compiled, id)
+	g.mu.Unlock()
+}
+
+// close shuts every engine down.
+func (g *gateway) close() {
+	g.mu.Lock()
+	engines := g.engines
+	g.engines = map[string]*infer.Engine{}
+	g.compiled = map[string]*nn.DecodeAdapter{}
+	g.mu.Unlock()
+	for _, eng := range engines {
+		eng.Close()
+	}
+}
+
+// ---- handlers ----
+
+func (s *Server) listAdapters(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.gw.reg.List())
+}
+
+func (s *Server) getAdapter(w http.ResponseWriter, r *http.Request) {
+	man, ok := s.gw.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown adapter %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, man)
+}
+
+func (s *Server) deleteAdapter(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.gw.reg.Delete(id); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.gw.evict(id)
+	writeJSON(w, http.StatusOK, struct {
+		Deleted string `json:"deleted"`
+	}{id})
+}
+
+// generateRequest is the POST /v1/generate body. Exactly one of Adapter
+// (a registry id) or Base (an explicit base description, served without a
+// delta) selects the model.
+type generateRequest struct {
+	Adapter string             `json:"adapter,omitempty"`
+	Base    *registry.BaseDesc `json:"base,omitempty"`
+
+	Prompt      []int   `json:"prompt"`
+	MaxTokens   int     `json:"max_tokens,omitempty"`
+	Temperature float64 `json:"temperature,omitempty"`
+	StopToken   int     `json:"stop_token,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+}
+
+// generate serves POST /v1/generate as a server-sent event stream: one
+// "token" frame per emitted token, then a terminal "done" frame with the
+// finish reason and the full token list (or an "error" frame).
+func (s *Server) generate(w http.ResponseWriter, r *http.Request) {
+	var req generateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding generate request: %v", err)
+		return
+	}
+
+	var (
+		desc    registry.BaseDesc
+		adapter *nn.DecodeAdapter
+	)
+	switch {
+	case req.Adapter != "" && req.Base != nil:
+		writeError(w, http.StatusBadRequest, "set adapter or base, not both")
+		return
+	case req.Adapter != "":
+		man, ad, err := s.gw.adapterFor(req.Adapter)
+		switch {
+		case err != nil && !s.gw.reg.Has(req.Adapter):
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		case errors.Is(err, infer.ErrNotServable):
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		case err != nil:
+			// The artifact exists but could not be served (load, base
+			// rebuild, or compile failure) — a server-side condition.
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		adapter, desc = ad, man.Base
+	case req.Base != nil:
+		desc = *req.Base
+	default:
+		writeError(w, http.StatusBadRequest, "a generate request needs an adapter id or a base description")
+		return
+	}
+
+	eng, err := s.gw.engineFor(desc)
+	if err != nil {
+		// For adapter requests the engine already exists (adapterFor built
+		// it); reaching here means a client-supplied base was rejected.
+		writeError(w, http.StatusBadRequest, "building base: %v", err)
+		return
+	}
+	stream, err := eng.Generate(r.Context(), infer.Request{
+		Prompt:      req.Prompt,
+		MaxTokens:   req.MaxTokens,
+		Temperature: req.Temperature,
+		StopToken:   req.StopToken,
+		Seed:        req.Seed,
+		Adapter:     adapter,
+		AdapterID:   req.Adapter,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	var tokens []int
+	for ev := range stream.Events {
+		switch {
+		case ev.Err != nil:
+			writeSSEFrame(w, "error", struct {
+				Error  string `json:"error"`
+				Reason string `json:"reason,omitempty"`
+			}{ev.Err.Error(), ev.Reason})
+			flusher.Flush()
+			return
+		case ev.Done:
+			writeSSEFrame(w, "done", struct {
+				Tokens  []int  `json:"tokens"`
+				Reason  string `json:"reason"`
+				Adapter string `json:"adapter,omitempty"`
+			}{tokens, ev.Reason, req.Adapter})
+			flusher.Flush()
+			return
+		default:
+			tokens = append(tokens, ev.Token)
+			writeSSEFrame(w, "token", struct {
+				Token int `json:"token"`
+				Index int `json:"index"`
+			}{ev.Token, ev.Index})
+			flusher.Flush()
+		}
+	}
+}
+
+func writeSSEFrame(w http.ResponseWriter, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+// shutdownGateway is called from Server.Shutdown.
+func (s *Server) shutdownGateway(context.Context) {
+	if s.gw != nil {
+		s.gw.close()
+	}
+}

@@ -1,5 +1,7 @@
-// Package serve exposes the job subsystem (internal/jobs) as a JSON HTTP
-// API — fine-tuning as a service over the Long Exposure reproduction:
+// Package serve exposes the job subsystem (internal/jobs) and the
+// inference gateway (internal/infer + internal/registry) as a JSON HTTP
+// API — the full train → publish → serve loop over the Long Exposure
+// reproduction:
 //
 //	POST   /v1/jobs             submit a job (202; 200 on a cache hit)
 //	GET    /v1/jobs             list jobs, optional ?status= filter
@@ -7,6 +9,10 @@
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/jobs/{id}/events server-sent event stream (replay + live)
 //	GET    /v1/experiments      registered experiment catalogue
+//	GET    /v1/adapters         published adapter artifacts (WithRegistry)
+//	GET    /v1/adapters/{id}    one adapter manifest
+//	DELETE /v1/adapters/{id}    delete an adapter artifact
+//	POST   /v1/generate         KV-cached token generation (SSE stream)
 //	GET    /healthz             liveness + queue stats
 //
 // Shutdown is graceful: in-flight HTTP requests finish and the job store
@@ -23,12 +29,14 @@ import (
 
 	"longexposure/internal/experiments"
 	"longexposure/internal/jobs"
+	"longexposure/internal/registry"
 )
 
 // Server wires the job store into an http.Handler and manages graceful
 // shutdown of both the listener and the worker pool.
 type Server struct {
 	store *jobs.Store
+	gw    *gateway // nil without WithRegistry
 	mux   *http.ServeMux
 
 	mu     sync.Mutex // guards http/closed against Shutdown from another goroutine
@@ -36,8 +44,26 @@ type Server struct {
 	closed bool
 }
 
+// Option configures optional server subsystems.
+type Option func(*Server)
+
+// WithRegistry enables the inference gateway over an adapter registry:
+// the /v1/adapters CRUD and the /v1/generate streaming endpoint, with
+// maxBatch sequences decoded concurrently per shared base (<= 0 uses the
+// infer default). Pair it with jobs.Config.Registry on the same store so
+// completed fine-tuning jobs are immediately servable.
+func WithRegistry(reg *registry.Store, maxBatch int) Option {
+	return func(s *Server) {
+		s.gw = newGateway(reg, maxBatch)
+		s.mux.HandleFunc("GET /v1/adapters", s.listAdapters)
+		s.mux.HandleFunc("GET /v1/adapters/{id}", s.getAdapter)
+		s.mux.HandleFunc("DELETE /v1/adapters/{id}", s.deleteAdapter)
+		s.mux.HandleFunc("POST /v1/generate", s.generate)
+	}
+}
+
 // New builds a server over the store.
-func New(store *jobs.Store) *Server {
+func New(store *jobs.Store, opts ...Option) *Server {
 	s := &Server{store: store, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.listJobs)
@@ -46,6 +72,9 @@ func New(store *jobs.Store) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.streamEvents)
 	s.mux.HandleFunc("GET /v1/experiments", s.listExperiments)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
+	for _, opt := range opts {
+		opt(s)
+	}
 	return s
 }
 
@@ -84,8 +113,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		httpErr = srv.Shutdown(ctx)
 	}
 	if err := s.store.Shutdown(ctx); err != nil {
+		s.shutdownGateway(ctx)
 		return err
 	}
+	s.shutdownGateway(ctx)
 	return httpErr
 }
 

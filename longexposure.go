@@ -27,6 +27,17 @@
 // result cache. NewJobStore/NewServer expose the same subsystem to
 // embedders.
 //
+// # Serving
+//
+// The downstream half closes the loop: completed fine-tuning jobs publish
+// their trainable delta into a content-addressed adapter registry
+// (internal/registry), and an inference gateway (internal/infer) serves
+// those adapters with KV-cached decoding — bit-identical to the naive
+// full-prefix re-run, ~20× the tokens/s at sim scale — and continuous
+// batching, attaching per-request adapters functionally over one shared
+// frozen base. POST /v1/generate streams tokens as server-sent events;
+// /v1/adapters lists, inspects and deletes artifacts.
+//
 // The package re-exports the stable surface of the internal packages:
 // model specs (paper Table II), PEFT methods (Table I), the Long Exposure
 // session (core), the experiment drivers that regenerate every paper table
@@ -38,11 +49,13 @@ import (
 	"longexposure/internal/data"
 	"longexposure/internal/experiments"
 	"longexposure/internal/gpusim"
+	"longexposure/internal/infer"
 	"longexposure/internal/jobs"
 	"longexposure/internal/model"
 	"longexposure/internal/nn"
 	"longexposure/internal/peft"
 	"longexposure/internal/predictor"
+	"longexposure/internal/registry"
 	"longexposure/internal/serve"
 	"longexposure/internal/train"
 )
@@ -153,8 +166,52 @@ type JobServer = serve.Server
 // NewJobStore builds a job store and starts its worker pool.
 func NewJobStore(cfg jobs.Config) *JobStore { return jobs.NewStore(cfg) }
 
-// NewServer builds the HTTP job API over a store.
-func NewServer(store *JobStore) *JobServer { return serve.New(store) }
+// NewServer builds the HTTP job API over a store. Options enable optional
+// subsystems; pass WithRegistry to serve the inference gateway too.
+func NewServer(store *JobStore, opts ...serve.Option) *JobServer { return serve.New(store, opts...) }
+
+// WithRegistry enables the adapter CRUD and generation endpoints over a
+// registry (pair with jobs.Config.Registry for auto-publish).
+var WithRegistry = serve.WithRegistry
+
+// Serving: adapter artifacts and the KV-cached generation engine.
+
+// Model is the decoder-only transformer (the shared frozen base serving
+// decodes on).
+type Model = nn.Transformer
+
+// GenerateConfig tunes autoregressive decoding (nn.Generate and the
+// KV-cached nn.Transformer.GenerateCached).
+type GenerateConfig = nn.GenerateConfig
+
+// AdapterRegistry is the content-addressed adapter artifact store.
+type AdapterRegistry = registry.Store
+
+// AdapterManifest describes one published adapter artifact.
+type AdapterManifest = registry.Manifest
+
+// GenerateEngine is the continuous-batching KV-cached generation engine.
+type GenerateEngine = infer.Engine
+
+// GenerateRequest is one generation submission to a GenerateEngine.
+type GenerateRequest = infer.Request
+
+// OpenRegistry opens (creating if needed) an adapter registry directory.
+func OpenRegistry(dir string) (*AdapterRegistry, error) { return registry.Open(dir) }
+
+// NewGenerateEngine starts a generation engine over a shared frozen base.
+func NewGenerateEngine(base *Model, cfg infer.Config) *GenerateEngine { return infer.New(base, cfg) }
+
+// BuildBase rebuilds the frozen base model an adapter artifact names,
+// bit-for-bit (registry.Manifest.Base → model).
+var BuildBase = jobs.BuildBase
+
+// ExtractDelta returns a fine-tuned model's detachable parameter delta —
+// what jobs publish into the registry.
+var ExtractDelta = peft.Delta
+
+// CompileAdapter turns an artifact's parameters into decode-time weights.
+var CompileAdapter = infer.Compile
 
 // GPU cost-model devices (paper §VII-A platforms).
 var (
