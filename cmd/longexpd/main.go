@@ -5,9 +5,19 @@
 // artifacts and served with KV-cached, continuously-batched generation on
 // a shared frozen base.
 //
+// The daemon ships its own observability and traffic-control plane:
+// -metrics (default on) instruments every subsystem — training steps,
+// decode batches, job queues, caches, per-layer sparsity, per-route HTTP
+// — and serves Prometheus text format at GET /metrics; -rate-limit /
+// -global-rate-limit / -tenant-header add token-bucket rate limiting and
+// -max-inflight adds load-shedding admission control (429 + Retry-After)
+// on POST /v1/generate and POST /v1/jobs. GET /healthz stays a pure
+// liveness probe; GET /readyz reports 503 while draining or shedding.
+//
 // Usage:
 //
-//	longexpd -addr :8080 -workers 4 -cache 128 -registry adapters
+//	longexpd -addr :8080 -workers 4 -cache 128 -registry adapters \
+//	  -rate-limit 5 -max-inflight 8 -tenant-header X-API-Key
 //
 //	# submit a fine-tune job (its adapter publishes on completion)
 //	curl -s localhost:8080/v1/jobs -d '{"kind":"finetune","finetune":{"method":"lora","steps":8}}'
@@ -36,6 +46,8 @@ import (
 	"time"
 
 	"longexposure/internal/jobs"
+	"longexposure/internal/limit"
+	"longexposure/internal/obs"
 	"longexposure/internal/registry"
 	"longexposure/internal/serve"
 )
@@ -48,19 +60,43 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget for draining jobs")
 		regDir   = flag.String("registry", "adapters", "adapter registry directory; empty disables publishing and serving")
 		maxBatch = flag.Int("max-batch", 4, "concurrent sequences per decode step in the generation engine")
+
+		metrics      = flag.Bool("metrics", true, "instrument all subsystems and expose Prometheus text format at GET /metrics")
+		rateLimit    = flag.Float64("rate-limit", 0, "per-tenant request rate (req/s) on /v1/generate and POST /v1/jobs; 0 disables rate limiting")
+		globalRate   = flag.Float64("global-rate-limit", 0, "global request rate (req/s) across all tenants; 0 disables the global tier")
+		tenantHeader = flag.String("tenant-header", "X-API-Key", "request header identifying the tenant for per-tenant rate limiting")
+		maxInflight  = flag.Int("max-inflight", 0, "admission-control concurrency cap per guarded endpoint; 0 disables load shedding")
+		maxWait      = flag.Int("max-wait", 8, "bounded admission wait queue per guarded endpoint (with -max-inflight)")
 	)
 	flag.Parse()
 
 	jcfg := jobs.Config{Workers: *workers, CacheSize: *cache}
 	var opts []serve.Option
+	var obsReg *obs.Registry
+	if *metrics {
+		obsReg = obs.NewRegistry()
+		jcfg.Obs = obsReg
+		opts = append(opts, serve.WithMetrics(obsReg))
+	}
 	if *regDir != "" {
 		reg, err := registry.Open(*regDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "longexpd:", err)
 			os.Exit(1)
 		}
+		if obsReg != nil {
+			reg.Instrument(obs.NewRegistryMetrics(obsReg))
+		}
 		jcfg.Registry = reg
 		opts = append(opts, serve.WithRegistry(reg, *maxBatch))
+	}
+	if *rateLimit > 0 || *globalRate > 0 || *maxInflight > 0 {
+		opts = append(opts, serve.WithLimits(serve.LimitConfig{
+			Limit:        limit.Config{Rate: *rateLimit, GlobalRate: *globalRate},
+			TenantHeader: *tenantHeader,
+			MaxInFlight:  *maxInflight,
+			MaxWait:      *maxWait,
+		}))
 	}
 	store := jobs.NewStore(jcfg)
 	srv := serve.New(store, opts...)

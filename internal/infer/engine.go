@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"longexposure/internal/nn"
+	"longexposure/internal/obs"
 	"longexposure/internal/tensor"
 )
 
@@ -16,6 +18,11 @@ type Config struct {
 	MaxBatch int
 	// Queue bounds submitted-but-unadmitted sequences (default 64).
 	Queue int
+	// Metrics, when set, receives scheduler observability: batch
+	// occupancy, tokens/sec, KV-cache residency, queue depth, admissions
+	// and retirements. All updates are atomic handle writes on the
+	// scheduler goroutine — the per-token decode path stays zero-alloc.
+	Metrics *obs.InferMetrics
 }
 
 // ErrClosed rejects submissions to a closed engine.
@@ -42,6 +49,14 @@ type Engine struct {
 	// (write lock) proceeds to drain the queue, so no stream is orphaned.
 	closeMu  sync.RWMutex
 	isClosed bool
+
+	// Last values this engine contributed to the shared level gauges.
+	// Metrics bundles are shared across engines (the gateway builds one
+	// engine per base), so levels are reported as deltas — each engine
+	// adds its own change and the gauge aggregates correctly — instead of
+	// Set calls that would clobber the other engines' contributions.
+	// Scheduler-goroutine only.
+	prevActive, prevQueue, prevKV int
 }
 
 // New starts an engine over the base model.
@@ -127,20 +142,21 @@ func (s *Stream) Collect() (tokens []int, reason string, err error) {
 }
 
 type sequence struct {
-	ctx     context.Context
-	prompt  []int
-	ad      *nn.DecodeAdapter
-	pRows   int // adapter prompt rows
-	maxTok  int
-	temp    float64
-	stop    int
-	rng     *tensor.RNG
-	cache   *nn.KVCache
-	ws      *tensor.Arena
-	out     chan Event
-	emitted int
-	started bool
-	nextBuf [1]int
+	ctx      context.Context
+	prompt   []int
+	ad       *nn.DecodeAdapter
+	pRows    int // adapter prompt rows
+	maxTok   int
+	temp     float64
+	stop     int
+	rng      *tensor.RNG
+	cache    *nn.KVCache
+	ws       *tensor.Arena
+	out      chan Event
+	emitted  int
+	started  bool
+	nextBuf  [1]int
+	admitted time.Time // when the scheduler first saw the sequence
 
 	done   bool
 	reason string
@@ -211,13 +227,14 @@ func (e *Engine) Generate(ctx context.Context, req Request) (*Stream, error) {
 // run is the continuous-batching scheduler loop.
 func (e *Engine) run() {
 	defer e.wg.Done()
+	m := e.cfg.Metrics
 	var active []*sequence
 	for {
 		// Block for work when idle; otherwise top up without blocking.
 		if len(active) == 0 {
 			select {
 			case s := <-e.submit:
-				active = append(active, s)
+				active = append(active, e.admit(s))
 			case <-e.closed:
 				e.failAll(active)
 				return
@@ -226,14 +243,24 @@ func (e *Engine) run() {
 		for len(active) < e.cfg.MaxBatch {
 			select {
 			case s := <-e.submit:
-				active = append(active, s)
+				active = append(active, e.admit(s))
 			default:
 				goto step
 			}
 		}
 	step:
+		if m != nil {
+			m.SchedulerSteps.Inc()
+			m.BatchOccupancy.Observe(float64(len(active)))
+			e.setLevels(len(active), len(e.submit), e.prevKV)
+		}
+
 		// One decode step per active sequence, concurrently. Each sequence
 		// touches only its own cache/arena/RNG; the base is read-only.
+		emitted := 0
+		for _, s := range active {
+			emitted -= s.emitted
+		}
 		var wg sync.WaitGroup
 		for _, s := range active {
 			wg.Add(1)
@@ -244,15 +271,26 @@ func (e *Engine) run() {
 		}
 		wg.Wait()
 
+		kvRows := 0
 		keep := active[:0]
 		for _, s := range active {
+			emitted += s.emitted
 			if s.done {
 				s.finish()
+				if m != nil {
+					m.Retired(s.reason).Inc()
+					m.SeqSeconds.Observe(time.Since(s.admitted).Seconds())
+				}
 				continue
 			}
+			kvRows += s.cache.Len
 			keep = append(keep, s)
 		}
 		active = keep
+		if m != nil {
+			m.Tokens.Add(float64(emitted))
+			e.setLevels(len(active), e.prevQueue, kvRows)
+		}
 
 		select {
 		case <-e.closed:
@@ -263,15 +301,53 @@ func (e *Engine) run() {
 	}
 }
 
+// admit stamps and meters a sequence entering the decode batch.
+func (e *Engine) admit(s *sequence) *sequence {
+	s.admitted = time.Now()
+	if m := e.cfg.Metrics; m != nil {
+		m.Admitted.Inc()
+	}
+	return s
+}
+
+// setLevels moves this engine's contribution to the shared level gauges
+// to the given values (delta reporting; see the prev* fields).
+func (e *Engine) setLevels(active, queue, kv int) {
+	m := e.cfg.Metrics
+	if m == nil {
+		return
+	}
+	if active != e.prevActive {
+		m.Active.Add(float64(active - e.prevActive))
+		e.prevActive = active
+	}
+	if queue != e.prevQueue {
+		m.QueueDepth.Add(float64(queue - e.prevQueue))
+		e.prevQueue = queue
+	}
+	if kv != e.prevKV {
+		m.KVRows.Add(float64(kv - e.prevKV))
+		e.prevKV = kv
+	}
+}
+
 // failAll terminates every active and queued sequence on engine close.
 func (e *Engine) failAll(active []*sequence) {
+	m := e.cfg.Metrics
 	for _, s := range active {
 		s.err, s.reason = ErrClosed, "error"
 		s.finish()
+		if m != nil {
+			// Only admitted sequences retire: retired_total must never
+			// exceed admitted_total.
+			m.Retired(s.reason).Inc()
+		}
 	}
+	e.setLevels(0, 0, 0) // withdraw this engine's gauge contributions
 	for {
 		select {
 		case s := <-e.submit:
+			// Never admitted — failed without counting as retired.
 			s.err, s.reason = ErrClosed, "error"
 			s.finish()
 		default:

@@ -1,0 +1,158 @@
+package jobs
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"longexposure/internal/obs"
+)
+
+// TestSlowSubscriberBoundedBacklog pins the slow-consumer contract: a
+// subscriber that stops reading keeps only a bounded backlog — the
+// oldest pending events are dropped and replaced by a single EventLost
+// marker carrying the count — and the terminal event always arrives.
+func TestSlowSubscriberBoundedBacklog(t *testing.T) {
+	obsReg := obs.NewRegistry()
+	const backlog = 4
+	s := NewStore(Config{Workers: 1, EventBacklog: backlog, Obs: obsReg})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	// A job emitting well over backlog + channel-buffer events: ~40
+	// progress events plus queued/started/done.
+	sparse := false
+	j, err := s.Submit(Spec{Kind: KindFinetune, Finetune: &FinetuneSpec{
+		Sparse: &sparse, Steps: 40, Batch: 1, Seq: 8, Epochs: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := s.Subscribe(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	// Do not read until the job is terminal: the pump must park without
+	// growing the backlog past its bound.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		got, _ := s.Get(j.ID)
+		if got.Status.Terminal() {
+			if got.Status != StatusDone {
+				t.Fatalf("job finished %s (%s)", got.Status, got.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	published := len(s.Events(j.ID))
+	if published < 20 {
+		t.Fatalf("job published only %d events; test needs a chatty job", published)
+	}
+
+	var delivered, lostEvents, lostSum int
+	var sawTerminal bool
+	var lastKind EventKind
+	timeout := time.After(60 * time.Second)
+	for open := true; open; {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				open = false
+				break
+			}
+			lastKind = e.Kind
+			switch e.Kind {
+			case EventLost:
+				lostEvents++
+				lostSum += e.Lost
+				if e.Lost < 1 || e.Message == "" {
+					t.Fatalf("malformed lost marker: %+v", e)
+				}
+			default:
+				delivered++
+				if e.Kind.Terminal() {
+					sawTerminal = true
+				}
+			}
+		case <-timeout:
+			t.Fatal("stream never closed")
+		}
+	}
+
+	if !sawTerminal || lastKind != EventDone {
+		t.Fatalf("terminal event missing or not last (last %q)", lastKind)
+	}
+	if lostEvents == 0 || lostSum == 0 {
+		t.Fatalf("slow subscriber lost nothing (delivered %d of %d) — backlog unbounded?", delivered, published)
+	}
+	// Conservation: every published event was either delivered or counted
+	// in a lost marker.
+	if delivered+lostSum != published {
+		t.Fatalf("delivered %d + lost %d != published %d", delivered, lostSum, published)
+	}
+	// The backlog bound held: deliverable events are at most the channel
+	// buffer (16) + one in the pump's hand + the bounded backlog + the
+	// replayed prefix read before the drops began.
+	if delivered >= published-1 {
+		t.Fatalf("delivered %d of %d — nothing was actually bounded", delivered, published)
+	}
+	if v, ok := obsReg.Value("lexp_jobs_events_dropped_total"); !ok || int(v) != lostSum {
+		t.Fatalf("events_dropped metric = %v (ok=%v), want %d", v, ok, lostSum)
+	}
+}
+
+// TestFastSubscriberSeesEverything guards the other side: a consumer
+// whose backlog is never exceeded receives every event, in order, with
+// no lost markers (the bound only bites laggards). The backlog is left
+// at its default (256), comfortably above this job's ~43 events, because
+// even a continuously-reading consumer can lag arbitrarily far behind a
+// single-CPU scheduler.
+func TestFastSubscriberSeesEverything(t *testing.T) {
+	s := NewStore(Config{Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	sparse := false
+	j, err := s.Submit(Spec{Kind: KindFinetune, Finetune: &FinetuneSpec{
+		Sparse: &sparse, Steps: 40, Batch: 1, Seq: 8, Epochs: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := s.Subscribe(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	wantSeq := 0
+	for e := range ch {
+		if e.Kind == EventLost {
+			t.Fatalf("fast consumer got a lost marker: %+v", e)
+		}
+		if e.Seq != wantSeq {
+			t.Fatalf("event seq %d, want %d (gap in a keeping-up stream)", e.Seq, wantSeq)
+		}
+		wantSeq++
+	}
+	if got := len(s.Events(j.ID)); wantSeq != got {
+		t.Fatalf("consumed %d events, store logged %d", wantSeq, got)
+	}
+}

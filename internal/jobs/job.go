@@ -88,6 +88,11 @@ const (
 	EventDone      EventKind = "done"
 	EventFailed    EventKind = "failed"
 	EventCancelled EventKind = "cancelled"
+	// EventLost is synthesized per subscriber when a slow consumer's
+	// bounded backlog overflowed: Lost counts the dropped events and Seq
+	// is the sequence number of the first one. It never appears in the
+	// stored event log — only on streams that fell behind.
+	EventLost EventKind = "lost"
 )
 
 // Terminal reports whether the event ends the job's stream. Every job
@@ -120,4 +125,6 @@ type Event struct {
 	Progress *StepProgress `json:"progress,omitempty"`
 	Result   *Result       `json:"result,omitempty"` // on done events
 	Error    string        `json:"error,omitempty"`  // on failed events
+	// Lost counts events dropped before this one (EventLost markers only).
+	Lost int `json:"lost,omitempty"`
 }

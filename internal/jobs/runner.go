@@ -39,6 +39,11 @@ func (s *Store) worker() {
 		}
 		j.Status = StatusRunning
 		j.Started = time.Now()
+		if m := s.metrics; m != nil {
+			m.QueueDepth.Dec()
+			m.Running.Inc()
+			m.WaitSeconds.Observe(j.Started.Sub(j.Created).Seconds())
+		}
 		s.publishLocked(j.ID, Event{Kind: EventStarted})
 		s.mu.Unlock()
 
@@ -77,18 +82,31 @@ func (s *Store) finish(j *Job, res *Result, err error) {
 		return
 	}
 	j.Finished = time.Now()
+	if m := s.metrics; m != nil {
+		m.Running.Dec()
+		m.RunSeconds.Observe(j.Finished.Sub(j.Started).Seconds())
+	}
 	switch {
 	case err == nil:
 		j.Status = StatusDone
 		j.Result = res
 		s.cache.put(j.Hash, res)
+		if m := s.metrics; m != nil {
+			m.Done.Inc()
+		}
 		s.publishLocked(j.ID, Event{Kind: EventDone, Result: res})
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.Status = StatusCancelled
+		if m := s.metrics; m != nil {
+			m.Cancelled.Inc()
+		}
 		s.publishLocked(j.ID, Event{Kind: EventCancelled, Message: "cancelled while running"})
 	default:
 		j.Status = StatusFailed
 		j.Error = err.Error()
+		if m := s.metrics; m != nil {
+			m.Failed.Inc()
+		}
 		s.publishLocked(j.ID, Event{Kind: EventFailed, Error: err.Error()})
 	}
 	j.cancel()
@@ -140,6 +158,13 @@ func (s *Store) runFinetune(j *Job) (*Result, error) {
 	}
 	if err := j.ctx.Err(); err != nil {
 		return nil, err
+	}
+	// Thread the store's training and sparsity instruments into this
+	// job's engine: every fine-tuning step the daemon runs lands in the
+	// same lexp_train_* series, and sparse jobs report per-layer density.
+	eng.Metrics = s.train
+	if eng.RP != nil {
+		eng.RP.Metrics = s.sparsity
 	}
 
 	hook := func(si train.StepInfo) {

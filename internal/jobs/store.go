@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"longexposure/internal/obs"
 	"longexposure/internal/registry"
 )
 
@@ -25,6 +26,16 @@ type Config struct {
 	// trainable delta as a published adapter artifact (the job result
 	// carries the adapter id). Nil disables auto-publish.
 	Registry *registry.Store
+	// EventBacklog bounds each subscriber's buffered backlog: a consumer
+	// that falls further behind loses its oldest pending events (replaced
+	// by a single EventLost marker) instead of growing memory without
+	// limit. Terminal events are never dropped. Default 256.
+	EventBacklog int
+	// Obs, when set, instruments the store: queue depth, wait/run
+	// latency, completions, cache hits, event traffic, plus the training
+	// and sparsity instruments threaded into every fine-tuning engine
+	// the workers build. Nil disables metering.
+	Obs *obs.Registry
 }
 
 // Store owns every job: the pending priority queue, the bounded worker
@@ -47,9 +58,15 @@ type Store struct {
 	registry   *registry.Store // nil: auto-publish disabled
 	workers    int
 	maxJobs    int
+	backlog    int
 	nextSeq    int64
 	closed     bool
 	wg         sync.WaitGroup
+
+	// Observability (all nil when Config.Obs is unset).
+	metrics  *obs.JobsMetrics
+	train    *obs.TrainMetrics
+	sparsity *obs.SparsityMetrics
 }
 
 // NewStore builds a store and starts its worker pool.
@@ -59,6 +76,9 @@ func NewStore(cfg Config) *Store {
 	}
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 1024
+	}
+	if cfg.EventBacklog <= 0 {
+		cfg.EventBacklog = 256
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Store{
@@ -71,6 +91,12 @@ func NewStore(cfg Config) *Store {
 		registry:   cfg.Registry,
 		workers:    cfg.Workers,
 		maxJobs:    cfg.MaxJobs,
+		backlog:    cfg.EventBacklog,
+	}
+	if cfg.Obs != nil {
+		s.metrics = obs.NewJobsMetrics(cfg.Obs)
+		s.train = obs.NewTrainMetrics(cfg.Obs)
+		s.sparsity = obs.NewSparsityMetrics(cfg.Obs)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for w := 0; w < cfg.Workers; w++ {
@@ -114,6 +140,9 @@ func (s *Store) Submit(spec Spec) (Job, error) {
 	s.order = append(s.order, j.ID)
 	s.evictLocked()
 
+	if m := s.metrics; m != nil {
+		m.Submitted.Inc()
+	}
 	if res, ok := s.cache.get(hash); ok && s.resultServable(res) {
 		j.Status = StatusDone
 		j.CacheHit = true
@@ -121,6 +150,9 @@ func (s *Store) Submit(spec Spec) (Job, error) {
 		j.Started, j.Finished = now, now
 		j.Result = res
 		j.cancel()
+		if m := s.metrics; m != nil {
+			m.CacheHits.Inc()
+		}
 		s.publishLocked(j.ID, Event{Kind: EventQueued})
 		s.publishLocked(j.ID, Event{Kind: EventDone, Message: "cache hit", Result: res})
 		return *j, nil
@@ -128,6 +160,9 @@ func (s *Store) Submit(spec Spec) (Job, error) {
 
 	j.Status = StatusQueued
 	heap.Push(&s.pending, j)
+	if m := s.metrics; m != nil {
+		m.QueueDepth.Inc()
+	}
 	s.publishLocked(j.ID, Event{Kind: EventQueued})
 	s.cond.Signal()
 	return *j, nil
@@ -159,17 +194,35 @@ func (s *Store) Get(id string) (Job, bool) {
 // List returns snapshots of every job in submission order, optionally
 // filtered by status ("" matches all).
 func (s *Store) List(status Status) []Job {
+	jobs, _ := s.ListPage(status, 0, 0)
+	return jobs
+}
+
+// ListPage is List with pagination: it skips offset matching jobs and
+// returns at most limit of them (limit <= 0 means no bound), plus the
+// total number of matches. Ordering is stable — submission order — so
+// clients can walk a growing list page by page without duplicates. Only
+// jobs inside the window are copied, keeping listing cheap at high job
+// counts.
+func (s *Store) ListPage(status Status, limit, offset int) ([]Job, int) {
+	if offset < 0 {
+		offset = 0
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]Job, 0, len(s.order))
+	out := []Job{}
+	total := 0
 	for _, id := range s.order {
 		j := s.jobs[id]
 		if status != "" && j.Status != status {
 			continue
 		}
-		out = append(out, *j)
+		total++
+		if total > offset && (limit <= 0 || len(out) < limit) {
+			out = append(out, *j)
+		}
 	}
-	return out
+	return out, total
 }
 
 // Cancel requests cancellation. A queued job transitions to cancelled
@@ -188,6 +241,10 @@ func (s *Store) Cancel(id string) (Job, bool) {
 		// The heap entry is removed lazily: workers skip non-queued jobs.
 		j.Status = StatusCancelled
 		j.Finished = time.Now()
+		if m := s.metrics; m != nil {
+			m.QueueDepth.Dec()
+			m.Cancelled.Inc()
+		}
 		s.publishLocked(id, Event{Kind: EventCancelled, Message: "cancelled while queued"})
 	}
 	return *j, true
@@ -282,23 +339,35 @@ func (s *Store) Shutdown(ctx context.Context) error {
 
 // ---- events ----
 
-// subscriber is one event-stream consumer: an unbounded pending queue
+// subscriber is one event-stream consumer: a bounded pending queue
 // drained by a pump goroutine, so slow consumers never block publishers
-// or drop the terminal event. A consumer that stops reading without
-// unsubscribing cannot strand the pump either — sends race a done channel.
+// and never grow memory without limit — once the backlog exceeds max,
+// the oldest pending (non-terminal) events are dropped and the consumer
+// receives a single EventLost marker in their place. Terminal events are
+// never dropped. A consumer that stops reading without unsubscribing
+// cannot strand the pump either — sends race a done channel.
 type subscriber struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []Event
-	stopped bool // no further events will be queued
+	jobID   string
+	max     int          // pending-backlog bound (<= 0: unbounded)
+	dropped *obs.Counter // nil: unmetered
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   []Event
+	stopped   bool // no further events will be queued
+	lost      int  // events dropped since the last lost marker
+	lostFirst int  // Seq of the first of them
 
 	done     chan struct{} // closed when the consumer abandons the stream
 	dropOnce sync.Once
 	ch       chan Event
 }
 
-func newSubscriber(replay []Event) *subscriber {
-	sub := &subscriber{ch: make(chan Event, 16), done: make(chan struct{})}
+func newSubscriber(jobID string, replay []Event, max int, dropped *obs.Counter) *subscriber {
+	sub := &subscriber{
+		jobID: jobID, max: max, dropped: dropped,
+		ch: make(chan Event, 16), done: make(chan struct{}),
+	}
 	sub.cond = sync.NewCond(&sub.mu)
 	sub.pending = append(sub.pending, replay...)
 	go sub.pump()
@@ -308,6 +377,24 @@ func newSubscriber(replay []Event) *subscriber {
 func (sub *subscriber) push(e Event) {
 	sub.mu.Lock()
 	if !sub.stopped {
+		if sub.max > 0 && len(sub.pending) >= sub.max {
+			// Drop the oldest non-terminal pending event (terminal events
+			// are always deliverable: they end the stream).
+			for i := range sub.pending {
+				if sub.pending[i].Kind.Terminal() {
+					continue
+				}
+				if sub.lost == 0 {
+					sub.lostFirst = sub.pending[i].Seq
+				}
+				sub.lost++
+				sub.pending = append(sub.pending[:i], sub.pending[i+1:]...)
+				if sub.dropped != nil {
+					sub.dropped.Inc()
+				}
+				break
+			}
+		}
 		sub.pending = append(sub.pending, e)
 		sub.cond.Signal()
 	}
@@ -344,8 +431,23 @@ func (sub *subscriber) pump() {
 			close(sub.ch)
 			return
 		}
-		e := sub.pending[0]
-		sub.pending = sub.pending[1:]
+		var e Event
+		if sub.lost > 0 {
+			// Surface the gap before the next surviving event.
+			e = Event{
+				JobID: sub.jobID,
+				Kind:  EventLost,
+				Seq:   sub.lostFirst,
+				Time:  time.Now(),
+				Lost:  sub.lost,
+				Message: fmt.Sprintf("%d events dropped (slow consumer); next delivered seq is %d",
+					sub.lost, sub.pending[0].Seq),
+			}
+			sub.lost = 0
+		} else {
+			e = sub.pending[0]
+			sub.pending = sub.pending[1:]
+		}
 		sub.mu.Unlock()
 		select {
 		case sub.ch <- e:
@@ -370,7 +472,11 @@ func (s *Store) Subscribe(id string) (<-chan Event, func(), error) {
 	if !ok {
 		return nil, nil, fmt.Errorf("jobs: unknown job %q", id)
 	}
-	sub := newSubscriber(s.events[id])
+	var dropped *obs.Counter
+	if s.metrics != nil {
+		dropped = s.metrics.EventsDropped
+	}
+	sub := newSubscriber(id, s.events[id], s.backlog, dropped)
 	if !j.Status.Terminal() {
 		s.subs[id] = append(s.subs[id], sub)
 	} else {
@@ -409,6 +515,9 @@ func (s *Store) publishLocked(id string, e Event) {
 	e.Seq = len(s.events[id])
 	e.Time = time.Now()
 	s.events[id] = append(s.events[id], e)
+	if m := s.metrics; m != nil {
+		m.Events.Inc()
+	}
 	for _, sub := range s.subs[id] {
 		sub.push(e)
 	}

@@ -189,7 +189,7 @@ func (m *Transformer) DecodeStep(cache *KVCache, ids []int, ad *DecodeAdapter, w
 	// Only the last row's logits are consumed downstream (the final norm
 	// and head feed nothing back into the blocks), so the prefill skips
 	// the vocab projection for every earlier row.
-	last := tensor.FromSlice(x.Data[(n-1)*d:n*d], 1, d)
+	last := tensor.WrapIn(ws, x.Data[(n-1)*d:n*d], 1, d)
 	ln := decodeLayerNorm(m.LNF, last, ws)
 	logits := tensor.MatMulIn(ws, ln, m.Head.W.W)
 	tensor.AddRowVector(logits, m.Head.B.W.Data)

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every family in Prometheus text exposition
+// format (version 0.0.4): HELP and TYPE comments, one sample line per
+// child, histogram children expanded into cumulative _bucket series plus
+// _sum and _count. Exposition takes snapshots under the family locks but
+// never blocks instrument updates (those are atomics).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range r.Gather() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(s.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(s.Help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(s.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(string(s.Kind))
+		bw.WriteByte('\n')
+		for _, p := range s.Points {
+			if s.Kind == KindHistogram {
+				writeHistogram(bw, s, p)
+				continue
+			}
+			bw.WriteString(s.Name)
+			bw.WriteString(p.Labels)
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(p.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram expands one histogram child into its cumulative bucket
+// series. Existing labels are spliced together with the le label.
+func writeHistogram(bw *bufio.Writer, s Snapshot, p Point) {
+	var cum uint64
+	for i, c := range p.Buckets {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatValue(s.Bounds[i])
+		}
+		bw.WriteString(s.Name)
+		bw.WriteString("_bucket")
+		bw.WriteString(spliceLabel(p.Labels, `le="`+le+`"`))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(s.Name)
+	bw.WriteString("_sum")
+	bw.WriteString(p.Labels)
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(p.Sum))
+	bw.WriteByte('\n')
+	bw.WriteString(s.Name)
+	bw.WriteString("_count")
+	bw.WriteString(p.Labels)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(p.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// spliceLabel appends one rendered k="v" pair to a pre-rendered label set.
+func spliceLabel(labels, pair string) string {
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry at GET /metrics in text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -5,6 +5,7 @@ import (
 
 	"longexposure/internal/exposer"
 	"longexposure/internal/nn"
+	"longexposure/internal/obs"
 	"longexposure/internal/sparse"
 	"longexposure/internal/tensor"
 )
@@ -131,6 +132,11 @@ type RuntimePlanner struct {
 	DisableMLP bool
 	// DisableAttn forces dense attention (MLP-only ablation).
 	DisableAttn bool
+	// Metrics, when set, receives the predicted per-layer densities — the
+	// live view of how much shadowy sparsity each plan recovers. Updates
+	// happen once per planned layer per step, outside the prediction
+	// timing so the Predict phase stays honest.
+	Metrics *obs.SparsityMetrics
 
 	elapsed time.Duration
 }
@@ -164,6 +170,13 @@ func (rl runtimeLayer) PlanAttention(x *tensor.Tensor, batch, seq int) ([]*spars
 	t0 := time.Now()
 	layouts := rp.Set.Layers[rl.li].Attn.Predict(x, batch, seq, rp.Set.Exposer)
 	rp.elapsed += time.Since(t0)
+	if rp.Metrics != nil && len(layouts) > 0 {
+		var d float64
+		for _, l := range layouts {
+			d += l.Density()
+		}
+		rp.Metrics.SetAttn(rl.li, d/float64(len(layouts)))
+	}
 	return layouts, rp.Set.Blk
 }
 
@@ -177,5 +190,8 @@ func (rl runtimeLayer) PlanMLP(x *tensor.Tensor, _, _ int) ([]int, int) {
 	t0 := time.Now()
 	blocks := mp.Predict(x)
 	rp.elapsed += time.Since(t0)
+	if rp.Metrics != nil && mp.NBlk > 0 {
+		rp.Metrics.SetMLP(rl.li, float64(len(blocks))/float64(mp.NBlk))
+	}
 	return blocks, rp.Set.Blk
 }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"longexposure/internal/nn"
+	"longexposure/internal/obs"
 )
 
 // BaseDesc identifies the frozen base model an adapter was trained on —
@@ -94,8 +95,20 @@ type Spec struct {
 type Store struct {
 	dir string
 
-	mu    sync.RWMutex
-	index map[string]*Manifest
+	mu      sync.RWMutex
+	index   map[string]*Manifest
+	metrics *obs.RegistryMetrics // nil: unmetered
+}
+
+// Instrument attaches registry observability: artifact count plus
+// publish/load/delete traffic. Call once, before the store is shared.
+func (s *Store) Instrument(m *obs.RegistryMetrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = m
+	if m != nil {
+		m.Adapters.Set(float64(len(s.index)))
+	}
 }
 
 // Open creates/loads a registry at dir, rebuilding the index from the
@@ -163,6 +176,9 @@ func (s *Store) Publish(spec Spec, delta nn.ParamSet) (Manifest, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if m := s.metrics; m != nil {
+		m.Publishes.Inc()
+	}
 	if existing, ok := s.index[man.ID]; ok {
 		return *existing, nil
 	}
@@ -177,6 +193,9 @@ func (s *Store) Publish(spec Spec, delta nn.ParamSet) (Manifest, error) {
 		return Manifest{}, err
 	}
 	s.index[man.ID] = &man
+	if m := s.metrics; m != nil {
+		m.Adapters.Set(float64(len(s.index)))
+	}
 	return man, nil
 }
 
@@ -243,6 +262,11 @@ func (s *Store) Load(id string) (Manifest, nn.ParamSet, error) {
 	if err != nil {
 		return Manifest{}, nil, fmt.Errorf("registry: loading weights for %s: %w", id, err)
 	}
+	s.mu.RLock()
+	if m := s.metrics; m != nil {
+		m.Loads.Inc()
+	}
+	s.mu.RUnlock()
 	return man, ps, nil
 }
 
@@ -278,6 +302,10 @@ func (s *Store) Delete(id string) error {
 		return fmt.Errorf("registry: unknown adapter %q", id)
 	}
 	delete(s.index, id)
+	if m := s.metrics; m != nil {
+		m.Deletes.Inc()
+		m.Adapters.Set(float64(len(s.index)))
+	}
 	var firstErr error
 	for _, suffix := range []string{".lexp", ".json"} {
 		if err := os.Remove(filepath.Join(s.dir, id+suffix)); err != nil && firstErr == nil {

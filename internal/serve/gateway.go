@@ -11,6 +11,7 @@ import (
 	"longexposure/internal/infer"
 	"longexposure/internal/jobs"
 	"longexposure/internal/nn"
+	"longexposure/internal/obs"
 	"longexposure/internal/registry"
 )
 
@@ -30,6 +31,10 @@ const maxEngines = 8
 type gateway struct {
 	reg      *registry.Store
 	maxBatch int
+
+	// Wired by serve.New when WithMetrics is set (nil otherwise).
+	metrics      *obs.GatewayMetrics
+	inferMetrics *obs.InferMetrics // shared by every engine built here
 
 	mu       sync.Mutex
 	engines  map[string]*infer.Engine     // by BaseDesc.Hash()
@@ -60,8 +65,11 @@ func (g *gateway) engineFor(desc registry.BaseDesc) (*infer.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := infer.New(base, infer.Config{MaxBatch: g.maxBatch})
+	eng := infer.New(base, infer.Config{MaxBatch: g.maxBatch, Metrics: g.inferMetrics})
 	g.engines[key] = eng
+	if g.metrics != nil {
+		g.metrics.Engines.Set(float64(len(g.engines)))
+	}
 	return eng, nil
 }
 
@@ -76,7 +84,13 @@ func (g *gateway) adapterFor(id string) (registry.Manifest, *nn.DecodeAdapter, e
 	ad, hit := g.compiled[id]
 	g.mu.Unlock()
 	if hit {
+		if g.metrics != nil {
+			g.metrics.AdapterHits.Inc()
+		}
 		return man, ad, nil
+	}
+	if g.metrics != nil {
+		g.metrics.AdapterMisses.Inc()
 	}
 	man, params, err := g.reg.Load(id)
 	if err != nil {
@@ -99,8 +113,12 @@ func (g *gateway) adapterFor(id string) (registry.Manifest, *nn.DecodeAdapter, e
 // evict drops an artifact's compiled form (on delete).
 func (g *gateway) evict(id string) {
 	g.mu.Lock()
+	_, present := g.compiled[id]
 	delete(g.compiled, id)
 	g.mu.Unlock()
+	if present && g.metrics != nil {
+		g.metrics.AdapterEvictions.Inc()
+	}
 }
 
 // close shuts every engine down.
@@ -112,6 +130,9 @@ func (g *gateway) close() {
 	g.mu.Unlock()
 	for _, eng := range engines {
 		eng.Close()
+	}
+	if g.metrics != nil {
+		g.metrics.Engines.Set(0)
 	}
 }
 
@@ -160,6 +181,11 @@ type generateRequest struct {
 // "token" frame per emitted token, then a terminal "done" frame with the
 // finish reason and the full token list (or an "error" frame).
 func (s *Server) generate(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.gdGenerate.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	var req generateRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()

@@ -1,0 +1,507 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"longexposure/internal/jobs"
+	"longexposure/internal/limit"
+	"longexposure/internal/obs"
+	"longexposure/internal/registry"
+	"longexposure/internal/serve"
+)
+
+// newObsGatewayEnv builds a gateway env with the observability plane (and
+// optionally the traffic-control plane) attached, returning the metrics
+// registry so tests can read instrument values directly.
+func newObsGatewayEnv(t *testing.T, workers, maxBatch int, limits *serve.LimitConfig) (*gwEnv, *obs.Registry) {
+	t.Helper()
+	obsReg := obs.NewRegistry()
+	reg, err := registry.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Instrument(obs.NewRegistryMetrics(obsReg))
+	store := jobs.NewStore(jobs.Config{Workers: workers, Registry: reg, Obs: obsReg})
+	opts := []serve.Option{serve.WithRegistry(reg, maxBatch), serve.WithMetrics(obsReg)}
+	if limits != nil {
+		opts = append(opts, serve.WithLimits(*limits))
+	}
+	srv := serve.New(store, opts...)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("server shutdown: %v", err)
+		}
+	})
+	return &gwEnv{env: &env{t: t, store: store, ts: ts}, reg: reg}, obsReg
+}
+
+// metricValue reads a counter/gauge from the registry, defaulting to 0.
+func metricValue(r *obs.Registry, name string, labels ...string) float64 {
+	v, _ := r.Value(name, labels...)
+	return v
+}
+
+// TestMetricsEndpoint runs one fine-tuning job and one generation, then
+// checks GET /metrics serves Prometheus text format covering the serve,
+// jobs, infer, and train instruments — the acceptance sweep for the
+// observability plane.
+func TestMetricsEndpoint(t *testing.T) {
+	e, obsReg := newObsGatewayEnv(t, 1, 2, nil)
+
+	// One sparse fine-tune job (exercises train + sparsity instruments
+	// and publishes an adapter) …
+	j := e.submit(map[string]any{
+		"kind": "finetune",
+		"finetune": map[string]any{
+			"steps": 3, "batch": 1, "seq": 16, "blk": 8, "predictor_epochs": 1,
+		},
+	}, http.StatusAccepted)
+	e.waitStatus(j.ID, jobs.StatusDone)
+
+	// … and one base-desc generation (exercises the infer instruments).
+	tokens, _ := e.generateSSE(map[string]any{
+		"base":   map[string]any{"model": "sim-small", "activation": "relu", "seed": 1, "blk": 8, "prime": true},
+		"prompt": []int{5, 6, 7}, "max_tokens": 4,
+	})
+	if len(tokens) == 0 {
+		t.Fatal("generation emitted no tokens")
+	}
+
+	resp, err := http.Get(e.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	// Every subsystem must be present in the exposition.
+	for _, series := range []string{
+		"# TYPE lexp_jobs_submitted_total counter",
+		"# TYPE lexp_train_step_seconds histogram",
+		"lexp_train_step_seconds_bucket{le=",
+		`lexp_jobs_completed_total{status="done"}`,
+		`lexp_train_phase_seconds_total{phase="forward"}`,
+		"lexp_infer_tokens_total",
+		"lexp_infer_batch_occupancy_bucket",
+		"lexp_gateway_engines",
+		"lexp_registry_adapters",
+		`lexp_http_requests_total{route="POST /v1/jobs",code="2xx"}`,
+		"lexp_http_request_seconds_bucket",
+		"lexp_sparse_attn_density",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("metrics exposition missing %q", series)
+		}
+	}
+
+	// Spot-check values through the registry.
+	if v := metricValue(obsReg, "lexp_jobs_submitted_total"); v != 1 {
+		t.Errorf("jobs submitted = %v, want 1", v)
+	}
+	if v := metricValue(obsReg, "lexp_jobs_completed_total", "done"); v != 1 {
+		t.Errorf("jobs done = %v, want 1", v)
+	}
+	if v := metricValue(obsReg, "lexp_train_steps_total"); v < 3 {
+		t.Errorf("train steps = %v, want >= 3", v)
+	}
+	if v := metricValue(obsReg, "lexp_infer_tokens_total"); v < 4 {
+		t.Errorf("infer tokens = %v, want >= 4", v)
+	}
+	if v := metricValue(obsReg, "lexp_train_arena_gets_total"); v <= 0 {
+		t.Errorf("arena gets = %v, want > 0", v)
+	}
+	if v := metricValue(obsReg, "lexp_registry_adapters"); v != 1 {
+		t.Errorf("registry adapters = %v, want 1", v)
+	}
+}
+
+// TestJobsPagination pins ?limit=/?offset= semantics: stable submit-time
+// ordering, X-Total-Count, and 400s on malformed parameters.
+func TestJobsPagination(t *testing.T) {
+	e := newEnv(t, 1)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		j := e.submit(map[string]any{
+			"kind": "finetune",
+			"finetune": map[string]any{
+				"sparse": false, "steps": 1, "batch": 1, "seq": 8, "seed": 100 + i,
+			},
+		}, http.StatusAccepted)
+		ids = append(ids, j.ID)
+		e.waitStatus(j.ID, jobs.StatusDone)
+	}
+
+	page := func(query string, wantTotal int, wantIDs ...string) {
+		t.Helper()
+		resp, body := e.do("GET", "/v1/jobs"+query, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/jobs%s: %d: %s", query, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Total-Count"); got != "" && wantTotal >= 0 {
+			if want := intToStr(wantTotal); got != want {
+				t.Fatalf("query %s: X-Total-Count %s, want %s", query, got, want)
+			}
+		}
+		var listed []jobs.Job
+		if err := json.Unmarshal(body, &listed); err != nil {
+			t.Fatalf("query %s: %v: %s", query, err, body)
+		}
+		if len(listed) != len(wantIDs) {
+			t.Fatalf("query %s: %d jobs, want %d (%s)", query, len(listed), len(wantIDs), body)
+		}
+		for i, want := range wantIDs {
+			if listed[i].ID != want {
+				t.Fatalf("query %s: job[%d] = %s, want %s", query, i, listed[i].ID, want)
+			}
+		}
+	}
+
+	page("?limit=2", 5, ids[0], ids[1])
+	page("?limit=2&offset=1", 5, ids[1], ids[2])
+	page("?offset=4", 5, ids[4])
+	page("?offset=99", 5)
+	page("?status=done&limit=3&offset=3", 5, ids[3], ids[4])
+	page("?status=failed", 0)
+	page("", 5, ids...) // no pagination: full list, unchanged shape
+
+	for _, bad := range []string{"?limit=-1", "?limit=x", "?offset=-2", "?offset=1.5"} {
+		resp, _ := e.do("GET", "/v1/jobs"+bad, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /v1/jobs%s: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func intToStr(n int) string { return string(rune('0' + n)) }
+
+// TestLivenessReadinessSplit pins the /healthz vs /readyz contract:
+// liveness stays 200 through a drain while readiness flips to 503 the
+// moment shutdown starts.
+func TestLivenessReadinessSplit(t *testing.T) {
+	store := jobs.NewStore(jobs.Config{Workers: 1})
+	srv := serve.New(store)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	e := &env{t: t, store: store, ts: ts}
+
+	probe := func(path string) (int, string) {
+		t.Helper()
+		resp, body := e.do("GET", path, nil)
+		var out struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("%s: %v: %s", path, err, body)
+		}
+		return resp.StatusCode, out.Status
+	}
+
+	if code, status := probe("/readyz"); code != http.StatusOK || status != "ready" {
+		t.Fatalf("idle readyz: %d %q", code, status)
+	}
+
+	// Park a long-running job so the drain has something to wait on.
+	slow := e.submit(map[string]any{
+		"kind": "finetune",
+		"finetune": map[string]any{
+			"sparse": false, "steps": 4, "epochs": 500, "batch": 1, "seq": 12,
+		},
+	}, http.StatusAccepted)
+	e.waitStatus(slow.ID, jobs.StatusRunning)
+
+	shutdownErr := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	go func() { shutdownErr <- srv.Shutdown(ctx) }()
+
+	// Mid-drain: not ready, but alive.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, status := probe("/readyz")
+		if code == http.StatusServiceUnavailable {
+			if status != "draining" {
+				t.Fatalf("draining readyz status %q", status)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never reported draining")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if code, status := probe("/healthz"); code != http.StatusOK || status != "ok" {
+		t.Fatalf("healthz during drain: %d %q (liveness must not flip)", code, status)
+	}
+
+	// Cancel the parked job so the drain completes cleanly.
+	if resp, body := e.do("DELETE", "/v1/jobs/"+slow.ID, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel during drain: %d: %s", resp.StatusCode, body)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if code, _ := probe("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown readyz: %d, want 503", code)
+	}
+}
+
+// saturationBody is the long-running generation the saturation test uses:
+// a sim-OPT-125M base decoded to its MaxSeq bound (max_tokens clamps), so
+// holders stay in flight long enough to observe shedding deterministically.
+func saturationBody() map[string]any {
+	return map[string]any{
+		"base":   map[string]any{"model": "OPT-125M", "activation": "relu", "seed": 1, "blk": 8, "prime": true},
+		"prompt": []int{5, 6, 7}, "max_tokens": 100000, "seed": 1,
+	}
+}
+
+// TestGenerateSaturationSheds is the concurrency-cap acceptance test:
+// with MaxInFlight=2 and no wait queue, two long generations hold the
+// slots, further requests are shed with 429 + Retry-After (and readiness
+// reports shedding), and the admitted generations finish bit-identical to
+// an unthrottled server's output.
+func TestGenerateSaturationSheds(t *testing.T) {
+	// On a single-CPU runner GOMAXPROCS=1 lets the compute-bound decode
+	// goroutines starve this goroutine for the holders' whole lifetime —
+	// no probe could ever land inside the saturation window. Extra Ps get
+	// time-sliced by the OS, restoring interleaving without changing any
+	// semantics under test.
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	// The throttled engine decodes one sequence at a time (MaxBatch 1), so
+	// the second holder keeps its admission slot parked in the engine
+	// queue until the first full generation retires — the saturation
+	// window the probes below rely on is a whole generation wide, not a
+	// scheduling race.
+	throttled, obsReg := newObsGatewayEnv(t, 1, 1, &serve.LimitConfig{MaxInFlight: 2, MaxWait: 0})
+	unthrottled, _ := newObsGatewayEnv(t, 1, 2, nil)
+
+	// Unthrottled reference run (deterministic: same base, seed, greedy).
+	wantTokens, wantReason := unthrottled.generateSSE(saturationBody())
+	if len(wantTokens) == 0 {
+		t.Fatal("reference generation emitted no tokens")
+	}
+
+	// Each round saturates the controller with two long "holder"
+	// generations and probes with extra requests while both admission
+	// slots are held. On a single-CPU runner the compute-bound decode
+	// goroutines can starve this goroutine past the holders' lifetime, so
+	// a round whose probes arrived after the window closed (observable:
+	// the probe was admitted) is retried rather than failed — every
+	// admitted generation, holder or late probe, must still be
+	// bit-identical to the unthrottled reference.
+	const holders = 2
+	const probes = 3
+	checkTokens := func(who string, tokens []int, reason string) {
+		t.Helper()
+		if reason != wantReason {
+			t.Fatalf("%s reason %q, want %q", who, reason, wantReason)
+		}
+		if len(tokens) != len(wantTokens) {
+			t.Fatalf("%s emitted %d tokens, want %d", who, len(tokens), len(wantTokens))
+		}
+		for k := range wantTokens {
+			if tokens[k] != wantTokens[k] {
+				t.Fatalf("%s token %d = %d, want %d (throttled output diverged)", who, k, tokens[k], wantTokens[k])
+			}
+		}
+	}
+
+	saturated := false
+	for round := 0; round < 8 && !saturated; round++ {
+		var wg sync.WaitGroup
+		gotTokens := make([][]int, holders)
+		gotReasons := make([]string, holders)
+		for i := 0; i < holders; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				gotTokens[i], gotReasons[i] = throttled.generateSSE(saturationBody())
+			}(i)
+		}
+
+		// Wait until both holders are admitted and in flight.
+		deadline := time.Now().Add(30 * time.Second)
+		for metricValue(obsReg, "lexp_limit_inflight", "POST /v1/generate") < holders {
+			if time.Now().After(deadline) {
+				t.Fatal("holders never filled the admission slots")
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		roundShed := 0
+		for i := 0; i < probes; i++ {
+			resp, err := http.Post(throttled.ts.URL+"/v1/generate", "application/json",
+				strings.NewReader(`{"base":{"model":"OPT-125M","activation":"relu","seed":1,"blk":8,"prime":true},"prompt":[5,6,7],"max_tokens":100000,"seed":1}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusTooManyRequests:
+				roundShed++
+				if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+					t.Fatalf("round %d probe %d: Retry-After %q, want >= 1s", round, i, ra)
+				}
+			case http.StatusOK:
+				// Window closed (a holder finished first): the admitted
+				// probe must still match the reference bit for bit.
+				tokens, reason := parseSSETokens(t, string(body))
+				checkTokens("late probe", tokens, reason)
+			default:
+				t.Fatalf("round %d probe %d: %d: %s", round, i, resp.StatusCode, body)
+			}
+		}
+
+		if roundShed == probes {
+			// Probes ran inside the saturation window. Readiness must
+			// report full shedding while both slots are still held —
+			// verifiable only if the window is still open when we probe
+			// it, so tolerate "ready" (window closed) without failing.
+			resp, body := throttled.do("GET", "/readyz", nil)
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				if !strings.Contains(string(body), "shedding") {
+					t.Fatalf("readyz under full shed: %d: %s", resp.StatusCode, body)
+				}
+				saturated = true
+			}
+		}
+
+		wg.Wait()
+		for i := 0; i < holders; i++ {
+			checkTokens("holder", gotTokens[i], gotReasons[i])
+		}
+	}
+	if !saturated {
+		t.Fatal("no round observed full shedding (429s + not-ready) while both slots were held")
+	}
+
+	if v := metricValue(obsReg, "lexp_limit_admitted_total", "POST /v1/generate"); v < holders {
+		t.Errorf("admitted = %v, want >= %d", v, holders)
+	}
+	if v := metricValue(obsReg, "lexp_limit_shed_total", "POST /v1/generate", "queue_full"); v < probes {
+		t.Errorf("shed queue_full = %v, want >= %d", v, probes)
+	}
+	// Releases run in handler defers, which the server executes after the
+	// client already saw EOF — poll briefly instead of asserting instantly.
+	deadline := time.Now().Add(10 * time.Second)
+	for metricValue(obsReg, "lexp_limit_inflight", "POST /v1/generate") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight never drained to 0 (stuck at %v)",
+				metricValue(obsReg, "lexp_limit_inflight", "POST /v1/generate"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// parseSSETokens decodes a buffered SSE generate response body.
+func parseSSETokens(t *testing.T, body string) (tokens []int, reason string) {
+	t.Helper()
+	event := ""
+	for _, line := range strings.Split(body, "\n") {
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			payload := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "token":
+				var tok struct {
+					Token int `json:"token"`
+				}
+				if err := json.Unmarshal([]byte(payload), &tok); err != nil {
+					t.Fatalf("bad token frame %q: %v", payload, err)
+				}
+				tokens = append(tokens, tok.Token)
+			case "done":
+				var done struct {
+					Reason string `json:"reason"`
+				}
+				if err := json.Unmarshal([]byte(payload), &done); err != nil {
+					t.Fatalf("bad done frame %q: %v", payload, err)
+				}
+				return tokens, done.Reason
+			case "error":
+				t.Fatalf("error frame: %s", payload)
+			}
+		}
+	}
+	t.Fatalf("SSE body ended without done frame")
+	return nil, ""
+}
+
+// TestTenantRateLimit pins the per-tenant tier: each API key gets its own
+// bucket, anonymous requests share one, and denials carry Retry-After.
+func TestTenantRateLimit(t *testing.T) {
+	e, obsReg := newObsGatewayEnv(t, 1, 2, &serve.LimitConfig{
+		Limit: limit.Config{Rate: 0.001, Burst: 1}, // effectively: one request per tenant
+	})
+
+	gen := func(tenant string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest("POST", e.ts.URL+"/v1/generate",
+			strings.NewReader(`{"base":{"model":"sim-small","activation":"relu","seed":1,"blk":8,"prime":true},"prompt":[1,2],"max_tokens":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tenant != "" {
+			req.Header.Set("X-API-Key", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := gen("alice"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("alice 1: %d", resp.StatusCode)
+	}
+	if resp := gen("alice"); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alice 2: %d, want 429", resp.StatusCode)
+	} else if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("rate-limited response without Retry-After")
+	}
+	if resp := gen("bob"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("bob (fresh tenant): %d", resp.StatusCode)
+	}
+	if resp := gen(""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("anonymous 1: %d", resp.StatusCode)
+	}
+	if resp := gen(""); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("anonymous 2: %d, want 429", resp.StatusCode)
+	}
+	if v := metricValue(obsReg, "lexp_limit_shed_total", "POST /v1/generate", "rate_limited"); v != 2 {
+		t.Errorf("rate_limited sheds = %v, want 2", v)
+	}
+	if v := metricValue(obsReg, "lexp_limit_tenants"); v != 3 { // alice, bob, anonymous
+		t.Errorf("tenant buckets = %v, want 3", v)
+	}
+}

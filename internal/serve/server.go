@@ -4,7 +4,7 @@
 // reproduction:
 //
 //	POST   /v1/jobs             submit a job (202; 200 on a cache hit)
-//	GET    /v1/jobs             list jobs, optional ?status= filter
+//	GET    /v1/jobs             list jobs; ?status= filter, ?limit=/?offset= pages
 //	GET    /v1/jobs/{id}        one job
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/jobs/{id}/events server-sent event stream (replay + live)
@@ -14,9 +14,18 @@
 //	DELETE /v1/adapters/{id}    delete an adapter artifact
 //	POST   /v1/generate         KV-cached token generation (SSE stream)
 //	GET    /healthz             liveness + queue stats
+//	GET    /readyz              readiness (503 while draining/shedding)
+//	GET    /metrics             Prometheus text exposition (WithMetrics)
 //
 // Shutdown is graceful: in-flight HTTP requests finish and the job store
-// drains queued and running jobs before the process exits.
+// drains queued and running jobs before the process exits; /readyz flips
+// to 503 the moment the drain starts so load balancers stop routing here.
+//
+// WithMetrics attaches the observability plane (internal/obs): per-route
+// HTTP latency/status, gateway cache and engine instruments, and the
+// /metrics endpoint. WithLimits attaches the traffic-control plane
+// (internal/limit): per-tenant and global rate limiting plus
+// load-shedding admission control on POST /v1/generate and POST /v1/jobs.
 package serve
 
 import (
@@ -25,19 +34,35 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"longexposure/internal/experiments"
 	"longexposure/internal/jobs"
+	"longexposure/internal/limit"
+	"longexposure/internal/obs"
 	"longexposure/internal/registry"
 )
 
 // Server wires the job store into an http.Handler and manages graceful
 // shutdown of both the listener and the worker pool.
 type Server struct {
-	store *jobs.Store
-	gw    *gateway // nil without WithRegistry
-	mux   *http.ServeMux
+	store   *jobs.Store
+	gw      *gateway // nil without WithRegistry
+	mux     *http.ServeMux
+	handler http.Handler // mux, wrapped by middleware when configured
+
+	// Observability plane (nil without WithMetrics).
+	obs   *obs.Registry
+	httpm *obs.HTTPMetrics
+
+	// Traffic-control plane (nil without WithLimits).
+	limits     *LimitConfig
+	gdGenerate *guard
+	gdJobs     *guard
+
+	draining atomic.Bool // set when Shutdown begins; read by /readyz
 
 	mu     sync.Mutex // guards http/closed against Shutdown from another goroutine
 	http   *http.Server
@@ -62,6 +87,15 @@ func WithRegistry(reg *registry.Store, maxBatch int) Option {
 	}
 }
 
+// WithMetrics attaches a metrics registry: per-route HTTP instruments,
+// gateway and generation-engine instruments (when WithRegistry is also
+// set), traffic-control instruments (when WithLimits is also set), and
+// the GET /metrics exposition endpoint. Pair it with jobs.Config.Obs and
+// registry.Store.Instrument on the same registry for full coverage.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) { s.obs = reg }
+}
+
 // New builds a server over the store.
 func New(store *jobs.Store, opts ...Option) *Server {
 	s := &Server{store: store, mux: http.NewServeMux()}
@@ -72,14 +106,58 @@ func New(store *jobs.Store, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.streamEvents)
 	s.mux.HandleFunc("GET /v1/experiments", s.listExperiments)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /readyz", s.readyz)
 	for _, opt := range opts {
 		opt(s)
+	}
+
+	// Finalize cross-option wiring now that every option has run (the
+	// registry gateway, limits, and metrics may arrive in any order).
+	s.handler = s.mux
+	if s.obs != nil {
+		s.httpm = obs.NewHTTPMetrics(s.obs)
+		s.mux.Handle("GET /metrics", s.obs.Handler())
+		s.handler = instrumented(s.httpm, s.mux)
+		if s.gw != nil {
+			s.gw.metrics = obs.NewGatewayMetrics(s.obs)
+			s.gw.inferMetrics = obs.NewInferMetrics(s.obs)
+		}
+	}
+	if s.limits != nil {
+		var lm *obs.LimitMetrics
+		if s.obs != nil {
+			lm = obs.NewLimitMetrics(s.obs)
+		}
+		var limiter *limit.Limiter
+		if s.limits.Limit.Enabled() {
+			limiter = limit.New(s.limits.Limit)
+			limiter.Instrument(lm)
+		}
+		mk := func(endpoint string) *guard {
+			var em *obs.EndpointLimitMetrics
+			if lm != nil {
+				em = lm.Endpoint(endpoint)
+			}
+			g := &guard{tenantHeader: s.limits.TenantHeader, limiter: limiter, m: em}
+			if s.limits.MaxInFlight > 0 {
+				g.adm = limit.NewAdmission(limit.AdmissionConfig{
+					MaxInFlight: s.limits.MaxInFlight,
+					MaxWait:     s.limits.MaxWait,
+					WaitTimeout: s.limits.WaitTimeout,
+					RetryAfter:  s.limits.RetryAfter,
+				}, em)
+			}
+			return g
+		}
+		s.gdGenerate = mk("POST /v1/generate")
+		s.gdJobs = mk("POST /v1/jobs")
 	}
 	return s
 }
 
-// Handler returns the routing handler (for httptest and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the routing handler (for httptest and embedding),
+// wrapped with the metrics middleware when WithMetrics is set.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // ListenAndServe blocks serving the API on addr until Shutdown. Calling
 // it after Shutdown is a no-op (a signal can win the race at startup).
@@ -89,7 +167,7 @@ func (s *Server) ListenAndServe(addr string) error {
 		s.mu.Unlock()
 		return nil
 	}
-	srv := &http.Server{Addr: addr, Handler: s.mux}
+	srv := &http.Server{Addr: addr, Handler: s.handler}
 	s.http = srv
 	s.mu.Unlock()
 
@@ -101,8 +179,17 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown stops the listener (finishing in-flight requests) and drains
-// the job store; ctx bounds the whole drain.
+// the job store; ctx bounds the whole drain. Readiness flips to 503 and
+// the admission controllers shed everything the moment the drain starts,
+// so new traffic fails fast with Retry-After instead of queuing behind a
+// closing server.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	for _, g := range []*guard{s.gdGenerate, s.gdJobs} {
+		if g != nil && g.adm != nil {
+			g.adm.SetDraining(true)
+		}
+	}
 	s.mu.Lock()
 	s.closed = true
 	srv := s.http
@@ -139,6 +226,11 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.gdJobs.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	var spec jobs.Spec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -162,15 +254,44 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, j)
 }
 
+// listJobs serves GET /v1/jobs with ?status= filtering and ?limit=/
+// ?offset= pagination. Ordering is stable (submission time); the total
+// match count rides the X-Total-Count header so the body stays a plain
+// job array for pagination-unaware clients.
 func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
-	status := jobs.Status(r.URL.Query().Get("status"))
+	q := r.URL.Query()
+	status := jobs.Status(q.Get("status"))
 	switch status {
 	case "", jobs.StatusQueued, jobs.StatusRunning, jobs.StatusDone, jobs.StatusFailed, jobs.StatusCancelled:
 	default:
 		writeError(w, http.StatusBadRequest, "unknown status %q", status)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.store.List(status))
+	limitN, ok := queryInt(w, q.Get("limit"), "limit")
+	if !ok {
+		return
+	}
+	offset, ok := queryInt(w, q.Get("offset"), "offset")
+	if !ok {
+		return
+	}
+	list, total := s.store.ListPage(status, limitN, offset)
+	w.Header().Set("X-Total-Count", strconv.Itoa(total))
+	writeJSON(w, http.StatusOK, list)
+}
+
+// queryInt parses a non-negative integer query parameter ("" = 0),
+// writing the 400 itself on bad input.
+func queryInt(w http.ResponseWriter, raw, name string) (int, bool) {
+	if raw == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		writeError(w, http.StatusBadRequest, "invalid %s %q: want a non-negative integer", name, raw)
+		return 0, false
+	}
+	return n, true
 }
 
 func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
@@ -195,9 +316,35 @@ func (s *Server) listExperiments(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, experiments.Describe())
 }
 
+// healthz is the liveness probe: the process is up and can answer, even
+// mid-drain. Restart decisions key off this; routing decisions belong to
+// /readyz.
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Status string     `json:"status"`
 		Stats  jobs.Stats `json:"stats"`
 	}{Status: "ok", Stats: s.store.Stats()})
+}
+
+// readyz is the readiness probe: 503 while the server is draining for
+// shutdown or while an admission controller is fully shedding (at its
+// concurrency cap with a full wait queue) — in both states new traffic
+// belongs elsewhere.
+func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
+	status := "ready"
+	switch {
+	case s.draining.Load():
+		status = "draining"
+	case s.gdGenerate != nil && s.gdGenerate.adm != nil && s.gdGenerate.adm.Shedding(),
+		s.gdJobs != nil && s.gdJobs.adm != nil && s.gdJobs.adm.Shedding():
+		status = "shedding"
+	}
+	code := http.StatusOK
+	if status != "ready" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, struct {
+		Status string     `json:"status"`
+		Stats  jobs.Stats `json:"stats"`
+	}{Status: status, Stats: s.store.Stats()})
 }

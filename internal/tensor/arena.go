@@ -238,6 +238,22 @@ func NewIn(ws *Arena, shape ...int) *Tensor {
 	return ws.Get(shape...)
 }
 
+// WrapIn returns a tensor view over existing data whose wrapper (struct
+// and shape slice) is recycled from ws across Release cycles — the
+// zero-alloc version of FromSlice for workspace-scoped views (nil ws
+// allocates a fresh wrapper). The panic message deliberately omits the
+// shape slice: formatting it would make the variadic escape and cost a
+// heap allocation on every call (see NewIn).
+func WrapIn(ws *Arena, data []float32, shape ...int) *Tensor {
+	if n := checkedLen(shape); n != len(data) {
+		panic(fmt.Sprintf("tensor: WrapIn shape needs %d elements, got %d", n, len(data)))
+	}
+	if ws == nil {
+		return &Tensor{shape: append([]int(nil), shape...), Data: data}
+	}
+	return ws.wrap(data, shape)
+}
+
 // FloatsIn returns a zeroed []float32 from ws, or a fresh make when nil.
 func FloatsIn(ws *Arena, n int) []float32 {
 	if ws == nil {

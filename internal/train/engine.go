@@ -11,6 +11,7 @@ import (
 
 	"longexposure/internal/data"
 	"longexposure/internal/nn"
+	"longexposure/internal/obs"
 	"longexposure/internal/peft"
 	"longexposure/internal/predictor"
 	"longexposure/internal/tensor"
@@ -73,8 +74,17 @@ type Engine struct {
 	// buffers exactly like the seed code. Results are bit-identical; only
 	// allocation behavior differs.
 	NoWorkspace bool
+	// Metrics, when set, receives per-step observability: step and phase
+	// latency, tokens, loss, and workspace-arena traffic. Updates are
+	// atomic handle writes — the instrumented step stays at zero
+	// steady-state allocations (pinned by the bench obs suite).
+	Metrics *obs.TrainMetrics
 
 	ws *tensor.Arena
+	// lastArenaGets/lastArenaMisses remember the arena's cumulative
+	// counters at the previous instrumented step, so Metrics receives
+	// per-step deltas.
+	lastArenaGets, lastArenaMisses int64
 	// params caches Model.Params() — rebuilding the set every step
 	// allocates. The cache is invalidated when Model is swapped; changing
 	// the parameter *structure* of the current model (e.g. injecting LoRA
@@ -130,6 +140,27 @@ func (e *Engine) Step(b data.Batch) (float64, PhaseTimes) {
 
 	// The step is fully applied; recycle every step-lived buffer.
 	ws.Release()
+
+	if m := e.Metrics; m != nil {
+		tokens := 0
+		for _, row := range b.Inputs {
+			tokens += len(row)
+		}
+		m.Steps.Inc()
+		m.Tokens.Add(float64(tokens))
+		m.StepSeconds.Observe(times.Total().Seconds())
+		m.Loss.Set(loss)
+		m.PhaseForward.Add(times.Forward.Seconds())
+		m.PhaseBackward.Add(times.Backward.Seconds())
+		m.PhaseOptim.Add(times.Optim.Seconds())
+		m.PhasePredict.Add(times.Predict.Seconds())
+		if ws != nil {
+			gets, misses := ws.Gets(), ws.Misses()
+			m.ArenaGets.Add(float64(gets - e.lastArenaGets))
+			m.ArenaMisses.Add(float64(misses - e.lastArenaMisses))
+			e.lastArenaGets, e.lastArenaMisses = gets, misses
+		}
+	}
 	return loss, times
 }
 

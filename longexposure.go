@@ -51,8 +51,10 @@ import (
 	"longexposure/internal/gpusim"
 	"longexposure/internal/infer"
 	"longexposure/internal/jobs"
+	"longexposure/internal/limit"
 	"longexposure/internal/model"
 	"longexposure/internal/nn"
+	"longexposure/internal/obs"
 	"longexposure/internal/peft"
 	"longexposure/internal/predictor"
 	"longexposure/internal/registry"
@@ -218,3 +220,30 @@ var (
 	A100  = gpusim.A100
 	A6000 = gpusim.A6000
 )
+
+// Observability and traffic control (internal/obs + internal/limit).
+
+// MetricsRegistry is the zero-alloc-on-hot-path metrics registry behind
+// GET /metrics: counters, gauges, log-bucket histograms, Prometheus text
+// exposition. Share one registry across jobs.Config.Obs,
+// AdapterRegistry.Instrument and WithMetrics for full coverage.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WithMetrics attaches a metrics registry to a server: per-route HTTP
+// instruments plus the GET /metrics endpoint.
+var WithMetrics = serve.WithMetrics
+
+// WithLimits attaches the traffic-control plane to a server: per-tenant
+// and global token-bucket rate limiting plus load-shedding admission
+// control (429 + Retry-After) on the expensive endpoints.
+var WithLimits = serve.WithLimits
+
+// ServerLimitConfig configures WithLimits.
+type ServerLimitConfig = serve.LimitConfig
+
+// RateLimitConfig configures the rate-limit tiers inside a
+// ServerLimitConfig (limit.Config).
+type RateLimitConfig = limit.Config
