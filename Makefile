@@ -22,14 +22,14 @@ race:
 # CI-sized benchmarks, gated against the checked-in baselines on both
 # ns/op (relative tolerance) and allocs/op (absolute tolerance).
 bench:
-	$(GO) run ./cmd/lebench -suite kernels,train_step,generate,obs -short -baseline $(BASELINES) -tolerance 0.20 -alloc-tolerance 16
+	$(GO) run ./cmd/lebench -suite kernels,train_step,generate,obs,trace -short -baseline $(BASELINES) -tolerance 0.20 -alloc-tolerance 16
 
 # Allocation gate alone: the train_step and obs suites compare the
 # workspace-arena step (bare and instrumented) and the instrumented decode
 # step against their checked-in zero allocs/op baselines — mirrors the CI
 # bench job's allocation axis.
 bench-allocs:
-	$(GO) run ./cmd/lebench -suite train_step,obs -short -baseline $(BASELINES) -tolerance 1000 -alloc-tolerance 16
+	$(GO) run ./cmd/lebench -suite train_step,obs,trace -short -baseline $(BASELINES) -tolerance 1000 -alloc-tolerance 16
 
 # Every suite at full size (kernels + train step + whole-experiment timings).
 bench-all:
@@ -39,7 +39,7 @@ bench-all:
 # only when intentionally resetting the perf reference (e.g. after a
 # deliberate trade-off or a runner change).
 baseline:
-	$(GO) run ./cmd/lebench -suite kernels,train_step,generate,obs -short -repeats 4 -out .github/bench
+	$(GO) run ./cmd/lebench -suite kernels,train_step,generate,obs,trace -short -repeats 4 -out .github/bench
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

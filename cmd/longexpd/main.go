@@ -31,6 +31,14 @@
 //	# cancel
 //	curl -s -X DELETE localhost:8080/v1/jobs/job-000001
 //
+// The tracing, logging, and profiling plane: every request gets a
+// sampled span timeline (tune with -trace-sample / -trace-buffer /
+// -trace-slowest) served as JSON span trees at GET /debug/traces;
+// -log-level / -log-format configure log/slog structured logging with
+// trace and span ids on every record; -pprof (off by default) mounts
+// net/http/pprof at GET /debug/pprof/; -sse-keepalive emits comment
+// frames on idle SSE streams so proxies don't reap them.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown that drains queued and
 // running jobs, bounded by -drain.
 package main
@@ -39,6 +47,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -50,6 +59,7 @@ import (
 	"longexposure/internal/obs"
 	"longexposure/internal/registry"
 	"longexposure/internal/serve"
+	"longexposure/internal/trace"
 )
 
 func main() {
@@ -67,14 +77,43 @@ func main() {
 		tenantHeader = flag.String("tenant-header", "X-API-Key", "request header identifying the tenant for per-tenant rate limiting")
 		maxInflight  = flag.Int("max-inflight", 0, "admission-control concurrency cap per guarded endpoint; 0 disables load shedding")
 		maxWait      = flag.Int("max-wait", 8, "bounded admission wait queue per guarded endpoint (with -max-inflight)")
+
+		logLevel     = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
+		traceSample  = flag.Float64("trace-sample", 1, "fraction of requests to trace (0 disables tracing)")
+		traceBuffer  = flag.Int("trace-buffer", 4096, "span ring-buffer capacity behind GET /debug/traces")
+		traceSlowest = flag.Int("trace-slowest", 32, "slowest spans retained for GET /debug/traces; negative disables")
+		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof at GET /debug/pprof/")
+		sseKeepalive = flag.Duration("sse-keepalive", 15*time.Second, "idle SSE keepalive comment interval; 0 disables")
 	)
 	flag.Parse()
 
-	jcfg := jobs.Config{Workers: *workers, CacheSize: *cache}
+	logger := trace.NewLogger(os.Stderr, *logLevel, *logFormat)
+	slog.SetDefault(logger)
+
+	jcfg := jobs.Config{Workers: *workers, CacheSize: *cache, Logger: logger}
 	var opts []serve.Option
+	opts = append(opts, serve.WithLogger(logger))
+	if *sseKeepalive > 0 {
+		opts = append(opts, serve.WithSSEKeepalive(*sseKeepalive))
+	}
+	if *pprofFlag {
+		opts = append(opts, serve.WithPprof())
+	}
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Config{
+			SampleRatio: *traceSample,
+			Capacity:    *traceBuffer,
+			SlowestN:    *traceSlowest,
+		})
+		jcfg.Tracer = tracer
+		opts = append(opts, serve.WithTracing(tracer))
+	}
 	var obsReg *obs.Registry
 	if *metrics {
 		obsReg = obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(obsReg)
 		jcfg.Obs = obsReg
 		opts = append(opts, serve.WithMetrics(obsReg))
 	}
@@ -106,26 +145,32 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
-	serving := "serving disabled"
+	serving := "disabled"
 	if *regDir != "" {
-		serving = "registry " + *regDir
+		serving = *regDir
 	}
-	fmt.Printf("longexpd: listening on %s (%d workers, cache %d, %s)\n", *addr, store.Workers(), *cache, serving)
+	logger.Info("listening",
+		"addr", *addr,
+		"workers", store.Workers(),
+		"cache", *cache,
+		"registry", serving,
+		"trace_sample", *traceSample,
+		"pprof", *pprofFlag)
 
 	select {
 	case err := <-errc:
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "longexpd:", err)
+			logger.Error("serve failed", "err", err)
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		fmt.Println("longexpd: shutting down, draining jobs…")
+		logger.Info("shutting down, draining jobs", "budget", *drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "longexpd: shutdown:", err)
+			logger.Error("shutdown failed", "err", err)
 			os.Exit(1)
 		}
-		fmt.Println("longexpd: drained")
+		logger.Info("drained")
 	}
 }

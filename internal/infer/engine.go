@@ -10,6 +10,7 @@ import (
 	"longexposure/internal/nn"
 	"longexposure/internal/obs"
 	"longexposure/internal/tensor"
+	"longexposure/internal/trace"
 )
 
 // Config sizes an Engine.
@@ -156,7 +157,13 @@ type sequence struct {
 	emitted  int
 	started  bool
 	nextBuf  [1]int
+	queued   time.Time // when Generate enqueued the sequence
 	admitted time.Time // when the scheduler first saw the sequence
+
+	// span covers the sequence's whole lifetime (enqueue through terminal
+	// event); per-step children hang off it. nil when the request is
+	// unsampled — every use below is a nil-safe no-op.
+	span *trace.Span
 
 	done   bool
 	reason string
@@ -211,6 +218,10 @@ func (e *Engine) Generate(ctx context.Context, req Request) (*Stream, error) {
 		// the scheduler can never block on a lagging consumer.
 		out: make(chan Event, req.MaxTokens+1),
 	}
+	s.queued = time.Now()
+	s.span = trace.FromContext(ctx).StartChild("infer.sequence")
+	s.span.SetStr("adapter", req.AdapterID)
+	s.span.SetInt("prompt_tokens", int64(len(req.Prompt)))
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
 	if e.isClosed {
@@ -264,9 +275,10 @@ func (e *Engine) run() {
 		var wg sync.WaitGroup
 		for _, s := range active {
 			wg.Add(1)
+			batch := len(active)
 			go func(s *sequence) {
 				defer wg.Done()
-				s.step(e.base)
+				s.step(e.base, batch)
 			}(s)
 		}
 		wg.Wait()
@@ -304,6 +316,7 @@ func (e *Engine) run() {
 // admit stamps and meters a sequence entering the decode batch.
 func (e *Engine) admit(s *sequence) *sequence {
 	s.admitted = time.Now()
+	s.span.ChildAt("infer.queue", s.queued, s.admitted)
 	if m := e.cfg.Metrics; m != nil {
 		m.Admitted.Inc()
 	}
@@ -359,8 +372,9 @@ func (e *Engine) failAll(active []*sequence) {
 // step advances the sequence by one token: the first call runs the full
 // prompt prefill, later calls decode exactly one row against the cache.
 // Bounds and stop conditions mirror nn.Generate so served tokens are
-// bit-identical to the naive path.
-func (s *sequence) step(base *nn.Transformer) {
+// bit-identical to the naive path. batch is the decode batch occupancy
+// this step ran under, recorded as a span attribute.
+func (s *sequence) step(base *nn.Transformer, batch int) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.done = true
@@ -378,13 +392,19 @@ func (s *sequence) step(base *nn.Transformer) {
 	}
 
 	var logits *tensor.Tensor
+	var sp *trace.Span
 	if !s.started {
+		sp = s.span.StartChild("infer.prefill")
 		logits = base.DecodeStep(s.cache, s.prompt, s.ad, s.ws)
 		s.started = true
 	} else {
+		sp = s.span.StartChild("infer.decode_step")
+		sp.SetInt("step", int64(s.emitted))
 		logits = base.DecodeStep(s.cache, s.nextBuf[:], s.ad, s.ws)
 	}
 	tok := nn.SampleToken(logits.Row(0), s.temp, s.rng)
+	sp.SetInt("batch", int64(batch))
+	sp.Finish()
 	s.ws.Release()
 	s.nextBuf[0] = tok
 
@@ -399,8 +419,15 @@ func (s *sequence) step(base *nn.Transformer) {
 	}
 }
 
-// finish emits the terminal event and closes the stream.
+// finish emits the terminal event, closes the stream, and retires the
+// sequence span with its outcome.
 func (s *sequence) finish() {
 	s.out <- Event{Done: true, Index: s.emitted, Reason: s.reason, Err: s.err}
 	close(s.out)
+	s.span.SetInt("tokens", int64(s.emitted))
+	s.span.SetStr("reason", s.reason)
+	if s.err != nil {
+		s.span.SetBool("error", true)
+	}
+	s.span.Finish()
 }

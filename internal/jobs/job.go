@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"longexposure/internal/trace"
 	"longexposure/internal/train"
 )
 
@@ -72,10 +73,17 @@ type Job struct {
 
 	Result *Result `json:"result,omitempty"`
 
+	// TraceID links a sampled job to its span tree at /debug/traces and
+	// to its structured log records. Empty when the job was unsampled.
+	TraceID string `json:"trace_id,omitempty"`
+
 	// Scheduling internals (not marshalled).
 	seq    int64 // submission order, FIFO tiebreak within a priority
 	ctx    context.Context
 	cancel context.CancelFunc
+	// span covers the job's whole lifetime; nil when unsampled (every
+	// use is a nil-safe no-op).
+	span *trace.Span
 }
 
 // EventKind tags a job event.

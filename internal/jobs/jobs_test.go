@@ -446,13 +446,13 @@ func TestRunnersObserveCancelledContextBeforeSetup(t *testing.T) {
 	sparse := true
 	ft := &Job{ID: "ft", ctx: ctx, Spec: Spec{Kind: KindFinetune,
 		Finetune: &FinetuneSpec{Sparse: &sparse}}}
-	if _, err := s.execute(ft); !errors.Is(err, context.Canceled) {
+	if _, err := s.execute(ft, nil); !errors.Is(err, context.Canceled) {
 		t.Errorf("finetune setup ignored cancelled ctx: %v", err)
 	}
 	quick := true
 	ex := &Job{ID: "ex", ctx: ctx, Spec: Spec{Kind: KindExperiment,
 		Experiment: &ExperimentSpec{ID: "table1", Quick: &quick}}}
-	if _, err := s.execute(ex); !errors.Is(err, context.Canceled) {
+	if _, err := s.execute(ex, nil); !errors.Is(err, context.Canceled) {
 		t.Errorf("experiment runner ignored cancelled ctx: %v", err)
 	}
 }
@@ -463,7 +463,7 @@ func TestExecutePanicFailsJobNotProcess(t *testing.T) {
 	// A kind/payload mismatch that bypassed validation must surface as a
 	// failed job, not kill the worker goroutine (and with it the daemon).
 	j := &Job{ID: "crafted", Spec: Spec{Kind: KindFinetune}} // nil Finetune → panic inside
-	res, err := s.execute(j)
+	res, err := s.execute(j, nil)
 	if res != nil || err == nil || !strings.Contains(err.Error(), "panicked") {
 		t.Fatalf("execute: res=%v err=%v, want recovered panic error", res, err)
 	}

@@ -14,6 +14,7 @@ import (
 	"longexposure/internal/peft"
 	"longexposure/internal/predictor"
 	"longexposure/internal/registry"
+	"longexposure/internal/trace"
 	"longexposure/internal/train"
 )
 
@@ -47,15 +48,20 @@ func (s *Store) worker() {
 		s.publishLocked(j.ID, Event{Kind: EventStarted})
 		s.mu.Unlock()
 
-		res, err := s.execute(j)
+		j.span.ChildAt("jobs.queue", j.Created, j.Started)
+		s.logJob(j, "job started")
+		run := j.span.StartChildAt("jobs.run", j.Started)
+		res, err := s.execute(j, run)
+		run.Finish()
 		s.finish(j, res, err)
 	}
 }
 
 // execute dispatches on the job kind. The spec was validated at submit,
 // but a panic anywhere in the training stack must fail the one job, not
-// take down the daemon's worker pool.
-func (s *Store) execute(j *Job) (res *Result, err error) {
+// take down the daemon's worker pool. run is the job's "jobs.run" span
+// (nil when unsampled) under which execution-phase children are recorded.
+func (s *Store) execute(j *Job, run *trace.Span) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("jobs: job panicked: %v", r)
@@ -63,7 +69,7 @@ func (s *Store) execute(j *Job) (res *Result, err error) {
 	}()
 	switch j.Spec.Kind {
 	case KindFinetune:
-		return s.runFinetune(j)
+		return s.runFinetune(j, run)
 	case KindExperiment:
 		return s.runExperiment(j)
 	default:
@@ -110,12 +116,18 @@ func (s *Store) finish(j *Job, res *Result, err error) {
 		s.publishLocked(j.ID, Event{Kind: EventFailed, Error: err.Error()})
 	}
 	j.cancel()
+	j.span.SetStr("status", string(j.Status))
+	if j.Error != "" {
+		j.span.SetBool("error", true)
+	}
+	j.span.Finish()
+	s.logJob(j, "job finished")
 }
 
 // runFinetune assembles a Long Exposure session (or dense baseline) from
 // the spec and trains it step by step, emitting a progress event per step
 // through the engine's StepHook.
-func (s *Store) runFinetune(j *Job) (*Result, error) {
+func (s *Store) runFinetune(j *Job, run *trace.Span) (*Result, error) {
 	// Job setup (model build, predictor pretraining) is the bulk of a
 	// short job and has no internal cancellation points, so check the
 	// context before each uncancellable stage — this is what keeps
@@ -147,7 +159,9 @@ func (s *Store) runFinetune(j *Job) (*Result, error) {
 		if len(batches) > 1 {
 			calib = append(calib, batches[1].Inputs)
 		}
+		tPre := time.Now()
 		recall = sys.PretrainPredictors(calib, predictor.TrainConfig{Epochs: f.PredictorEpochs, Seed: f.Seed})
+		run.ChildAt("jobs.pretrain_predictors", tPre, time.Now())
 		s.publish(j.ID, Event{
 			Kind:    EventProgress,
 			Message: fmt.Sprintf("predictors trained: attention recall %.2f, MLP recall %.2f", recall.AttnRecall, recall.MLPRecall),
@@ -163,6 +177,7 @@ func (s *Store) runFinetune(j *Job) (*Result, error) {
 	// job's engine: every fine-tuning step the daemon runs lands in the
 	// same lexp_train_* series, and sparse jobs report per-layer density.
 	eng.Metrics = s.train
+	eng.Span = run
 	if eng.RP != nil {
 		eng.RP.Metrics = s.sparsity
 	}
@@ -197,7 +212,9 @@ func (s *Store) runFinetune(j *Job) (*Result, error) {
 		out.FirstLoss = res.Losses[0]
 	}
 	if s.registry != nil {
+		tPub := time.Now()
 		man, err := s.publishAdapter(j, f, eng.Model)
+		run.ChildAt("jobs.publish", tPub, time.Now())
 		if err != nil {
 			// Training succeeded but its output is unreachable — that is a
 			// failed job, not a quietly adapter-less success.

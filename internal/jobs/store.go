@@ -4,11 +4,13 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"longexposure/internal/obs"
 	"longexposure/internal/registry"
+	"longexposure/internal/trace"
 )
 
 // Config sizes a Store.
@@ -36,6 +38,14 @@ type Config struct {
 	// and sparsity instruments threaded into every fine-tuning engine
 	// the workers build. Nil disables metering.
 	Obs *obs.Registry
+	// Tracer, when set, gives every sampled job a span timeline
+	// (submit → queue → run → publish), parented on the submitting
+	// request's span when SubmitCtx carries one. Nil disables tracing.
+	Tracer *trace.Tracer
+	// Logger, when set, receives structured lifecycle records (queued,
+	// started, terminal) tagged with the job id and trace id. Nil
+	// disables lifecycle logging.
+	Logger *slog.Logger
 }
 
 // Store owns every job: the pending priority queue, the bounded worker
@@ -67,6 +77,9 @@ type Store struct {
 	metrics  *obs.JobsMetrics
 	train    *obs.TrainMetrics
 	sparsity *obs.SparsityMetrics
+
+	tracer *trace.Tracer // nil: untraced
+	log    *slog.Logger  // nil: unlogged
 }
 
 // NewStore builds a store and starts its worker pool.
@@ -92,6 +105,8 @@ func NewStore(cfg Config) *Store {
 		workers:    cfg.Workers,
 		maxJobs:    cfg.MaxJobs,
 		backlog:    cfg.EventBacklog,
+		tracer:     cfg.Tracer,
+		log:        cfg.Logger,
 	}
 	if cfg.Obs != nil {
 		s.metrics = obs.NewJobsMetrics(cfg.Obs)
@@ -116,6 +131,16 @@ var ErrClosed = fmt.Errorf("jobs: store is shutting down")
 // spec's hash is already in the result cache the job completes instantly
 // with the cached result and CacheHit set, never touching the queue.
 func (s *Store) Submit(spec Spec) (Job, error) {
+	return s.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit carrying the submitting request's context: when it
+// holds a sampled span, the job's span tree is parented on it, linking the
+// HTTP submission to the whole asynchronous job lifecycle under one trace
+// id. Without one, the store's tracer head-samples a fresh root. The
+// context is used only for trace propagation — job cancellation remains
+// tied to the store, not the (short-lived) submitting request.
+func (s *Store) SubmitCtx(ctx context.Context, spec Spec) (Job, error) {
 	if err := spec.Validate(); err != nil {
 		return Job{}, err
 	}
@@ -136,6 +161,16 @@ func (s *Store) Submit(spec Spec) (Job, error) {
 		seq:     s.nextSeq,
 	}
 	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	if parent := trace.FromContext(ctx); parent != nil {
+		j.span = parent.StartChild("jobs.job")
+	} else {
+		j.span = s.tracer.StartRoot("jobs.job", trace.SpanContext{})
+	}
+	j.span.SetStr("job", j.ID)
+	j.span.SetStr("kind", string(spec.Kind))
+	if j.span.Sampled() {
+		j.TraceID = j.span.TraceID().String()
+	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.evictLocked()
@@ -155,6 +190,10 @@ func (s *Store) Submit(spec Spec) (Job, error) {
 		}
 		s.publishLocked(j.ID, Event{Kind: EventQueued})
 		s.publishLocked(j.ID, Event{Kind: EventDone, Message: "cache hit", Result: res})
+		j.span.SetBool("cache_hit", true)
+		j.span.SetStr("status", string(StatusDone))
+		j.span.Finish()
+		s.logJob(j, "job served from cache")
 		return *j, nil
 	}
 
@@ -164,8 +203,23 @@ func (s *Store) Submit(spec Spec) (Job, error) {
 		m.QueueDepth.Inc()
 	}
 	s.publishLocked(j.ID, Event{Kind: EventQueued})
+	s.logJob(j, "job queued")
 	s.cond.Signal()
 	return *j, nil
+}
+
+// logJob emits one structured lifecycle record for the job. The trace id
+// attribute carries the same id /debug/traces and exemplars report, so a
+// log line, a span tree and a latency exemplar all join on it.
+func (s *Store) logJob(j *Job, msg string) {
+	if s.log == nil {
+		return
+	}
+	s.log.Info(msg,
+		"job", j.ID,
+		"kind", string(j.Spec.Kind),
+		"status", string(j.Status),
+		"trace_id", j.TraceID)
 }
 
 // resultServable guards cache hits against dangling artifacts: a cached
@@ -246,6 +300,9 @@ func (s *Store) Cancel(id string) (Job, bool) {
 			m.Cancelled.Inc()
 		}
 		s.publishLocked(id, Event{Kind: EventCancelled, Message: "cancelled while queued"})
+		j.span.SetStr("status", string(StatusCancelled))
+		j.span.Finish()
+		s.logJob(j, "job cancelled while queued")
 	}
 	return *j, true
 }

@@ -1,0 +1,91 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+
+	"longexposure/internal/trace"
+)
+
+// TestJobSpans pins the job-lifecycle trace: a submitted job opens a
+// jobs.job root span, records its trace id on the Job for correlation,
+// and by completion the ring holds the queue → run tree with the training
+// steps nested under the run span.
+func TestJobSpans(t *testing.T) {
+	tr := trace.New(trace.Config{SampleRatio: 1, Seed: 42})
+	s := NewStore(Config{Workers: 1, Tracer: tr})
+	defer shutdown(t, s)
+
+	j, err := s.Submit(quickFinetune(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.TraceID == "" {
+		t.Fatal("submitted job carries no trace id")
+	}
+	done := waitTerminal(t, s, j.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("job status %s (%s)", done.Status, done.Error)
+	}
+	if done.TraceID != j.TraceID {
+		t.Fatalf("trace id changed across lifecycle: %s -> %s", j.TraceID, done.TraceID)
+	}
+
+	// The root span finishes just after the status flips terminal; poll.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		recent, _ := tr.Snapshot(0)
+		for _, rec := range recent {
+			if rec.TraceID != j.TraceID || len(rec.Roots) == 0 {
+				continue
+			}
+			root := rec.Roots[0]
+			if root.Name != "jobs.job" {
+				t.Fatalf("root span %q, want jobs.job", root.Name)
+			}
+			var haveQueue, haveRun, haveStep bool
+			for _, c := range root.Children {
+				switch c.Name {
+				case "jobs.queue":
+					haveQueue = true
+				case "jobs.run":
+					haveRun = true
+					for _, g := range c.Children {
+						if g.Name == "train.step" {
+							haveStep = true
+						}
+					}
+				}
+			}
+			if haveQueue && haveRun && haveStep {
+				if got := root.Attrs["status"]; got != string(StatusDone) {
+					t.Fatalf("root status attr = %v", got)
+				}
+				if got := root.Attrs["kind"]; got != string(KindFinetune) {
+					t.Fatalf("root kind attr = %v", got)
+				}
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	recent, _ := tr.Snapshot(0)
+	t.Fatalf("no complete jobs.job tree for trace %s in %d retained traces", j.TraceID, len(recent))
+}
+
+// TestJobSpanUnsampled proves the nil-span path: with no tracer wired the
+// job runs normally and exposes no trace id.
+func TestJobSpanUnsampled(t *testing.T) {
+	s := NewStore(Config{Workers: 1})
+	defer shutdown(t, s)
+	j, err := s.Submit(quickFinetune(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.TraceID != "" {
+		t.Fatalf("untraced job carries trace id %q", j.TraceID)
+	}
+	if done := waitTerminal(t, s, j.ID); done.Status != StatusDone {
+		t.Fatalf("job status %s (%s)", done.Status, done.Error)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"longexposure/internal/obs"
+	"longexposure/internal/trace"
 )
 
 // AdmissionConfig sizes an admission controller.
@@ -71,6 +72,15 @@ func NewAdmission(cfg AdmissionConfig, m *obs.EndpointLimitMetrics) *Admission {
 // release func must be called exactly once when the request finishes; on
 // shed it returns a *ShedError carrying the reason and Retry-After hint.
 func (a *Admission) Acquire(ctx context.Context) (release func(), err *ShedError) {
+	sp := trace.FromContext(ctx).StartChild("limit.acquire")
+	defer func() {
+		if err != nil {
+			sp.SetStr("outcome", err.Reason)
+		} else {
+			sp.SetStr("outcome", "admitted")
+		}
+		sp.Finish()
+	}()
 	if a.draining.Load() {
 		return nil, a.shed("draining")
 	}
@@ -96,6 +106,7 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err *ShedError
 	if a.m != nil {
 		a.m.Waiting.Inc()
 	}
+	sp.SetBool("queued", true)
 	t0 := time.Now()
 	timer := time.NewTimer(a.cfg.WaitTimeout)
 	defer func() {
@@ -116,6 +127,7 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err *ShedError
 		if a.m != nil {
 			a.m.WaitSeconds.Observe(time.Since(t0).Seconds())
 		}
+		sp.SetFloat("wait_seconds", time.Since(t0).Seconds())
 		return a.admitted(), nil
 	case <-timer.C:
 		return nil, a.shed("timeout")

@@ -14,7 +14,16 @@ import (
 // child, histogram children expanded into cumulative _bucket series plus
 // _sum and _count. Exposition takes snapshots under the family locks but
 // never blocks instrument updates (those are atomics).
-func (r *Registry) WritePrometheus(w io.Writer) error {
+func (r *Registry) WritePrometheus(w io.Writer) error { return r.write(w, false) }
+
+// WriteOpenMetrics writes the same families in OpenMetrics-flavored text:
+// identical sample lines plus `# {trace_id="…"} value timestamp` exemplar
+// annotations on histogram bucket series and a terminating `# EOF`. This
+// is the path scrapers negotiate (Accept: application/openmetrics-text)
+// to ingest the trace-id exemplars recorded by ObserveExemplar.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error { return r.write(w, true) }
+
+func (r *Registry) write(w io.Writer, openMetrics bool) error {
 	bw := bufio.NewWriter(w)
 	for _, s := range r.Gather() {
 		bw.WriteString("# HELP ")
@@ -28,7 +37,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		bw.WriteByte('\n')
 		for _, p := range s.Points {
 			if s.Kind == KindHistogram {
-				writeHistogram(bw, s, p)
+				writeHistogram(bw, s, p, openMetrics)
 				continue
 			}
 			bw.WriteString(s.Name)
@@ -38,12 +47,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			bw.WriteByte('\n')
 		}
 	}
+	if openMetrics {
+		bw.WriteString("# EOF\n")
+	}
 	return bw.Flush()
 }
 
 // writeHistogram expands one histogram child into its cumulative bucket
-// series. Existing labels are spliced together with the le label.
-func writeHistogram(bw *bufio.Writer, s Snapshot, p Point) {
+// series. Existing labels are spliced together with the le label; on the
+// OpenMetrics path, buckets carrying an exemplar gain the annotation.
+func writeHistogram(bw *bufio.Writer, s Snapshot, p Point, openMetrics bool) {
 	var cum uint64
 	for i, c := range p.Buckets {
 		cum += c
@@ -56,6 +69,15 @@ func writeHistogram(bw *bufio.Writer, s Snapshot, p Point) {
 		bw.WriteString(spliceLabel(p.Labels, `le="`+le+`"`))
 		bw.WriteByte(' ')
 		bw.WriteString(strconv.FormatUint(cum, 10))
+		if openMetrics && i < len(p.Exemplars) && p.Exemplars[i] != nil {
+			ex := p.Exemplars[i]
+			bw.WriteString(` # {trace_id="`)
+			bw.WriteString(escapeLabel(ex.TraceID))
+			bw.WriteString(`"} `)
+			bw.WriteString(formatValue(ex.Value))
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatFloat(float64(ex.Time.UnixNano())/1e9, 'f', 3, 64))
+		}
 		bw.WriteByte('\n')
 	}
 	bw.WriteString(s.Name)
@@ -103,9 +125,16 @@ func escapeLabel(s string) string {
 	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
-// Handler serves the registry at GET /metrics in text exposition format.
+// Handler serves the registry at GET /metrics. Clients that negotiate
+// OpenMetrics (Accept contains application/openmetrics-text) receive the
+// exemplar-annotated exposition; everyone else gets classic text format.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// unescapeLabel reverses the exposition escaping — the round-trip half a
+// scraper performs. strconv.Unquote handles exactly the \\, \", and \n
+// escapes the format defines.
+func unescapeLabel(t *testing.T, quoted string) string {
+	t.Helper()
+	s, err := strconv.Unquote(`"` + quoted + `"`)
+	if err != nil {
+		t.Fatalf("unquoting label %q: %v", quoted, err)
+	}
+	return s
+}
+
+// TestExpositionLabelEscapingRoundTrip pins the escaping contract for
+// label values carrying quotes, backslashes, and newlines: the exposed
+// line must stay one line, and a standard unescape must recover the
+// original value byte for byte.
+func TestExpositionLabelEscapingRoundTrip(t *testing.T) {
+	hostile := []string{
+		`plain`,
+		`with"quote`,
+		`back\slash`,
+		"new\nline",
+		"all\\three\"at\nonce",
+		`trailing\`,
+	}
+	r := NewRegistry()
+	vec := r.CounterVec("escape_total", "escaping", "tenant")
+	for i, v := range hostile {
+		vec.With(v).Add(float64(i + 1))
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	got := map[string]float64{}
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, `escape_total{tenant="`) {
+			continue
+		}
+		rest := strings.TrimPrefix(line, `escape_total{tenant="`)
+		end := strings.LastIndex(rest, `"}`)
+		if end < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(rest[end+2:]), 64)
+		if err != nil {
+			t.Fatalf("parsing value in %q: %v", line, err)
+		}
+		got[unescapeLabel(t, rest[:end])] = val
+	}
+	for i, v := range hostile {
+		val, ok := got[v]
+		if !ok {
+			t.Errorf("label %q did not round-trip; exposition:\n%s", v, out)
+			continue
+		}
+		if want := float64(i + 1); val != want {
+			t.Errorf("label %q: value %v, want %v", v, val, want)
+		}
+	}
+	// The newline-bearing values must not have produced extra lines: every
+	// non-comment line is a complete sample.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "escape_total") {
+			t.Errorf("stray exposition line %q (unescaped newline?)", line)
+		}
+	}
+}
+
+// TestHistogramExemplarExposition pins the exemplar plumbing: an
+// ObserveExemplar lands its trace id on the matching bucket, the
+// OpenMetrics rendering carries it with a `# {...}` annotation plus
+// `# EOF`, the classic text format omits it, and the /metrics handler
+// negotiates between the two on Accept.
+func TestHistogramExemplarExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.ObserveExemplar(0.5, "00112233445566778899aabbccddeeff")
+
+	var om strings.Builder
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	text := om.String()
+	if !strings.Contains(text, `# {trace_id="00112233445566778899aabbccddeeff"} 0.5`) {
+		t.Fatalf("OpenMetrics output missing exemplar:\n%s", text)
+	}
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatalf("OpenMetrics output missing # EOF terminator:\n%s", text)
+	}
+	// The exemplar must annotate the le="1" bucket (0.5 falls there), not
+	// the le="0.1" one.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, `le="0.1"`) && strings.Contains(line, "trace_id") {
+			t.Fatalf("exemplar attached to wrong bucket: %q", line)
+		}
+	}
+
+	var classic strings.Builder
+	if err := r.WritePrometheus(&classic); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(classic.String(), "trace_id") {
+		t.Fatalf("classic text format must not carry exemplars:\n%s", classic.String())
+	}
+
+	// Negotiation: explicit OpenMetrics Accept gets exemplars; default
+	// gets classic text.
+	reqOM := httptest.NewRecorder()
+	q := httptest.NewRequest("GET", "/metrics", nil)
+	q.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	r.Handler().ServeHTTP(reqOM, q)
+	if ct := reqOM.Header().Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Fatalf("negotiated content-type %q", ct)
+	}
+	if !strings.Contains(reqOM.Body.String(), "trace_id") {
+		t.Fatalf("negotiated OpenMetrics body missing exemplar")
+	}
+	reqTxt := httptest.NewRecorder()
+	r.Handler().ServeHTTP(reqTxt, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := reqTxt.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("default content-type %q", ct)
+	}
+	if strings.Contains(reqTxt.Body.String(), "trace_id") {
+		t.Fatalf("default body must not carry exemplars")
+	}
+}
+
+// TestRuntimeMetricsGatherLazily pins the runtime-gauge satellite: the
+// lexp_runtime_* instruments register up front but only populate when the
+// registry is actually gathered, and the GC counters report monotonic
+// cumulative values.
+func TestRuntimeMetricsGatherLazily(t *testing.T) {
+	r := NewRegistry()
+	m := RegisterRuntimeMetrics(r)
+	if v := m.Goroutines.Value(); v != 0 {
+		t.Fatalf("goroutines gauge %v before first gather, want 0 (lazy)", v)
+	}
+	snaps := r.Gather()
+	byName := map[string]Snapshot{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	for _, name := range []string{
+		"lexp_runtime_goroutines",
+		"lexp_runtime_gomaxprocs",
+		"lexp_runtime_heap_bytes",
+		"lexp_runtime_heap_objects",
+		"lexp_runtime_gc_pause_seconds_total",
+		"lexp_runtime_gc_cycles_total",
+	} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("missing runtime family %s", name)
+		}
+	}
+	if v := m.Goroutines.Value(); v < 1 {
+		t.Errorf("goroutines gauge %v after gather, want >= 1", v)
+	}
+	if v := m.HeapBytes.Value(); v <= 0 {
+		t.Errorf("heap bytes gauge %v after gather, want > 0", v)
+	}
+	cycles := m.GCCycles.Value()
+	r.Gather() // a second scrape must not double-count cumulative deltas
+	if after := m.GCCycles.Value(); after < cycles {
+		t.Errorf("gc cycles went backwards: %v -> %v", cycles, after)
+	}
+}

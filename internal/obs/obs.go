@@ -27,6 +27,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Kind is an instrument family's type, as exposed in the TYPE comment.
@@ -49,6 +50,7 @@ type Registry struct {
 	mu       sync.RWMutex
 	families []*family
 	byName   map[string]*family
+	hooks    []func() // run at the top of every Gather (lazy collectors)
 }
 
 // NewRegistry builds an empty registry.
@@ -280,14 +282,19 @@ func addFloat(bits *atomic.Uint64, d float64) {
 // inclusive, Prometheus-style) and tracks their sum. Observe is lock-free
 // and allocation-free: a binary search over the bounds plus three atomics.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
-	n      atomic.Uint64
-	sum    atomic.Uint64 // float64 bits
+	bounds    []float64
+	counts    []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	n         atomic.Uint64
+	sum       atomic.Uint64              // float64 bits
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1; last write wins per bucket
 }
 
 func newHistogram(bounds []float64) *Histogram {
-	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+	}
 }
 
 // Observe records one value.
@@ -295,6 +302,29 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
 	h.n.Add(1)
 	addFloat(&h.sum, v)
+}
+
+// Exemplar links one observation to the trace that produced it, so a slow
+// bucket in a latency histogram points straight at a span tree in
+// /debug/traces. Exposed on the OpenMetrics exposition path only.
+type Exemplar struct {
+	Value   float64   `json:"value"`
+	TraceID string    `json:"trace_id"`
+	Time    time.Time `json:"time"`
+}
+
+// ObserveExemplar is Observe plus an exemplar attached to the bucket the
+// value lands in (last write wins). It allocates one Exemplar, so it
+// belongs on request-scoped paths where the caller is already sampled —
+// never inside the zero-alloc step loops, which use plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	addFloat(&h.sum, v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+	}
 }
 
 // Count returns the number of observations.
@@ -335,10 +365,11 @@ type Point struct {
 	LabelValues []string
 	Labels      string // pre-rendered {k="v",…}, "" when unlabeled
 
-	Value   float64  // counter total / gauge level
-	Count   uint64   // histogram observation count
-	Sum     float64  // histogram sum
-	Buckets []uint64 // histogram per-bucket (non-cumulative) counts
+	Value     float64     // counter total / gauge level
+	Count     uint64      // histogram observation count
+	Sum       float64     // histogram sum
+	Buckets   []uint64    // histogram per-bucket (non-cumulative) counts
+	Exemplars []*Exemplar // histogram per-bucket exemplars (entries may be nil)
 }
 
 // Snapshot is a consistent copy of one family.
@@ -351,11 +382,26 @@ type Snapshot struct {
 	Points []Point
 }
 
+// OnGather registers a hook run at the start of every Gather, before any
+// family is snapshotted. Hooks are how lazily-collected metrics (Go
+// runtime stats, cache sizes) pay their cost only at scrape time: the
+// hook sets ordinary gauges, Gather reads them like any other instrument.
+// Hooks must not register new metrics or call Gather.
+func (r *Registry) OnGather(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
 // Gather snapshots every family in registration order.
 func (r *Registry) Gather() []Snapshot {
 	r.mu.RLock()
+	hooks := r.hooks
 	families := append([]*family(nil), r.families...)
 	r.mu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
 
 	out := make([]Snapshot, 0, len(families))
 	for _, f := range families {
@@ -374,8 +420,10 @@ func (r *Registry) Gather() []Snapshot {
 				p.Count = ch.h.Count()
 				p.Sum = ch.h.Sum()
 				p.Buckets = make([]uint64, len(ch.h.counts))
+				p.Exemplars = make([]*Exemplar, len(ch.h.counts))
 				for i := range ch.h.counts {
 					p.Buckets[i] = ch.h.counts[i].Load()
+					p.Exemplars[i] = ch.h.exemplars[i].Load()
 				}
 			}
 			s.Points = append(s.Points, p)

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RuntimeMetrics exposes Go runtime health under lexp_runtime_*. Nothing
+// is collected on a schedule: a Gather hook reads runtime stats only when
+// the registry is actually scraped, so an idle daemon pays nothing and a
+// scraped one pays one ReadMemStats per scrape.
+type RuntimeMetrics struct {
+	Goroutines  *Gauge   // lexp_runtime_goroutines
+	GoMaxProcs  *Gauge   // lexp_runtime_gomaxprocs
+	HeapBytes   *Gauge   // lexp_runtime_heap_bytes
+	HeapObjects *Gauge   // lexp_runtime_heap_objects
+	GCPause     *Counter // lexp_runtime_gc_pause_seconds_total
+	GCCycles    *Counter // lexp_runtime_gc_cycles_total
+
+	// Last observed cumulative values, so the monotonic runtime totals
+	// translate into counter deltas. mu serializes concurrent scrapes.
+	mu          sync.Mutex
+	lastPauseNs uint64
+	lastNumGC   uint32
+}
+
+// RegisterRuntimeMetrics registers the runtime instruments and the lazy
+// gather hook that populates them at scrape time.
+func RegisterRuntimeMetrics(r *Registry) *RuntimeMetrics {
+	m := &RuntimeMetrics{
+		Goroutines:  r.Gauge("lexp_runtime_goroutines", "Live goroutines at scrape time."),
+		GoMaxProcs:  r.Gauge("lexp_runtime_gomaxprocs", "GOMAXPROCS at scrape time."),
+		HeapBytes:   r.Gauge("lexp_runtime_heap_bytes", "Bytes of allocated heap objects at scrape time."),
+		HeapObjects: r.Gauge("lexp_runtime_heap_objects", "Allocated heap objects at scrape time."),
+		GCPause:     r.Counter("lexp_runtime_gc_pause_seconds_total", "Cumulative stop-the-world GC pause."),
+		GCCycles:    r.Counter("lexp_runtime_gc_cycles_total", "Completed GC cycles."),
+	}
+	r.OnGather(m.collect)
+	return m
+}
+
+func (m *RuntimeMetrics) collect() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Goroutines.Set(float64(runtime.NumGoroutine()))
+	m.GoMaxProcs.Set(float64(runtime.GOMAXPROCS(0)))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.HeapBytes.Set(float64(ms.HeapAlloc))
+	m.HeapObjects.Set(float64(ms.HeapObjects))
+	if ms.PauseTotalNs >= m.lastPauseNs {
+		m.GCPause.Add(float64(ms.PauseTotalNs-m.lastPauseNs) / 1e9)
+	}
+	m.lastPauseNs = ms.PauseTotalNs
+	if ms.NumGC >= m.lastNumGC {
+		m.GCCycles.Add(float64(ms.NumGC - m.lastNumGC))
+	}
+	m.lastNumGC = ms.NumGC
+}

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"longexposure/internal/trace"
+)
+
+// tracesResponse is the GET /debug/traces body: recently finished traces
+// assembled into span trees, newest first, plus the slowest individual
+// spans the tracer has retained since startup.
+type tracesResponse struct {
+	Recent  []trace.TraceRecord `json:"recent"`
+	Slowest []*trace.SpanRecord `json:"slowest"`
+}
+
+// debugTraces serves GET /debug/traces (mounted by WithTracing).
+// ?limit= bounds how many recent traces are assembled (default 20).
+// The endpoint is diagnostic: it reads the lock-free span ring without
+// stopping writers, so a trace finishing mid-read may be partially
+// represented — acceptable for a debugging surface, and the reason this
+// endpoint is itself exempt from tracing.
+func (s *Server) debugTraces(w http.ResponseWriter, r *http.Request) {
+	limitN, ok := queryInt(w, r.URL.Query().Get("limit"), "limit")
+	if !ok {
+		return
+	}
+	recent, slowest := s.tracer.Snapshot(limitN)
+	writeJSON(w, http.StatusOK, tracesResponse{Recent: recent, Slowest: slowest})
+}
+
+// mountPprof exposes net/http/pprof under /debug/pprof/ (the Index
+// handler serves the named profiles — heap, goroutine, block, mutex —
+// from the trailing-slash subtree).
+func (s *Server) mountPprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

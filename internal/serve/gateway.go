@@ -258,8 +258,24 @@ func (s *Server) generate(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
+	ka, kaStop := s.keepaliveTicker()
+	defer kaStop()
 	var tokens []int
-	for ev := range stream.Events {
+	for {
+		var ev infer.Event
+		var open bool
+		select {
+		case <-ka:
+			if writeSSEKeepalive(w) != nil {
+				return
+			}
+			flusher.Flush()
+			continue
+		case ev, open = <-stream.Events:
+			if !open {
+				return
+			}
+		}
 		switch {
 		case ev.Err != nil:
 			writeSSEFrame(w, "error", struct {

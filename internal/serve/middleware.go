@@ -1,13 +1,16 @@
 package serve
 
 import (
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"longexposure/internal/limit"
 	"longexposure/internal/obs"
+	"longexposure/internal/trace"
 )
 
 // LimitConfig configures the server's traffic-control plane: per-tenant
@@ -128,16 +131,39 @@ func (w *statusRecorder) Flush() {
 // Unwrap supports http.ResponseController passthrough.
 func (w *statusRecorder) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
-// instrumented wraps the mux with per-route latency and status metering.
-// The route label is the matched mux pattern (e.g. "POST /v1/generate"),
-// read after routing so path parameters never explode cardinality.
-func instrumented(m *obs.HTTPMetrics, next http.Handler) http.Handler {
+// skipTrace exempts the observability surface itself from tracing and
+// request logging: scrapes and trace reads would otherwise dominate the
+// span ring and the log with self-traffic.
+func skipTrace(path string) bool {
+	return path == "/metrics" || strings.HasPrefix(path, "/debug/")
+}
+
+// observe is the combined request middleware: per-route latency and
+// status metering (WithMetrics), a root span honoring any inbound W3C
+// traceparent header (WithTracing), trace-id exemplars on the latency
+// histogram when both are attached, and one structured record per
+// request (WithLogger). The route label is the matched mux pattern
+// (e.g. "POST /v1/generate"), read after routing so path parameters
+// never explode cardinality — the mux stamps Pattern on the same request
+// value we pass down.
+func (s *Server) observe(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		m.InFlight.Inc()
-		defer m.InFlight.Dec()
+		if s.httpm != nil {
+			s.httpm.InFlight.Inc()
+			defer s.httpm.InFlight.Dec()
+		}
+		var sp *trace.Span
+		if s.tracer != nil && !skipTrace(r.URL.Path) {
+			remote, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+			if sp = s.tracer.StartRoot("http.request", remote); sp != nil {
+				r = r.WithContext(trace.ContextWith(r.Context(), sp))
+				w.Header().Set("X-Trace-Id", sp.TraceID().String())
+			}
+		}
 		sw := &statusRecorder{ResponseWriter: w}
 		t0 := time.Now()
 		next.ServeHTTP(sw, r)
+		dur := time.Since(t0)
 		route := r.Pattern
 		if route == "" {
 			route = "unmatched"
@@ -145,8 +171,31 @@ func instrumented(m *obs.HTTPMetrics, next http.Handler) http.Handler {
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		m.Latency.With(route).Observe(time.Since(t0).Seconds())
-		m.Requests.With(route, statusClass(sw.status)).Inc()
+		if s.httpm != nil {
+			lat := s.httpm.Latency.With(route)
+			if sp != nil {
+				lat.ObserveExemplar(dur.Seconds(), sp.TraceID().String())
+			} else {
+				lat.Observe(dur.Seconds())
+			}
+			s.httpm.Requests.With(route, statusClass(sw.status)).Inc()
+		}
+		sp.SetStr("route", route)
+		sp.SetInt("status", int64(sw.status))
+		if s.limits != nil {
+			if tenant := r.Header.Get(s.limits.TenantHeader); tenant != "" {
+				sp.SetStr("tenant", tenant)
+			}
+		}
+		sp.Finish()
+		if s.log != nil && !skipTrace(r.URL.Path) {
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "http request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Duration("duration", dur))
+		}
 	})
 }
 

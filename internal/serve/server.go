@@ -33,16 +33,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"longexposure/internal/experiments"
 	"longexposure/internal/jobs"
 	"longexposure/internal/limit"
 	"longexposure/internal/obs"
 	"longexposure/internal/registry"
+	"longexposure/internal/trace"
 )
 
 // Server wires the job store into an http.Handler and manages graceful
@@ -56,6 +59,12 @@ type Server struct {
 	// Observability plane (nil without WithMetrics).
 	obs   *obs.Registry
 	httpm *obs.HTTPMetrics
+
+	// Tracing / logging / profiling plane.
+	tracer    *trace.Tracer // nil without WithTracing
+	log       *slog.Logger  // nil without WithLogger
+	pprof     bool          // WithPprof mounts net/http/pprof
+	keepalive time.Duration // WithSSEKeepalive; 0 disables comment frames
 
 	// Traffic-control plane (nil without WithLimits).
 	limits     *LimitConfig
@@ -96,6 +105,42 @@ func WithMetrics(reg *obs.Registry) Option {
 	return func(s *Server) { s.obs = reg }
 }
 
+// WithTracing attaches a request tracer: every API request gets a root
+// span (honoring an inbound W3C traceparent header), spans thread through
+// admission control, the job lifecycle, the training engine, and the
+// per-token decode path, and GET /debug/traces serves recent and
+// slowest-N span trees. Pair it with jobs.Config.Tracer on the same
+// tracer so job spans land in the same ring. When WithMetrics is also
+// set, sampled requests attach trace-id exemplars to the HTTP latency
+// histograms.
+func WithTracing(tr *trace.Tracer) Option {
+	return func(s *Server) { s.tracer = tr }
+}
+
+// WithLogger attaches a structured request/lifecycle logger. Wrap the
+// handler with trace.LogHandler (trace.NewLogger does) so every record
+// carries the request's trace and span ids. Pair it with
+// jobs.Config.Logger for job lifecycle records.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
+// WithPprof mounts net/http/pprof under GET /debug/pprof/. Off by
+// default: the profiling surface is opt-in (flag-gated in longexpd), not
+// something every deployment should expose.
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
+}
+
+// WithSSEKeepalive emits an SSE comment frame (": keepalive") on the
+// /v1/generate and /v1/jobs/{id}/events streams whenever d elapses
+// without a real event, so idle streams survive proxies and LBs that
+// reap quiet connections. d <= 0 disables (the default — tests and
+// embedders opt in explicitly).
+func WithSSEKeepalive(d time.Duration) Option {
+	return func(s *Server) { s.keepalive = d }
+}
+
 // New builds a server over the store.
 func New(store *jobs.Store, opts ...Option) *Server {
 	s := &Server{store: store, mux: http.NewServeMux()}
@@ -112,16 +157,25 @@ func New(store *jobs.Store, opts ...Option) *Server {
 	}
 
 	// Finalize cross-option wiring now that every option has run (the
-	// registry gateway, limits, and metrics may arrive in any order).
+	// registry gateway, limits, metrics, and tracing may arrive in any
+	// order).
 	s.handler = s.mux
 	if s.obs != nil {
 		s.httpm = obs.NewHTTPMetrics(s.obs)
 		s.mux.Handle("GET /metrics", s.obs.Handler())
-		s.handler = instrumented(s.httpm, s.mux)
 		if s.gw != nil {
 			s.gw.metrics = obs.NewGatewayMetrics(s.obs)
 			s.gw.inferMetrics = obs.NewInferMetrics(s.obs)
 		}
+	}
+	if s.tracer != nil {
+		s.mux.HandleFunc("GET /debug/traces", s.debugTraces)
+	}
+	if s.pprof {
+		s.mountPprof()
+	}
+	if s.httpm != nil || s.tracer != nil || s.log != nil {
+		s.handler = s.observe(s.mux)
 	}
 	if s.limits != nil {
 		var lm *obs.LimitMetrics
@@ -238,7 +292,7 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
 		return
 	}
-	j, err := s.store.Submit(spec)
+	j, err := s.store.SubmitCtx(r.Context(), spec)
 	switch {
 	case errors.Is(err, jobs.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)

@@ -3,7 +3,9 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"time"
 
 	"longexposure/internal/jobs"
 )
@@ -41,10 +43,17 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
+	ka, kaStop := s.keepaliveTicker()
+	defer kaStop()
 	for {
 		select {
 		case <-r.Context().Done():
 			return // client went away
+		case <-ka:
+			if writeSSEKeepalive(w) != nil {
+				return
+			}
+			flusher.Flush()
 		case e, open := <-ch:
 			if !open {
 				return // terminal event delivered
@@ -55,6 +64,24 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+}
+
+// keepaliveTicker returns the keepalive channel for an SSE loop (nil —
+// never firing — when keepalives are disabled) plus its stop func.
+func (s *Server) keepaliveTicker() (<-chan time.Time, func()) {
+	if s.keepalive <= 0 {
+		return nil, func() {}
+	}
+	t := time.NewTicker(s.keepalive)
+	return t.C, t.Stop
+}
+
+// writeSSEKeepalive emits one SSE comment frame. Comments are invisible
+// to EventSource consumers but keep idle connections alive through
+// proxies that reap quiet streams.
+func writeSSEKeepalive(w io.Writer) error {
+	_, err := io.WriteString(w, ": keepalive\n\n")
+	return err
 }
 
 func writeSSE(w http.ResponseWriter, e jobs.Event) error {

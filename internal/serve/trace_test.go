@@ -1,0 +1,271 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"longexposure/internal/jobs"
+	"longexposure/internal/obs"
+	"longexposure/internal/registry"
+	"longexposure/internal/serve"
+	"longexposure/internal/trace"
+)
+
+// syncBuffer is an io.Writer the slog handler and the test can share:
+// handler goroutines write records while the test polls the contents.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// tracesPayload mirrors the GET /debug/traces response body.
+type tracesPayload struct {
+	Recent  []trace.TraceRecord `json:"recent"`
+	Slowest []*trace.SpanRecord `json:"slowest"`
+}
+
+// findSpan walks a span tree breadth-first for the first span by name.
+func findSpan(roots []*trace.SpanRecord, name string) *trace.SpanRecord {
+	for len(roots) > 0 {
+		s := roots[0]
+		roots = roots[1:]
+		if s.Name == name {
+			return s
+		}
+		roots = append(roots, s.Children...)
+	}
+	return nil
+}
+
+// TestTraceEndToEnd is the acceptance path for the tracing plane: a
+// /v1/generate request carrying a W3C traceparent yields, at
+// /debug/traces, one trace under the remote trace id whose tree runs
+// root HTTP span → admission span → engine sequence span → decode steps —
+// and the same trace id shows up in the structured log records and as an
+// exemplar on the latency histogram's OpenMetrics exposition.
+func TestTraceEndToEnd(t *testing.T) {
+	reg, err := registry.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := trace.New(trace.Config{SampleRatio: 1, Seed: 7})
+	obsReg := obs.NewRegistry()
+	var logBuf syncBuffer
+	logger := trace.NewLogger(&logBuf, "info", "json")
+
+	store := jobs.NewStore(jobs.Config{
+		Workers: 1, Registry: reg, Tracer: tracer, Logger: logger,
+	})
+	srv := serve.New(store,
+		serve.WithRegistry(reg, 2),
+		serve.WithMetrics(obsReg),
+		serve.WithTracing(tracer),
+		serve.WithLogger(logger),
+		serve.WithLimits(serve.LimitConfig{MaxInFlight: 2}),
+	)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("server shutdown: %v", err)
+		}
+	})
+
+	const tid = "0123456789abcdef0123456789abcdef"
+	body := `{"base":{"model":"sim-small","activation":"relu","seed":1,"blk":8,"prime":true},` +
+		`"prompt":[5,6,7],"max_tokens":4,"seed":1}`
+	req, err := http.NewRequest("POST", ts.URL+"/v1/generate", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-"+tid+"-00f067aa0ba902b7-01")
+	req.Header.Set("X-API-Key", "tenant-a")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/generate: %d: %s", resp.StatusCode, raw)
+	}
+	// The root span must have adopted the remote trace id and echoed it.
+	if got := resp.Header.Get("X-Trace-Id"); got != tid {
+		t.Fatalf("X-Trace-Id = %q, want %q", got, tid)
+	}
+	if !strings.Contains(string(raw), "event: done") {
+		t.Fatalf("stream missing done frame:\n%s", raw)
+	}
+
+	// Spans land in the ring at Finish; the sequence span finishes just
+	// after the done frame, so poll the debug endpoint for the full tree.
+	var (
+		tree     trace.TraceRecord
+		found    bool
+		deadline = time.Now().Add(10 * time.Second)
+	)
+	for time.Now().Before(deadline) && !found {
+		dresp, err := http.Get(ts.URL + "/debug/traces?limit=50")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var payload tracesPayload
+		err = json.NewDecoder(dresp.Body).Decode(&payload)
+		dresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range payload.Recent {
+			if tr.TraceID != tid {
+				continue
+			}
+			root := findSpan(tr.Roots, "http.request")
+			seq := findSpan(tr.Roots, "infer.sequence")
+			if root != nil && seq != nil &&
+				findSpan(tr.Roots, "limit.acquire") != nil &&
+				findSpan(seq.Children, "infer.decode_step") != nil &&
+				strings.Contains(logBuf.String(), tid) {
+				tree, found = tr, true
+				break
+			}
+		}
+		if !found {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !found {
+		recent, _ := tracer.Snapshot(0)
+		t.Fatalf("no complete span tree for trace %s; ring has %d traces; logs:\n%s",
+			tid, len(recent), logBuf.String())
+	}
+
+	root := findSpan(tree.Roots, "http.request")
+	if got := root.Attrs["route"]; got != "POST /v1/generate" {
+		t.Errorf("root route attr = %v", got)
+	}
+	if got := root.Attrs["status"]; got != float64(http.StatusOK) {
+		t.Errorf("root status attr = %v", got)
+	}
+	if got := root.Attrs["tenant"]; got != "tenant-a" {
+		t.Errorf("root tenant attr = %v", got)
+	}
+	// The admission and sequence spans hang off the request's trace; the
+	// decode steps carry batch occupancy.
+	seq := findSpan(tree.Roots, "infer.sequence")
+	step := findSpan(seq.Children, "infer.decode_step")
+	if step.Attrs["batch"] != float64(1) {
+		t.Errorf("decode step batch attr = %v", step.Attrs["batch"])
+	}
+	if findSpan(seq.Children, "infer.prefill") == nil {
+		t.Errorf("sequence span missing prefill child")
+	}
+	if adm := findSpan(tree.Roots, "limit.acquire"); adm.Attrs["outcome"] != "admitted" {
+		t.Errorf("admission outcome attr = %v", adm.Attrs["outcome"])
+	}
+
+	// Structured logs carry the same trace id on the request record.
+	logs := logBuf.String()
+	if !strings.Contains(logs, `"msg":"http request"`) || !strings.Contains(logs, `"trace_id":"`+tid+`"`) {
+		t.Errorf("log records missing trace-correlated request line:\n%s", logs)
+	}
+
+	// And the latency histogram's OpenMetrics exposition carries the
+	// trace id as an exemplar (classic text format must not).
+	mreq, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	mreq.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	mresp, err := http.DefaultClient.Do(mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(metrics), `trace_id="`+tid+`"`) {
+		t.Errorf("OpenMetrics exposition missing trace exemplar %s", tid)
+	}
+}
+
+// TestSSEKeepalive pins the idle-stream satellite: with keepalives
+// enabled, a job event stream that has nothing to say (its job is parked
+// behind a busy worker) still emits SSE comment frames at the configured
+// interval, so intermediaries keep the connection alive.
+func TestSSEKeepalive(t *testing.T) {
+	store := jobs.NewStore(jobs.Config{Workers: 1})
+	srv := serve.New(store, serve.WithSSEKeepalive(25*time.Millisecond))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("server shutdown: %v", err)
+		}
+	})
+	e := &env{t: t, store: store, ts: ts}
+
+	// Occupy the only worker, then queue a second job: its event stream
+	// replays the queued event and goes idle.
+	slow := e.submit(map[string]any{"kind": "finetune", "finetune": map[string]any{
+		"method": "lora", "sparse": false, "steps": 4, "batch": 1, "seq": 12, "epochs": 500,
+	}}, http.StatusAccepted)
+	queued := e.submit(map[string]any{"kind": "finetune", "finetune": map[string]any{
+		"method": "lora", "sparse": false, "steps": 2, "batch": 1, "seq": 12, "epochs": 1, "seed": 9,
+	}}, http.StatusAccepted)
+	t.Cleanup(func() {
+		for _, id := range []string{queued.ID, slow.ID} {
+			req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+id, nil)
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/"+queued.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events: %d", resp.StatusCode)
+	}
+
+	keepalives := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), ": keepalive") {
+			if keepalives++; keepalives >= 2 {
+				return
+			}
+		}
+	}
+	t.Fatalf("stream ended after %d keepalive frames (want >= 2): %v", keepalives, sc.Err())
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogHandler wraps an slog.Handler so every record emitted with a
+// span-carrying context gains trace_id and span_id attributes — the join
+// key between structured logs, /debug/traces, and histogram exemplars.
+type LogHandler struct {
+	inner slog.Handler
+}
+
+// NewLogHandler wraps h.
+func NewLogHandler(h slog.Handler) *LogHandler { return &LogHandler{inner: h} }
+
+// Enabled delegates to the wrapped handler.
+func (h *LogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle stamps trace identity onto the record when ctx carries a span.
+func (h *LogHandler) Handle(ctx context.Context, r slog.Record) error {
+	if s := FromContext(ctx); s != nil {
+		r.AddAttrs(
+			slog.String("trace_id", s.TraceID().String()),
+			slog.String("span_id", s.SpanID().String()),
+		)
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs wraps the inner handler's WithAttrs.
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &LogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup wraps the inner handler's WithGroup.
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	return &LogHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger builds a trace-aware slog.Logger writing to w. level is one
+// of "debug", "info", "warn", "error" (default info); format is "text" or
+// "json" (default text). Unknown values fall back to the defaults — a
+// daemon must not die over a logging flag typo.
+func NewLogger(w io.Writer, level, format string) *slog.Logger {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		lvl = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	if strings.EqualFold(format, "json") {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(NewLogHandler(h))
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// SpanRecord is one finished span rendered for JSON (the /debug/traces
+// payload). Children are sorted by start time.
+type SpanRecord struct {
+	TraceID    string         `json:"trace_id"`
+	SpanID     string         `json:"span_id"`
+	ParentID   string         `json:"parent_span_id,omitempty"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationNs int64          `json:"duration_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*SpanRecord  `json:"children,omitempty"`
+}
+
+// TraceRecord is one reconstructed trace: every retained span of a trace
+// id assembled into trees. Spans whose parent was overwritten in the ring
+// (or lives in another process) surface as additional roots — a partial
+// tree is still a useful timeline.
+type TraceRecord struct {
+	TraceID    string        `json:"trace_id"`
+	Start      time.Time     `json:"start"`
+	DurationNs int64         `json:"duration_ns"` // earliest start to latest end
+	Spans      int           `json:"spans"`
+	Roots      []*SpanRecord `json:"roots"`
+}
+
+// readEntry snapshots one ring slot into out under its sequence lock,
+// reporting false for slots that are empty, mid-write, or overwritten
+// during the copy. out is a pointer so the atomic-bearing entry is never
+// copied by value.
+func readEntry(e, out *entry) bool {
+	for tries := 0; tries < 3; tries++ {
+		s1 := e.seq.Load()
+		if s1 == 0 || s1&1 == 1 {
+			return false
+		}
+		copyEntry(out, e, e.dur)
+		if e.seq.Load() == s1 {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *entry) render() *SpanRecord {
+	r := &SpanRecord{
+		TraceID:    e.tid.String(),
+		SpanID:     e.sid.String(),
+		Name:       e.name,
+		Start:      time.Unix(0, e.start),
+		DurationNs: e.dur,
+	}
+	if e.parent.Valid() {
+		r.ParentID = e.parent.String()
+	}
+	if e.nattrs > 0 {
+		r.Attrs = make(map[string]any, e.nattrs)
+		for _, a := range e.attrs[:e.nattrs] {
+			r.Attrs[a.Key] = a.Value()
+		}
+	}
+	return r
+}
+
+// Snapshot reconstructs the most recent traces (up to limit; <= 0 means
+// 20) and returns the retained slowest spans, slowest first. Reading is
+// lock-free against writers; entries being overwritten mid-read are
+// skipped.
+func (t *Tracer) Snapshot(limit int) (recent []TraceRecord, slowest []*SpanRecord) {
+	if t == nil {
+		return nil, nil
+	}
+	if limit <= 0 {
+		limit = 20
+	}
+
+	byTrace := map[TraceID][]*SpanRecord{}
+	var e entry
+	for i := range t.ring {
+		if !readEntry(&t.ring[i], &e) {
+			continue
+		}
+		byTrace[e.tid] = append(byTrace[e.tid], e.render())
+	}
+	for tid, spans := range byTrace {
+		recent = append(recent, assemble(tid, spans))
+	}
+	// Most recent activity first, bounded.
+	sort.Slice(recent, func(i, j int) bool { return recent[i].Start.After(recent[j].Start) })
+	if len(recent) > limit {
+		recent = recent[:limit]
+	}
+
+	t.slowMu.Lock()
+	for i := range t.slow {
+		slowest = append(slowest, t.slow[i].render())
+	}
+	t.slowMu.Unlock()
+	sort.Slice(slowest, func(i, j int) bool { return slowest[i].DurationNs > slowest[j].DurationNs })
+	return recent, slowest
+}
+
+// assemble links a trace's spans into trees by parent id.
+func assemble(tid TraceID, spans []*SpanRecord) TraceRecord {
+	byID := make(map[string]*SpanRecord, len(spans))
+	for _, s := range spans {
+		byID[s.SpanID] = s
+	}
+	tr := TraceRecord{TraceID: tid.String(), Spans: len(spans)}
+	var start, end time.Time
+	for _, s := range spans {
+		if start.IsZero() || s.Start.Before(start) {
+			start = s.Start
+		}
+		if e := s.Start.Add(time.Duration(s.DurationNs)); end.IsZero() || e.After(end) {
+			end = e
+		}
+		if p, ok := byID[s.ParentID]; ok && p != s {
+			p.Children = append(p.Children, s)
+		} else {
+			tr.Roots = append(tr.Roots, s)
+		}
+	}
+	for _, s := range spans {
+		sort.Slice(s.Children, func(i, j int) bool { return s.Children[i].Start.Before(s.Children[j].Start) })
+	}
+	sort.Slice(tr.Roots, func(i, j int) bool { return tr.Roots[i].Start.Before(tr.Roots[j].Start) })
+	tr.Start = start
+	if !start.IsZero() {
+		tr.DurationNs = end.Sub(start).Nanoseconds()
+	}
+	return tr
+}

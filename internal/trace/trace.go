@@ -1,0 +1,427 @@
+// Package trace is the repository's request-scoped tracing substrate: a
+// dependency-free, sampling-aware span tracer built for the same
+// zero-allocation discipline as internal/obs. Spans are pooled, finished
+// spans are copied into a fixed-size lock-free ring buffer (plus a small
+// slowest-N retention set), and every operation on an unsampled span is a
+// nil-receiver no-op — tracing compiled into the train and decode hot
+// paths costs a single branch when sampling is off.
+//
+// The design mirrors the paper's own methodology: Long Exposure came out
+// of profiling PEFT fine-tuning end-to-end to find where shadowy sparsity
+// hides latency. This package is that profiler for the reproduction —
+// per-request span trees across HTTP edge, admission control, the
+// continuous-batching decode loop, the job scheduler, and per-step
+// training phases.
+//
+// Design rules:
+//
+//   - Starting and finishing a sampled span never allocates in steady
+//     state: spans come from a sync.Pool and finish by copying a fixed
+//     struct into the ring.
+//   - Every Span method is safe on a nil receiver. Unsampled requests flow
+//     nil spans through the exact same call sites, so instrumentation has
+//     one shape and the off state costs a nil check.
+//   - Attribute keys must be static literals and values must be
+//     already-materialized strings or numbers — the tracer never formats.
+//   - The ring is a diagnostic buffer, not an audit log: under extreme
+//     concurrency a wrapped slot can drop a span. Readers detect torn
+//     entries via a per-slot sequence lock and skip them.
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a W3C trace-context trace id (16 bytes, all-zero = invalid).
+type TraceID [16]byte
+
+// SpanID is a W3C trace-context span id (8 bytes, all-zero = invalid).
+type SpanID [8]byte
+
+// Valid reports whether the id is non-zero.
+func (t TraceID) Valid() bool { return t != TraceID{} }
+
+// Valid reports whether the id is non-zero.
+func (s SpanID) Valid() bool { return s != SpanID{} }
+
+// String returns the lowercase hex form (allocates; keep off hot paths).
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String returns the lowercase hex form (allocates; keep off hot paths).
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// MaxAttrs bounds the attributes one span can carry; extra sets are
+// dropped silently (fixed arrays keep ring entries allocation-free).
+const MaxAttrs = 8
+
+type attrKind uint8
+
+const (
+	attrNone attrKind = iota
+	attrInt
+	attrFloat
+	attrStr
+	attrBool
+)
+
+// Attr is one typed span attribute.
+type Attr struct {
+	Key  string
+	kind attrKind
+	num  uint64 // int64 / float64 bits / bool
+	str  string
+}
+
+// Value returns the attribute's value as an any (for JSON rendering).
+func (a Attr) Value() any {
+	switch a.kind {
+	case attrInt:
+		return int64(a.num)
+	case attrFloat:
+		return floatFromBits(a.num)
+	case attrStr:
+		return a.str
+	case attrBool:
+		return a.num != 0
+	}
+	return nil
+}
+
+// Config sizes a Tracer.
+type Config struct {
+	// SampleRatio is the fraction of locally-rooted traces to record, in
+	// [0, 1]. 0 (the zero value) samples nothing: spans are structurally
+	// wired but every Start returns nil. Inbound traceparent headers
+	// override the ratio — the remote sampled flag is honored either way.
+	SampleRatio float64
+	// Capacity is the finished-span ring size in entries (default 4096).
+	Capacity int
+	// SlowestN retains the N slowest finished spans regardless of ring
+	// wraparound (default 32; 0 uses the default, negative disables).
+	SlowestN int
+	// Seed fixes the id-generation sequence for deterministic tests;
+	// 0 seeds from crypto/rand.
+	Seed uint64
+}
+
+// Tracer owns sampling, id generation, and finished-span retention.
+// A nil *Tracer is valid and records nothing.
+type Tracer struct {
+	ratio    float64
+	idseq    atomic.Uint64
+	ring     []entry
+	widx     atomic.Uint64
+	pool     sync.Pool
+	slow     []entry
+	slowMu   sync.Mutex
+	slowN    int
+	slowMin  atomic.Int64 // smallest retained duration once the set is full
+	slowFull atomic.Bool
+}
+
+// entry is one finished span in the ring: a fixed-size copy so recording
+// never allocates. seq is a per-slot sequence lock — odd while a writer
+// owns the slot.
+type entry struct {
+	seq    atomic.Uint64
+	tid    TraceID
+	sid    SpanID
+	parent SpanID
+	name   string
+	start  int64 // unix nanoseconds
+	dur    int64 // nanoseconds
+	attrs  [MaxAttrs]Attr
+	nattrs int32
+}
+
+// New builds a tracer. See Config for defaults.
+func New(cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 4096
+	}
+	if cfg.SlowestN == 0 {
+		cfg.SlowestN = 32
+	}
+	if cfg.SampleRatio < 0 {
+		cfg.SampleRatio = 0
+	}
+	if cfg.SampleRatio > 1 {
+		cfg.SampleRatio = 1
+	}
+	t := &Tracer{ratio: cfg.SampleRatio, ring: make([]entry, cfg.Capacity)}
+	if cfg.SlowestN > 0 {
+		t.slowN = cfg.SlowestN
+		t.slow = make([]entry, 0, cfg.SlowestN)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			seed = binary.LittleEndian.Uint64(b[:])
+		} else {
+			seed = uint64(time.Now().UnixNano())
+		}
+	}
+	t.idseq.Store(seed)
+	t.pool.New = func() any { return new(Span) }
+	return t
+}
+
+// nextID draws the next pseudo-random 64-bit id (splitmix64 over an atomic
+// counter: lock-free, allocation-free, never in lockstep across tracers).
+func (t *Tracer) nextID() uint64 {
+	x := t.idseq.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1 // all-zero ids are invalid per W3C
+	}
+	return x
+}
+
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	binary.BigEndian.PutUint64(id[:8], t.nextID())
+	binary.BigEndian.PutUint64(id[8:], t.nextID())
+	return id
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], t.nextID())
+	return id
+}
+
+// StartRoot begins a new trace (or continues an inbound one) and returns
+// its root span, or nil when the trace is not sampled. remote carries the
+// parsed inbound traceparent; a zero SpanContext starts a fresh trace
+// subject to the tracer's sample ratio, while a remote context's sampled
+// flag is honored as-is (distributed callers decide head sampling).
+func (t *Tracer) StartRoot(name string, remote SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	if remote.Remote {
+		if !remote.Sampled || !remote.TraceID.Valid() {
+			return nil
+		}
+		return t.start(name, remote.TraceID, remote.SpanID)
+	}
+	if t.ratio <= 0 {
+		return nil
+	}
+	if t.ratio < 1 {
+		// Decide off the id stream itself: cheap, uniform, lock-free.
+		if float64(t.nextID())/float64(^uint64(0)) >= t.ratio {
+			return nil
+		}
+	}
+	return t.start(name, t.newTraceID(), SpanID{})
+}
+
+func (t *Tracer) start(name string, tid TraceID, parent SpanID) *Span {
+	s := t.pool.Get().(*Span)
+	s.tr = t
+	s.name = name
+	s.tid = tid
+	s.sid = t.newSpanID()
+	s.parent = parent
+	s.start = time.Now()
+	s.nattrs = 0
+	return s
+}
+
+// Span is one in-flight operation. All methods are nil-safe: a nil span
+// (unsampled request) turns every call into a no-op, so call sites never
+// branch on sampling themselves. A span belongs to one goroutine at a
+// time; children may be started from other goroutines, but attributes and
+// Finish belong to the owner. Using a span after Finish is a bug (it
+// returns to the pool).
+type Span struct {
+	tr     *Tracer
+	name   string
+	tid    TraceID
+	sid    SpanID
+	parent SpanID
+	start  time.Time
+	attrs  [MaxAttrs]Attr
+	nattrs int32
+}
+
+// Sampled reports whether the span records anything.
+func (s *Span) Sampled() bool { return s != nil }
+
+// TraceID returns the span's trace id (zero for nil spans).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.tid
+}
+
+// SpanID returns the span's id (zero for nil spans).
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.sid
+}
+
+// Context returns the span's propagation context (zero for nil spans).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.tid, SpanID: s.sid, Sampled: true}
+}
+
+// StartChild begins a child span. Nil-safe: children of nil are nil.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.start(name, s.tid, s.sid)
+}
+
+// StartChildAt is StartChild with an explicit start time, for callers that
+// measured the operation before deciding to record it.
+func (s *Span) StartChildAt(name string, start time.Time) *Span {
+	c := s.StartChild(name)
+	if c != nil {
+		c.start = start
+	}
+	return c
+}
+
+// ChildAt records an already-completed child span from its measured
+// interval — how phase timings (forward/backward/optim) become spans
+// without re-instrumenting the timed region.
+func (s *Span) ChildAt(name string, start, end time.Time) {
+	c := s.StartChildAt(name, start)
+	if c != nil {
+		c.finishDur(end.Sub(start))
+	}
+}
+
+func (s *Span) setAttr(key string, kind attrKind, num uint64, str string) {
+	if s == nil || int(s.nattrs) >= MaxAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = Attr{Key: key, kind: kind, num: num, str: str}
+	s.nattrs++
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) { s.setAttr(key, attrInt, uint64(v), "") }
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) { s.setAttr(key, attrFloat, floatBits(v), "") }
+
+// SetStr attaches a string attribute. The value is retained as-is; pass
+// already-materialized strings, never fmt output, on hot paths.
+func (s *Span) SetStr(key, v string) { s.setAttr(key, attrStr, 0, v) }
+
+// SetBool attaches a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	var n uint64
+	if v {
+		n = 1
+	}
+	s.setAttr(key, attrBool, n, "")
+}
+
+// Finish records the span into the tracer's ring and returns it to the
+// pool. Nil-safe; calling twice on the same span is a bug.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.finishDur(time.Since(s.start))
+}
+
+func (s *Span) finishDur(dur time.Duration) {
+	t := s.tr
+	t.record(s, int64(dur))
+	s.tr = nil
+	t.pool.Put(s)
+}
+
+// record copies the finished span into the next ring slot (seqlock write)
+// and feeds the slowest-N set.
+func (t *Tracer) record(s *Span, dur int64) {
+	idx := (t.widx.Add(1) - 1) % uint64(len(t.ring))
+	e := &t.ring[idx]
+	// Claim the slot: CAS from even to odd so two writers that wrapped
+	// onto the same slot serialize instead of interleaving a torn entry.
+	for {
+		seq := e.seq.Load()
+		if seq&1 == 0 && e.seq.CompareAndSwap(seq, seq+1) {
+			break
+		}
+	}
+	e.tid, e.sid, e.parent = s.tid, s.sid, s.parent
+	e.name = s.name
+	e.start = s.start.UnixNano()
+	e.dur = dur
+	e.nattrs = s.nattrs
+	copy(e.attrs[:s.nattrs], s.attrs[:s.nattrs])
+	e.seq.Add(1)
+
+	if t.slowN > 0 && (!t.slowFull.Load() || dur > t.slowMin.Load()) {
+		t.recordSlow(e, dur)
+	}
+}
+
+// recordSlow inserts a finished span into the slowest-N set. The fast
+// path in record rejects spans under the current floor with one atomic
+// load; the lock here only pays off for genuinely slow spans.
+func (t *Tracer) recordSlow(e *entry, dur int64) {
+	t.slowMu.Lock()
+	defer t.slowMu.Unlock()
+	if len(t.slow) < t.slowN {
+		t.slow = append(t.slow, entry{})
+		copyEntry(&t.slow[len(t.slow)-1], e, dur)
+	} else {
+		mi := 0
+		for i := 1; i < len(t.slow); i++ {
+			if t.slow[i].dur < t.slow[mi].dur {
+				mi = i
+			}
+		}
+		if t.slow[mi].dur >= dur {
+			return
+		}
+		copyEntry(&t.slow[mi], e, dur)
+	}
+	if len(t.slow) == t.slowN {
+		minDur := t.slow[0].dur
+		for i := 1; i < len(t.slow); i++ {
+			if t.slow[i].dur < minDur {
+				minDur = t.slow[i].dur
+			}
+		}
+		t.slowMin.Store(minDur)
+		t.slowFull.Store(true)
+	}
+}
+
+func copyEntry(dst, src *entry, dur int64) {
+	dst.tid, dst.sid, dst.parent = src.tid, src.sid, src.parent
+	dst.name = src.name
+	dst.start = src.start
+	dst.dur = dur
+	dst.nattrs = src.nattrs
+	copy(dst.attrs[:], src.attrs[:])
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

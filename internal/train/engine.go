@@ -15,6 +15,7 @@ import (
 	"longexposure/internal/peft"
 	"longexposure/internal/predictor"
 	"longexposure/internal/tensor"
+	"longexposure/internal/trace"
 )
 
 // PhaseTimes records one step's wall-clock per fine-tuning phase. Predict is
@@ -79,8 +80,15 @@ type Engine struct {
 	// atomic handle writes — the instrumented step stays at zero
 	// steady-state allocations (pinned by the bench obs suite).
 	Metrics *obs.TrainMetrics
+	// Span, when set, parents a "train.step" span per Step with
+	// forward/predict/backward/optim phase children. nil (or an unsampled
+	// run) costs one branch — the traced-but-unsampled step stays
+	// zero-alloc (pinned by the bench trace suite).
+	Span *trace.Span
 
 	ws *tensor.Arena
+	// stepSeq counts Steps for the span's step attribute.
+	stepSeq int64
 	// lastArenaGets/lastArenaMisses remember the arena's cumulative
 	// counters at the previous instrumented step, so Metrics receives
 	// per-step deltas.
@@ -140,6 +148,20 @@ func (e *Engine) Step(b data.Batch) (float64, PhaseTimes) {
 
 	// The step is fully applied; recycle every step-lived buffer.
 	ws.Release()
+
+	if parent := e.Span; parent != nil {
+		sp := parent.StartChildAt("train.step", t0)
+		sp.SetInt("step", e.stepSeq)
+		sp.SetFloat("loss", loss)
+		sp.ChildAt("train.forward", t0, t0.Add(times.Forward))
+		if e.RP != nil {
+			sp.ChildAt("train.predict", t0.Add(times.Forward), t1)
+		}
+		sp.ChildAt("train.backward", t1, t1.Add(times.Backward))
+		sp.ChildAt("train.optim", t2, t2.Add(times.Optim))
+		sp.Finish()
+	}
+	e.stepSeq++
 
 	if m := e.Metrics; m != nil {
 		tokens := 0
