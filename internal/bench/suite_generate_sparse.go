@@ -1,0 +1,87 @@
+// The generate_sparse suite measures predictor-gated contextual sparsity
+// on the KV-cached decode hot path: dense cached generation versus the
+// same generation planned by the serving estimator in auto mode (the
+// /v1/generate default) and at a forced low density (the headroom bound).
+// One op is one complete generation to MaxSeq, planner reused across ops
+// — allocs_per_op therefore pins the steady-state contract that planning
+// and sparse execution allocate nothing beyond what the dense cached path
+// already does.
+//
+// The suite always runs the 4-layer sim miniature, short mode included:
+// auto mode keeps the first and last layers dense (SparseLoRA layer
+// sensitivity), so a 2-layer model would measure pure planning overhead
+// with no sparsity to show for it.
+package bench
+
+import (
+	"longexposure/internal/model"
+	"longexposure/internal/nn"
+	"longexposure/internal/peft"
+	"longexposure/internal/predictor"
+	"longexposure/internal/tensor"
+)
+
+func init() {
+	Register("generate_sparse", generateSparseSuite)
+}
+
+func generateSparseSuite(o Options) []Benchmark {
+	spec := model.Sim(model.OPT1p3B())
+	promptLen := 8
+	tokens := spec.Config.MaxSeq - promptLen
+	cfg := nn.GenerateConfig{MaxTokens: spec.Config.MaxSeq}
+	flops := genFlops(spec, tokens)
+
+	var m *nn.Transformer
+	var sp *predictor.ServingPlanner
+	var prompt []int
+	setup := func() {
+		if m != nil {
+			return
+		}
+		r := tensor.NewRNG(1234)
+		m = nn.NewTransformer(spec.Config, r)
+		model.PrimeSparsity(m, r.Split(), 8)
+		peft.Apply(m, peft.LoRA, peft.Options{}, r.Split())
+		sp = predictor.NewServingPlanner(m, nil, predictor.ServingConfig{})
+		prompt = make([]int, promptLen)
+		for i := range prompt {
+			prompt[i] = 10 + i
+		}
+	}
+
+	// One cache/arena/planner per benchmark, warmed in Setup so the
+	// measured loop reuses pooled buffers only.
+	mk := func(opts nn.SparsityOptions) (func(), func()) {
+		var cache *nn.KVCache
+		var ws *tensor.Arena
+		var planner nn.DecodePlanner
+		run := func() {
+			cache.Reset()
+			m.GenerateCachedCfg(prompt, cfg, nn.DecodeSession{Cache: cache, WS: ws, Planner: planner})
+		}
+		return func() {
+			setup()
+			cache = m.NewKVCache()
+			ws = tensor.NewArena()
+			if opts.Enabled() {
+				var err error
+				planner, err = sp.NewSequencePlanner(opts)
+				if err != nil {
+					panic(err)
+				}
+			}
+			run() // warm the arena and planner scratch
+		}, run
+	}
+
+	denseSetup, denseRun := mk(nn.SparsityOptions{})
+	autoSetup, autoRun := mk(nn.SparsityOptions{Mode: nn.SparsityAuto})
+	forcedSetup, forcedRun := mk(nn.SparsityOptions{Mode: nn.SparsityForced, MLPDensity: 0.25, AttnDensity: 0.25})
+
+	return []Benchmark{
+		{Name: "generate_sparse/dense_cached", Flops: flops, Setup: denseSetup, Fn: denseRun},
+		{Name: "generate_sparse/auto", Flops: flops, Setup: autoSetup, Fn: autoRun},
+		{Name: "generate_sparse/forced_low", Flops: flops, Setup: forcedSetup, Fn: forcedRun},
+	}
+}

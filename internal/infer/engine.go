@@ -13,6 +13,15 @@ import (
 	"longexposure/internal/trace"
 )
 
+// PlannerProvider hands out per-sequence contextual-sparsity planners.
+// internal/predictor's ServingPlanner is the implementation; the interface
+// lives here so the engine never imports the predictor machinery. A
+// provider must be safe for concurrent NewSequencePlanner calls and must
+// return (nil, nil) when the options request no sparsity.
+type PlannerProvider interface {
+	NewSequencePlanner(opts nn.SparsityOptions) (nn.DecodePlanner, error)
+}
+
 // Config sizes an Engine.
 type Config struct {
 	// MaxBatch bounds sequences decoded per scheduler step (default 4).
@@ -24,6 +33,10 @@ type Config struct {
 	// and retirements. All updates are atomic handle writes on the
 	// scheduler goroutine — the per-token decode path stays zero-alloc.
 	Metrics *obs.InferMetrics
+	// Planner, when set, enables contextual sparsity: requests carrying
+	// sparsity options get a per-sequence planner and decode under
+	// per-step plans. Nil (or a request with mode off) decodes dense.
+	Planner PlannerProvider
 }
 
 // ErrClosed rejects submissions to a closed engine.
@@ -107,6 +120,12 @@ type Request struct {
 	Adapter *nn.DecodeAdapter
 	// AdapterID tags events for observability (not interpreted here).
 	AdapterID string
+
+	// Sparsity requests contextual sparsity for this sequence. The zero
+	// value (mode off) decodes dense; "auto"/"forced" require the engine
+	// to carry a Config.Planner. Concurrent sequences may carry different
+	// options — plans are strictly per sequence.
+	Sparsity nn.SparsityOptions
 }
 
 // Event is one item on a generation stream: a token, or the terminal
@@ -143,22 +162,29 @@ func (s *Stream) Collect() (tokens []int, reason string, err error) {
 }
 
 type sequence struct {
-	ctx      context.Context
-	prompt   []int
-	ad       *nn.DecodeAdapter
-	pRows    int // adapter prompt rows
-	maxTok   int
-	temp     float64
-	stop     int
-	rng      *tensor.RNG
-	cache    *nn.KVCache
-	ws       *tensor.Arena
-	out      chan Event
-	emitted  int
-	started  bool
-	nextBuf  [1]int
-	queued   time.Time // when Generate enqueued the sequence
-	admitted time.Time // when the scheduler first saw the sequence
+	ctx     context.Context
+	prompt  []int
+	ad      *nn.DecodeAdapter
+	pRows   int // adapter prompt rows
+	maxTok  int
+	temp    float64
+	stop    int
+	rng     *tensor.RNG
+	cache   *nn.KVCache
+	ws      *tensor.Arena
+	planner nn.DecodePlanner // nil: dense sequence
+	out     chan Event
+	emitted int
+	started bool
+	nextBuf [1]int
+
+	// Realized densities of the last step's plan (1.0 when dense),
+	// aggregated by the scheduler into the batch-level gauges. Written by
+	// the sequence's step goroutine, read by the scheduler after Wait.
+	planMLPDensity, planAttnDensity float64
+	planned                         bool
+	queued                          time.Time // when Generate enqueued the sequence
+	admitted                        time.Time // when the scheduler first saw the sequence
 
 	// span covers the sequence's whole lifetime (enqueue through terminal
 	// event); per-step children hang off it. nil when the request is
@@ -202,26 +228,46 @@ func (e *Engine) Generate(ctx context.Context, req Request) (*Stream, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var planner nn.DecodePlanner
+	if req.Sparsity.Enabled() {
+		if e.cfg.Planner == nil {
+			return nil, fmt.Errorf("infer: sparsity mode %q requested but the engine has no planner", req.Sparsity.Mode)
+		}
+		var err error
+		planner, err = e.cfg.Planner.NewSequencePlanner(req.Sparsity)
+		if err != nil {
+			return nil, fmt.Errorf("infer: %w", err)
+		}
+	} else if err := req.Sparsity.Validate("sparsity"); err != nil {
+		return nil, fmt.Errorf("infer: %w", err)
+	}
 
 	s := &sequence{
-		ctx:    ctx,
-		prompt: append([]int(nil), req.Prompt...),
-		ad:     req.Adapter,
-		pRows:  pRows,
-		maxTok: req.MaxTokens,
-		temp:   req.Temperature,
-		stop:   req.StopToken,
-		rng:    tensor.NewRNG(req.Seed),
-		cache:  e.base.NewKVCache(),
-		ws:     tensor.NewArena(),
+		ctx:     ctx,
+		prompt:  append([]int(nil), req.Prompt...),
+		ad:      req.Adapter,
+		pRows:   pRows,
+		maxTok:  req.MaxTokens,
+		temp:    req.Temperature,
+		stop:    req.StopToken,
+		rng:     tensor.NewRNG(req.Seed),
+		cache:   e.base.NewKVCache(),
+		ws:      tensor.NewArena(),
+		planner: planner,
 		// One slot per possible token plus the terminal event: sends from
 		// the scheduler can never block on a lagging consumer.
 		out: make(chan Event, req.MaxTokens+1),
 	}
 	s.queued = time.Now()
+	if planner != nil {
+		planner.BeginSequence(s.prompt, req.Adapter)
+	}
 	s.span = trace.FromContext(ctx).StartChild("infer.sequence")
 	s.span.SetStr("adapter", req.AdapterID)
 	s.span.SetInt("prompt_tokens", int64(len(req.Prompt)))
+	if req.Sparsity.Enabled() {
+		s.span.SetStr("sparsity", req.Sparsity.Mode)
+	}
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
 	if e.isClosed {
@@ -284,9 +330,16 @@ func (e *Engine) run() {
 		wg.Wait()
 
 		kvRows := 0
+		sparseSteps := 0
+		var mlpD, attnD float64
 		keep := active[:0]
 		for _, s := range active {
 			emitted += s.emitted
+			if s.planned {
+				sparseSteps++
+				mlpD += s.planMLPDensity
+				attnD += s.planAttnDensity
+			}
 			if s.done {
 				s.finish()
 				if m != nil {
@@ -302,6 +355,11 @@ func (e *Engine) run() {
 		if m != nil {
 			m.Tokens.Add(float64(emitted))
 			e.setLevels(len(active), e.prevQueue, kvRows)
+			if sparseSteps > 0 {
+				m.SparseSteps.Add(float64(sparseSteps))
+				m.PlanMLPDensity.Set(mlpD / float64(sparseSteps))
+				m.PlanAttnDensity.Set(attnD / float64(sparseSteps))
+			}
 		}
 
 		select {
@@ -393,14 +451,26 @@ func (s *sequence) step(base *nn.Transformer, batch int) {
 
 	var logits *tensor.Tensor
 	var sp *trace.Span
+	s.planned, s.planMLPDensity, s.planAttnDensity = false, 1, 1
 	if !s.started {
+		// Prefill always runs dense: the planner's position summaries are
+		// built from these very rows, and prefill is one step regardless.
 		sp = s.span.StartChild("infer.prefill")
-		logits = base.DecodeStep(s.cache, s.prompt, s.ad, s.ws)
+		logits = base.DecodeStepCfg(s.cache, s.prompt, nn.DecodeStepConfig{Adapter: s.ad, WS: s.ws})
 		s.started = true
 	} else {
 		sp = s.span.StartChild("infer.decode_step")
 		sp.SetInt("step", int64(s.emitted))
-		logits = base.DecodeStep(s.cache, s.nextBuf[:], s.ad, s.ws)
+		var plan *nn.DecodePlan
+		if s.planner != nil {
+			plan = s.planner.PlanStep(s.nextBuf[0], s.cache.Len, s.ws)
+		}
+		if plan != nil {
+			s.planned = true
+			s.planMLPDensity, s.planAttnDensity = plan.MLPDensity, plan.AttnDensity
+			sp.SetBool("sparse", true)
+		}
+		logits = base.DecodeStepCfg(s.cache, s.nextBuf[:], nn.DecodeStepConfig{Adapter: s.ad, Plan: plan, WS: s.ws})
 	}
 	tok := nn.SampleToken(logits.Row(0), s.temp, s.rng)
 	sp.SetInt("batch", int64(batch))

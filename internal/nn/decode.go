@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"longexposure/internal/parallel"
+	"longexposure/internal/sparse"
 	"longexposure/internal/tensor"
 )
 
@@ -138,6 +139,22 @@ func bottleneckOf(a *Adapter) *BottleneckWeights {
 	}
 }
 
+// DecodeStepConfig consolidates DecodeStep's per-call knobs: the adapter,
+// the step's sparsity plan, and the workspace arena. Passing the zero
+// value decodes the plain base, densely, with allocating scratch — every
+// field's zero means "current behavior".
+type DecodeStepConfig struct {
+	// Adapter is the PEFT delta to decode with; nil decodes the plain base.
+	Adapter *DecodeAdapter
+	// Plan gates contextual sparsity for this step; nil runs fully dense.
+	// Attention selections apply only to single-row steps (prefill and
+	// multi-row steps attend densely); MLP selections apply to every row.
+	Plan *DecodePlan
+	// WS is the step workspace (nil allocates). The returned logits are
+	// workspace-backed and must be read before the caller's Release.
+	WS *tensor.Arena
+}
+
 // DecodeStep feeds ids (batch 1) through the model against the cache,
 // appending their K/V rows, and returns the logits of the last new row as
 // a [1, vocab] tensor. The first call on an empty cache is the prefill: if
@@ -146,7 +163,16 @@ func bottleneckOf(a *Adapter) *BottleneckWeights {
 // returned logits are workspace-backed and must be read before the
 // caller's Release. The cache must not be shared across concurrent calls;
 // the model itself is only read.
+//
+// DecodeStep is the dense compat wrapper over DecodeStepCfg.
 func (m *Transformer) DecodeStep(cache *KVCache, ids []int, ad *DecodeAdapter, ws *tensor.Arena) *tensor.Tensor {
+	return m.DecodeStepCfg(cache, ids, DecodeStepConfig{Adapter: ad, WS: ws})
+}
+
+// DecodeStepCfg is DecodeStep with the consolidated config: the plan-aware
+// primary entry point of the cached decode path.
+func (m *Transformer) DecodeStepCfg(cache *KVCache, ids []int, cfg DecodeStepConfig) *tensor.Tensor {
+	ad, ws := cfg.Adapter, cfg.WS
 	if len(ids) == 0 {
 		panic("nn: DecodeStep with no tokens")
 	}
@@ -182,7 +208,7 @@ func (m *Transformer) DecodeStep(cache *KVCache, ids []int, ad *DecodeAdapter, w
 	}
 
 	for li, blk := range m.Blocks {
-		x = decodeBlock(blk, x, &cache.layers[li], cache, p0, ad.layer(li), ws)
+		x = decodeBlock(blk, x, &cache.layers[li], cache, p0, ad.layer(li), cfg.Plan, li, ws)
 	}
 	cache.Len = p0 + n
 
@@ -197,10 +223,16 @@ func (m *Transformer) DecodeStep(cache *KVCache, ids []int, ad *DecodeAdapter, w
 }
 
 // decodeBlock mirrors TransformerBlock.Forward's dense path, with the
-// adapter's injections applied functionally.
-func decodeBlock(b *TransformerBlock, x *tensor.Tensor, kv *kvLayer, cache *KVCache, p0 int, la *LayerAdapter, ws *tensor.Arena) *tensor.Tensor {
+// adapter's injections applied functionally and the step plan's per-layer
+// selections gating the attention and MLP kernels.
+func decodeBlock(b *TransformerBlock, x *tensor.Tensor, kv *kvLayer, cache *KVCache, p0 int, la *LayerAdapter, plan *DecodePlan, li int, ws *tensor.Arena) *tensor.Tensor {
+	var attnBlocks, mlpBlocks []int
+	blk := 0
+	if plan != nil {
+		attnBlocks, mlpBlocks, blk = plan.layerAttn(li), plan.layerMLP(li), plan.Blk
+	}
 	h := decodeLayerNorm(b.LN1, x, ws)
-	attnOut := decodeAttention(b.Attn, h, kv, cache, p0, la, ws)
+	attnOut := decodeAttention(b.Attn, h, kv, cache, p0, la, attnBlocks, blk, ws)
 	if la != nil && la.AttnScaled != nil {
 		attnOut = decodeBottleneck(la.AttnScaled, attnOut, ws)
 	}
@@ -208,7 +240,7 @@ func decodeBlock(b *TransformerBlock, x *tensor.Tensor, kv *kvLayer, cache *KVCa
 	tensor.AddInto(x1, attnOut)
 
 	h2 := decodeLayerNorm(b.LN2, x1, ws)
-	mlpOut := decodeMLP(b.MLP, h2, ws)
+	mlpOut := decodeMLP(b.MLP, h2, mlpBlocks, blk, ws)
 	if la != nil && la.MLPScaled != nil {
 		mlpOut = decodeBottleneck(la.MLPScaled, mlpOut, ws)
 	}
@@ -251,7 +283,15 @@ func decodeLinear(l *Linear, x *tensor.Tensor, lw *LoRAPair, ws *tensor.Arena) *
 // (sparse.DenseCausalAttentionInto) operation for operation: raw dot
 // scores, scale on the visible prefix, stable softmax, probability-weighted
 // V accumulation with the zero-probability skip.
-func decodeAttention(a *MultiHeadAttention, x *tensor.Tensor, kv *kvLayer, cache *KVCache, p0 int, la *LayerAdapter, ws *tensor.Arena) *tensor.Tensor {
+//
+// attnBlocks, when non-nil on a single-row step, restricts the visible
+// prefix to the listed KV-position blocks of size blk (ascending; the
+// block holding the current position must be listed): scores are gathered
+// compactly over just the selected positions, softmax normalizes over that
+// support, and only the selected V rows accumulate — the block-sparse
+// attention read of the paper's shadowy attention, on the cache. Prefill
+// and multi-row steps ignore the selection and attend densely.
+func decodeAttention(a *MultiHeadAttention, x *tensor.Tensor, kv *kvLayer, cache *KVCache, p0 int, la *LayerAdapter, attnBlocks []int, blk int, ws *tensor.Arena) *tensor.Tensor {
 	var loraQ, loraV *LoRAPair
 	if la != nil {
 		loraQ, loraV = la.Q, la.V
@@ -267,6 +307,9 @@ func decodeAttention(a *MultiHeadAttention, x *tensor.Tensor, kv *kvLayer, cache
 			copy(kv.k[h][(p0+r)*hd:(p0+r+1)*hd], k.Data[r*d+h*hd:r*d+(h+1)*hd])
 			copy(kv.v[h][(p0+r)*hd:(p0+r+1)*hd], v.Data[r*d+h*hd:r*d+(h+1)*hd])
 		}
+	}
+	if attnBlocks != nil && n == 1 {
+		return decodeAttentionSparse(a, q, kv, p0, attnBlocks, blk, ws)
 	}
 
 	scale := float32(1 / math.Sqrt(float64(hd)))
@@ -308,9 +351,89 @@ func decodeAttention(a *MultiHeadAttention, x *tensor.Tensor, kv *kvLayer, cache
 	return y
 }
 
-// decodeMLP is MLP.Forward's dense path without the layer-struct caches.
-func decodeMLP(m *MLP, x *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
+// decodeAttentionSparse is the single-row block-sparse attention read: the
+// query row attends only to the KV positions inside the selected blocks.
+// The compact gather touches selected K/V rows once each — skipped
+// positions cost nothing, which is where the tokens/sec win at long
+// prefixes comes from.
+func decodeAttentionSparse(a *MultiHeadAttention, q *tensor.Tensor, kv *kvLayer, p int, blocks []int, blk int, ws *tensor.Arena) *tensor.Tensor {
+	d, hd := a.Dim, a.HeadDim
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	ctx := tensor.NewIn(ws, 1, d)
+	scores := tensor.FloatsDirtyIn(ws, p+1)
+	for h := 0; h < a.Heads; h++ {
+		kh, vh := kv.k[h], kv.v[h]
+		qrow := q.Data[h*hd : (h+1)*hd]
+		cnt := 0
+		for _, nb := range blocks {
+			hi := (nb + 1) * blk
+			if hi > p+1 {
+				hi = p + 1
+			}
+			for j := nb * blk; j < hi; j++ {
+				kj := kh[j*hd : (j+1)*hd]
+				var s float32
+				for c, qv := range qrow {
+					s += qv * kj[c]
+				}
+				scores[cnt] = s * scale
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			panic("nn: decode plan selects no visible attention blocks")
+		}
+		row := scores[:cnt]
+		tensor.SoftmaxRow(row)
+		out := ctx.Data[h*hd : (h+1)*hd]
+		cnt = 0
+		for _, nb := range blocks {
+			hi := (nb + 1) * blk
+			if hi > p+1 {
+				hi = p + 1
+			}
+			for j := nb * blk; j < hi; j++ {
+				pj := row[cnt]
+				cnt++
+				if pj == 0 {
+					continue
+				}
+				vj := vh[j*hd : (j+1)*hd]
+				for c, vv := range vj {
+					out[c] += pj * vv
+				}
+			}
+		}
+	}
+	y := tensor.MatMulIn(ws, ctx, a.Wo.W.W)
+	tensor.AddRowVector(y, a.Wo.B.W.Data)
+	return y
+}
+
+// decodeMLP is MLP.Forward without the layer-struct caches. blocks selects
+// the execution path exactly as MLP.Forward does: nil runs dense;
+// otherwise only the listed neuron blocks compute, their biases included
+// and everything else — bias too — contributing nothing. The sparse path
+// uses the serial single-row gather/scatter kernels: decode steps are one
+// row, where the training kernels' parallel dispatch would cost more than
+// the math.
+func decodeMLP(m *MLP, x *tensor.Tensor, blocks []int, blk int, ws *tensor.Arena) *tensor.Tensor {
+	if blocks != nil && m.Act != ActReLU {
+		panic("nn: neuron sparsity requires ReLU activation")
+	}
 	tokens := x.Dim(0)
+	if blocks != nil {
+		hidden := tensor.NewIn(ws, tokens, m.Hidden) // zeroed: inactive neurons stay 0
+		out := tensor.NewIn(ws, tokens, m.Dim)
+		w1 := sparse.ColMajor{In: m.Dim, Out: m.Hidden, Data: m.W1.W.Data}
+		w2 := sparse.RowMajor{In: m.Hidden, Out: m.Dim, Data: m.W2.W.Data}
+		for r := 0; r < tokens; r++ {
+			sparse.DecodeFC1Gather(hidden.Data[r*m.Hidden:(r+1)*m.Hidden], x.Data[r*m.Dim:(r+1)*m.Dim], &w1, m.B1.W.Data, blocks, blk)
+			sparse.DecodeFC2Scatter(out.Data[r*m.Dim:(r+1)*m.Dim], hidden.Data[r*m.Hidden:(r+1)*m.Hidden], &w2, blocks, blk)
+		}
+		tensor.AddRowVector(out, m.B2.W.Data)
+		return out
+	}
 	hidden := tensor.NewIn(ws, tokens, m.Hidden)
 	tensor.MatMulTBInto(hidden, x, m.W1.W)
 	tensor.AddRowVector(hidden, m.B1.W.Data)
@@ -338,27 +461,56 @@ func decodeBottleneck(bw *BottleneckWeights, z *tensor.Tensor, ws *tensor.Arena)
 	return y
 }
 
+// DecodeSession consolidates GenerateCached's per-sequence state: the
+// adapter, the KV cache, the workspace arena, and an optional sparsity
+// planner. Every field's zero value means "current behavior" — fresh
+// cache, self adapter, allocating scratch, fully dense steps.
+type DecodeSession struct {
+	// Adapter selects the PEFT delta; nil applies the model's own attached
+	// modules (SelfAdapter), matching what Forward would run.
+	Adapter *DecodeAdapter
+	// Cache may be nil (a fresh one is made); pass a Reset cache to reuse
+	// its buffers.
+	Cache *KVCache
+	// WS is released after every emitted token.
+	WS *tensor.Arena
+	// Planner, when set, plans contextual sparsity for every single-token
+	// step (the prefill always runs dense). BeginSequence is called before
+	// the loop starts.
+	Planner DecodePlanner
+}
+
 // GenerateCached is Generate on the KV-cached decode path: same sampling,
 // same stop conditions, same RNG consumption, bit-identical tokens — one
 // full-prefix prefill, then one row of compute per emitted token instead
-// of the naive O(prefix) re-run. cache may be nil (a fresh one is made);
-// pass a Reset cache to reuse its buffers. ad selects the adapter; nil
-// applies the model's own attached PEFT modules, matching what Forward
-// would run. ws is released after every emitted token.
+// of the naive O(prefix) re-run.
+//
+// GenerateCached is the dense compat wrapper over GenerateCachedCfg.
 func (m *Transformer) GenerateCached(prompt []int, cfg GenerateConfig, ad *DecodeAdapter, cache *KVCache, ws *tensor.Arena) []int {
+	return m.GenerateCachedCfg(prompt, cfg, DecodeSession{Adapter: ad, Cache: cache, WS: ws})
+}
+
+// GenerateCachedCfg is GenerateCached with the consolidated session
+// config, threading a sparsity planner through the token loop when one is
+// set: one PlanStep per emitted token, plan buffers released with the
+// step's workspace.
+func (m *Transformer) GenerateCachedCfg(prompt []int, cfg GenerateConfig, sess DecodeSession) []int {
 	if cfg.MaxTokens == 0 {
 		cfg.MaxTokens = 16
 	}
 	if cfg.RNG == nil {
 		cfg.RNG = tensor.NewRNG(1)
 	}
-	if cache == nil {
-		cache = m.NewKVCache()
+	if sess.Cache == nil {
+		sess.Cache = m.NewKVCache()
 	}
-	if ad == nil {
-		ad = m.SelfAdapter() // covers a prompt-tuned model's own prompt too
+	if sess.Adapter == nil {
+		sess.Adapter = m.SelfAdapter() // covers a prompt-tuned model's own prompt too
 	}
-	promptRows := ad.PromptLen()
+	promptRows := sess.Adapter.PromptLen()
+	if sess.Planner != nil {
+		sess.Planner.BeginSequence(prompt, sess.Adapter)
+	}
 
 	var out []int
 	feed := prompt
@@ -367,9 +519,13 @@ func (m *Transformer) GenerateCached(prompt []int, cfg GenerateConfig, ad *Decod
 		if promptRows+len(prompt)+len(out) >= m.Cfg.MaxSeq {
 			break
 		}
-		logits := m.DecodeStep(cache, feed, ad, ws)
+		var plan *DecodePlan
+		if sess.Planner != nil && t > 0 {
+			plan = sess.Planner.PlanStep(feed[0], sess.Cache.Len, sess.WS)
+		}
+		logits := m.DecodeStepCfg(sess.Cache, feed, DecodeStepConfig{Adapter: sess.Adapter, Plan: plan, WS: sess.WS})
 		next := pickToken(logits.Row(0), cfg.Temperature, cfg.RNG)
-		ws.Release()
+		sess.WS.Release()
 		out = append(out, next)
 		if cfg.StopToken > 0 && next == cfg.StopToken {
 			break

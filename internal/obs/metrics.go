@@ -58,6 +58,14 @@ type InferMetrics struct {
 	KVRows         *Gauge     // lexp_infer_kv_rows
 	SeqSeconds     *Histogram // lexp_infer_sequence_seconds
 
+	// Batch-level contextual-sparsity accounting: how many planned
+	// (sparse) steps the scheduler ran, and the mean realized densities
+	// across the last batch's plans — the serving-wide companions of the
+	// per-layer lexp_sparse_serving_* gauges.
+	SparseSteps     *Counter // lexp_infer_sparse_steps_total
+	PlanMLPDensity  *Gauge   // lexp_infer_plan_mlp_density
+	PlanAttnDensity *Gauge   // lexp_infer_plan_attn_density
+
 	retired                                               *CounterVec
 	retStop, retLength, retMaxSeq, retCancelled, retError *Counter
 }
@@ -73,6 +81,11 @@ func NewInferMetrics(r *Registry) *InferMetrics {
 		QueueDepth:     r.Gauge("lexp_infer_queue_depth", "Submitted sequences awaiting admission."),
 		KVRows:         r.Gauge("lexp_infer_kv_rows", "KV-cache rows resident across active sequences."),
 		SeqSeconds:     r.Histogram("lexp_infer_sequence_seconds", "Sequence lifetime from admission to retirement.", DurationBuckets),
+
+		SparseSteps:     r.Counter("lexp_infer_sparse_steps_total", "Decode steps executed under a contextual-sparsity plan."),
+		PlanMLPDensity:  r.Gauge("lexp_infer_plan_mlp_density", "Mean realized MLP block density across the last batch's plans (1 = dense)."),
+		PlanAttnDensity: r.Gauge("lexp_infer_plan_attn_density", "Mean realized attention block density across the last batch's plans (1 = dense)."),
+
 		retired: r.CounterVec("lexp_infer_retired_total",
 			"Sequences retired from the decode batch, by finish reason.", "reason"),
 	}
@@ -210,6 +223,20 @@ func NewSparsityMetrics(r *Registry) *SparsityMetrics {
 			"Mean predicted attention block density (fraction of blocks kept), by layer.", "layer"),
 		mlp: r.GaugeVec("lexp_sparse_mlp_density",
 			"Predicted MLP neuron-block density (fraction of blocks kept), by layer.", "layer"),
+	}
+}
+
+// NewServingSparsityMetrics registers the serving-side density gauges —
+// the same shape as the training instruments but a distinct
+// lexp_sparse_serving_* family, because one registry typically carries
+// both a jobs.Store (which registers the training family) and the
+// inference gateway, and registration is panic-on-duplicate by design.
+func NewServingSparsityMetrics(r *Registry) *SparsityMetrics {
+	return &SparsityMetrics{
+		attn: r.GaugeVec("lexp_sparse_serving_attn_density",
+			"Live serving attention block density planned per decode step (fraction of KV blocks read), by layer.", "layer"),
+		mlp: r.GaugeVec("lexp_sparse_serving_mlp_density",
+			"Live serving MLP neuron-block density planned per decode step (fraction of blocks computed), by layer.", "layer"),
 	}
 }
 

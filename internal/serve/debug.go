@@ -22,7 +22,7 @@ type tracesResponse struct {
 // represented — acceptable for a debugging surface, and the reason this
 // endpoint is itself exempt from tracing.
 func (s *Server) debugTraces(w http.ResponseWriter, r *http.Request) {
-	limitN, ok := queryInt(w, r.URL.Query().Get("limit"), "limit")
+	limitN, ok := queryInt(w, r, r.URL.Query().Get("limit"), "limit")
 	if !ok {
 		return
 	}

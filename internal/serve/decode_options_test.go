@@ -1,0 +1,202 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// simSmallBase is the client-supplied base description the decode-option
+// tests generate against (ReLU so the sparse MLP path is eligible).
+func simSmallBase() map[string]any {
+	return map[string]any{"model": "sim-small", "activation": "relu", "seed": 1, "blk": 8, "prime": true}
+}
+
+// postGenerate posts a raw body to /v1/generate and returns the response
+// with its decoded error envelope (zero-valued on 200s).
+func postGenerate(t *testing.T, url, body string) (*http.Response, string, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/generate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return resp, "", ""
+	}
+	var envelope struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatalf("decoding error envelope: %v", err)
+	}
+	return resp, envelope.Error.Code, envelope.Error.Message
+}
+
+// TestGenerateDecodeOptionsValidation pins the structured decode block's
+// 400 surface: every rejection is an invalid_request envelope whose
+// message names the offending field with its dotted path.
+func TestGenerateDecodeOptionsValidation(t *testing.T) {
+	e := newGatewayEnv(t, 1)
+	base, _ := json.Marshal(simSmallBase())
+	cases := []struct {
+		name    string
+		decode  string
+		mention string
+	}{
+		{"unknown mode", `{"sparsity":{"mode":"bogus"}}`, "decode.sparsity.mode"},
+		{"mlp density out of range", `{"sparsity":{"mode":"auto","mlp_density":1.5}}`, "decode.sparsity.mlp_density"},
+		{"attn density negative", `{"sparsity":{"mode":"forced","attn_density":-0.25}}`, "decode.sparsity.attn_density"},
+		{"density without mode", `{"sparsity":{"mlp_density":0.5}}`, "decode.sparsity.mode"},
+		{"unknown decode field", `{"sapling":{"temperature":1}}`, "sapling"},
+	}
+	for _, c := range cases {
+		body := `{"base":` + string(base) + `,"prompt":[5,6,7],"decode":` + c.decode + `}`
+		resp, code, msg := postGenerate(t, e.ts.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", c.name, resp.StatusCode)
+		}
+		if code != "invalid_request" {
+			t.Fatalf("%s: error code %q, want invalid_request", c.name, code)
+		}
+		if !strings.Contains(msg, c.mention) {
+			t.Fatalf("%s: message %q does not name %q", c.name, msg, c.mention)
+		}
+	}
+
+	// A flat field that disagrees with its structured twin is a conflict
+	// naming both forms; one that merely duplicates it passes.
+	conflict := `{"base":` + string(base) + `,"prompt":[5],"max_tokens":8,` +
+		`"decode":{"sampling":{"max_tokens":4}}}`
+	resp, code, msg := postGenerate(t, e.ts.URL, conflict)
+	if resp.StatusCode != http.StatusBadRequest || code != "invalid_request" {
+		t.Fatalf("conflicting max_tokens: %d/%s, want 400/invalid_request", resp.StatusCode, code)
+	}
+	if !strings.Contains(msg, "max_tokens") || !strings.Contains(msg, "decode.sampling.max_tokens") {
+		t.Fatalf("conflict message %q does not name both fields", msg)
+	}
+	duplicate := `{"base":` + string(base) + `,"prompt":[5],"max_tokens":4,` +
+		`"decode":{"sampling":{"max_tokens":4}}}`
+	if resp, _, msg := postGenerate(t, e.ts.URL, duplicate); resp.StatusCode != http.StatusOK {
+		t.Fatalf("agreeing duplicate rejected: %d: %s", resp.StatusCode, msg)
+	}
+}
+
+// TestGenerateDeprecatedFlatFields checks the one-release compatibility
+// window: flat sampling fields still work but mark the response as
+// deprecated; the structured block does not.
+func TestGenerateDeprecatedFlatFields(t *testing.T) {
+	e := newGatewayEnv(t, 1)
+
+	flat := map[string]any{"base": simSmallBase(), "prompt": []int{5, 6, 7}, "max_tokens": 4}
+	structured := map[string]any{
+		"base": simSmallBase(), "prompt": []int{5, 6, 7},
+		"decode": map[string]any{"sampling": map[string]any{"max_tokens": 4}},
+	}
+	var got [2][]int
+	for i, body := range []map[string]any{flat, structured} {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(e.ts.URL+"/v1/generate", "application/json", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			var out bytes.Buffer
+			out.ReadFrom(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("request %d: %d: %s", i, resp.StatusCode, out.String())
+		}
+		resp.Body.Close()
+		deprecated := resp.Header.Get("Deprecation") == "true"
+		if i == 0 && !deprecated {
+			t.Fatal("flat sampling fields did not set the Deprecation header")
+		}
+		if i == 1 && deprecated {
+			t.Fatal("structured decode block wrongly marked deprecated")
+		}
+	}
+	// Both spellings run the same decode.
+	got[0], _ = e.generateSSE(flat)
+	got[1], _ = e.generateSSE(structured)
+	if len(got[0]) == 0 || len(got[0]) != len(got[1]) {
+		t.Fatalf("flat %v vs structured %v", got[0], got[1])
+	}
+	for k := range got[0] {
+		if got[0][k] != got[1][k] {
+			t.Fatalf("flat %v vs structured %v", got[0], got[1])
+		}
+	}
+}
+
+// TestGenerateSparseServing drives /v1/generate with contextual sparsity
+// on and checks (a) the stream still terminates normally, (b) sparsity
+// mode off or density 1.0 reproduces the dense stream token for token,
+// and (c) the serving-density gauges and sparse-step counter report the
+// load.
+func TestGenerateSparseServing(t *testing.T) {
+	e, obsReg := newObsGatewayEnv(t, 1, 2, nil)
+
+	req := func(sparsity map[string]any) map[string]any {
+		body := map[string]any{
+			"base": simSmallBase(), "prompt": []int{5, 6, 7},
+			"decode": map[string]any{"sampling": map[string]any{"max_tokens": 6}},
+		}
+		if sparsity != nil {
+			body["decode"].(map[string]any)["sparsity"] = sparsity
+		}
+		return body
+	}
+
+	dense, reason := e.generateSSE(req(nil))
+	if reason != "length" || len(dense) != 6 {
+		t.Fatalf("dense decode: %v (%s)", dense, reason)
+	}
+
+	// Density 1.0 in forced mode must be bit-identical to the dense path.
+	full, _ := e.generateSSE(req(map[string]any{"mode": "forced", "mlp_density": 1, "attn_density": 1}))
+	for k := range dense {
+		if full[k] != dense[k] {
+			t.Fatalf("forced density 1.0 diverged: %v vs dense %v", full, dense)
+		}
+	}
+
+	// Forced half-density MLP: the stream still completes, the scheduler
+	// counts sparse steps, and the per-layer serving gauges go live below
+	// 1.0 (sim-small has 2 layers; forced mode applies the target to both).
+	sparse, reason := e.generateSSE(req(map[string]any{"mode": "forced", "mlp_density": 0.5}))
+	if reason != "length" || len(sparse) != 6 {
+		t.Fatalf("sparse decode: %v (%s)", sparse, reason)
+	}
+	if steps := metricValue(obsReg, "lexp_infer_sparse_steps_total"); steps == 0 {
+		t.Fatal("lexp_infer_sparse_steps_total did not count planned steps")
+	}
+	for layer := 0; layer < 2; layer++ {
+		label := []string{"0", "1"}[layer]
+		got := metricValue(obsReg, "lexp_sparse_serving_mlp_density", label)
+		if got <= 0 || got >= 1 {
+			t.Fatalf("lexp_sparse_serving_mlp_density{layer=%s} = %v, want in (0,1)", label, got)
+		}
+		if attn := metricValue(obsReg, "lexp_sparse_serving_attn_density", label); attn != 1 {
+			t.Fatalf("lexp_sparse_serving_attn_density{layer=%s} = %v, want 1 (short context stays dense)", label, attn)
+		}
+	}
+	if d := metricValue(obsReg, "lexp_infer_plan_mlp_density"); d <= 0 || d >= 1 {
+		t.Fatalf("lexp_infer_plan_mlp_density = %v, want in (0,1)", d)
+	}
+
+	// Mode "off" with densities set is rejected before reaching the engine.
+	base, _ := json.Marshal(simSmallBase())
+	resp, code, _ := postGenerate(t, e.ts.URL,
+		`{"base":`+string(base)+`,"prompt":[5],"decode":{"sparsity":{"mode":"off","mlp_density":0.5}}}`)
+	if resp.StatusCode != http.StatusBadRequest || code != "invalid_request" {
+		t.Fatalf("off-mode densities: %d/%s, want 400/invalid_request", resp.StatusCode, code)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"longexposure/internal/jobs"
 	"longexposure/internal/nn"
 	"longexposure/internal/obs"
+	"longexposure/internal/predictor"
 	"longexposure/internal/registry"
 )
 
@@ -34,7 +35,8 @@ type gateway struct {
 
 	// Wired by serve.New when WithMetrics is set (nil otherwise).
 	metrics      *obs.GatewayMetrics
-	inferMetrics *obs.InferMetrics // shared by every engine built here
+	inferMetrics *obs.InferMetrics    // shared by every engine built here
+	sparsity     *obs.SparsityMetrics // serving-density gauges, shared by every planner
 
 	mu       sync.Mutex
 	engines  map[string]*infer.Engine     // by BaseDesc.Hash()
@@ -65,7 +67,10 @@ func (g *gateway) engineFor(desc registry.BaseDesc) (*infer.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := infer.New(base, infer.Config{MaxBatch: g.maxBatch, Metrics: g.inferMetrics})
+	// Every engine gets a serving planner: contextual sparsity is then a
+	// per-request decision (decode.sparsity.mode), not a deployment one.
+	planner := predictor.NewServingPlanner(base, nil, predictor.ServingConfig{Metrics: g.sparsity})
+	eng := infer.New(base, infer.Config{MaxBatch: g.maxBatch, Metrics: g.inferMetrics, Planner: planner})
 	g.engines[key] = eng
 	if g.metrics != nil {
 		g.metrics.Engines.Set(float64(len(g.engines)))
@@ -145,7 +150,7 @@ func (s *Server) listAdapters(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) getAdapter(w http.ResponseWriter, r *http.Request) {
 	man, ok := s.gw.reg.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown adapter %q", r.PathValue("id"))
+		writeError(w, r, http.StatusNotFound, "unknown adapter %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, man)
@@ -154,7 +159,7 @@ func (s *Server) getAdapter(w http.ResponseWriter, r *http.Request) {
 func (s *Server) deleteAdapter(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.gw.reg.Delete(id); err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeError(w, r, http.StatusNotFound, "%v", err)
 		return
 	}
 	s.gw.evict(id)
@@ -163,18 +168,87 @@ func (s *Server) deleteAdapter(w http.ResponseWriter, r *http.Request) {
 	}{id})
 }
 
+// samplingOptions is the decode.sampling block of a generate request.
+type samplingOptions struct {
+	Temperature float64 `json:"temperature,omitempty"`
+	MaxTokens   int     `json:"max_tokens,omitempty"`
+	StopToken   int     `json:"stop_token,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+}
+
+// decodeOptions is the structured per-request decode configuration: how
+// to sample and whether to decode sparsely. The zero value (or an absent
+// block) reproduces the default dense greedy decode exactly.
+type decodeOptions struct {
+	Sampling *samplingOptions    `json:"sampling,omitempty"`
+	Sparsity *nn.SparsityOptions `json:"sparsity,omitempty"`
+}
+
 // generateRequest is the POST /v1/generate body. Exactly one of Adapter
 // (a registry id) or Base (an explicit base description, served without a
-// delta) selects the model.
+// delta) selects the model. Sampling parameters live under Decode; the
+// flat top-level fields are accepted for one more release but deprecated —
+// a request that sets both forms with different values is rejected.
 type generateRequest struct {
 	Adapter string             `json:"adapter,omitempty"`
 	Base    *registry.BaseDesc `json:"base,omitempty"`
 
-	Prompt      []int   `json:"prompt"`
+	Prompt []int          `json:"prompt"`
+	Decode *decodeOptions `json:"decode,omitempty"`
+
+	// Deprecated: use decode.sampling.* instead.
 	MaxTokens   int     `json:"max_tokens,omitempty"`
 	Temperature float64 `json:"temperature,omitempty"`
 	StopToken   int     `json:"stop_token,omitempty"`
 	Seed        uint64  `json:"seed,omitempty"`
+}
+
+// resolveDecode folds the deprecated flat sampling fields and the
+// structured decode block into one effective configuration. Conflicts —
+// both forms set, with different values — are errors naming both fields;
+// a flat field that merely duplicates the structured value passes.
+// The returned bool reports whether any deprecated flat field was used.
+func (req *generateRequest) resolveDecode() (samplingOptions, nn.SparsityOptions, bool, error) {
+	var sampling samplingOptions
+	var sparsity nn.SparsityOptions
+	if req.Decode != nil {
+		if req.Decode.Sampling != nil {
+			sampling = *req.Decode.Sampling
+		}
+		if req.Decode.Sparsity != nil {
+			sparsity = *req.Decode.Sparsity
+		}
+	}
+	deprecated := req.MaxTokens != 0 || req.Temperature != 0 || req.StopToken != 0 || req.Seed != 0
+	merge := func(flatSet, structSet, differs bool, name string, adopt func()) error {
+		switch {
+		case !flatSet:
+		case structSet && differs:
+			return fmt.Errorf("deprecated %s conflicts with decode.sampling.%s; set only the decode block", name, name)
+		case !structSet:
+			adopt()
+		}
+		return nil
+	}
+	checks := []error{
+		merge(req.MaxTokens != 0, sampling.MaxTokens != 0, sampling.MaxTokens != req.MaxTokens,
+			"max_tokens", func() { sampling.MaxTokens = req.MaxTokens }),
+		merge(req.Temperature != 0, sampling.Temperature != 0, sampling.Temperature != req.Temperature,
+			"temperature", func() { sampling.Temperature = req.Temperature }),
+		merge(req.StopToken != 0, sampling.StopToken != 0, sampling.StopToken != req.StopToken,
+			"stop_token", func() { sampling.StopToken = req.StopToken }),
+		merge(req.Seed != 0, sampling.Seed != 0, sampling.Seed != req.Seed,
+			"seed", func() { sampling.Seed = req.Seed }),
+	}
+	for _, err := range checks {
+		if err != nil {
+			return samplingOptions{}, nn.SparsityOptions{}, deprecated, err
+		}
+	}
+	if err := sparsity.Validate("decode.sparsity"); err != nil {
+		return samplingOptions{}, nn.SparsityOptions{}, deprecated, err
+	}
+	return sampling, sparsity, deprecated, nil
 }
 
 // generate serves POST /v1/generate as a server-sent event stream: one
@@ -190,8 +264,17 @@ func (s *Server) generate(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding generate request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "decoding generate request: %v", err)
 		return
+	}
+	sampling, sparsity, deprecated, err := req.resolveDecode()
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if deprecated {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Warning", `299 - "flat sampling fields are deprecated; use the decode.sampling block"`)
 	}
 
 	var (
@@ -200,28 +283,28 @@ func (s *Server) generate(w http.ResponseWriter, r *http.Request) {
 	)
 	switch {
 	case req.Adapter != "" && req.Base != nil:
-		writeError(w, http.StatusBadRequest, "set adapter or base, not both")
+		writeError(w, r, http.StatusBadRequest, "set adapter or base, not both")
 		return
 	case req.Adapter != "":
 		man, ad, err := s.gw.adapterFor(req.Adapter)
 		switch {
 		case err != nil && !s.gw.reg.Has(req.Adapter):
-			writeError(w, http.StatusNotFound, "%v", err)
+			writeError(w, r, http.StatusNotFound, "%v", err)
 			return
 		case errors.Is(err, infer.ErrNotServable):
-			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			writeError(w, r, http.StatusUnprocessableEntity, "%v", err)
 			return
 		case err != nil:
 			// The artifact exists but could not be served (load, base
 			// rebuild, or compile failure) — a server-side condition.
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			writeError(w, r, http.StatusInternalServerError, "%v", err)
 			return
 		}
 		adapter, desc = ad, man.Base
 	case req.Base != nil:
 		desc = *req.Base
 	default:
-		writeError(w, http.StatusBadRequest, "a generate request needs an adapter id or a base description")
+		writeError(w, r, http.StatusBadRequest, "a generate request needs an adapter id or a base description")
 		return
 	}
 
@@ -229,26 +312,27 @@ func (s *Server) generate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// For adapter requests the engine already exists (adapterFor built
 		// it); reaching here means a client-supplied base was rejected.
-		writeError(w, http.StatusBadRequest, "building base: %v", err)
+		writeError(w, r, http.StatusBadRequest, "building base: %v", err)
 		return
 	}
 	stream, err := eng.Generate(r.Context(), infer.Request{
 		Prompt:      req.Prompt,
-		MaxTokens:   req.MaxTokens,
-		Temperature: req.Temperature,
-		StopToken:   req.StopToken,
-		Seed:        req.Seed,
+		MaxTokens:   sampling.MaxTokens,
+		Temperature: sampling.Temperature,
+		StopToken:   sampling.StopToken,
+		Seed:        sampling.Seed,
+		Sparsity:    sparsity,
 		Adapter:     adapter,
 		AdapterID:   req.Adapter,
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		writeError(w, r, http.StatusInternalServerError, "streaming unsupported by connection")
 		return
 	}
 	h := w.Header()

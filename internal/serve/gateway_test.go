@@ -282,22 +282,39 @@ func TestGatewayBaseOnlyGenerate(t *testing.T) {
 	}
 }
 
-// TestGatewayRejectsBadRequests pins the 4xx surface.
+// TestGatewayRejectsBadRequests pins the 4xx surface: every rejection
+// arrives as the structured error envelope with a machine-readable code.
 func TestGatewayRejectsBadRequests(t *testing.T) {
 	e := newGatewayEnv(t, 1)
-	for _, body := range []string{
-		`{"prompt":[1,2]}`,                               // neither adapter nor base
-		`{"adapter":"ad-none","prompt":[1,2]}`,           // unknown adapter
-		`{"adapter":"x","base":{"model":"sim-small"}}`,   // both selectors
-		`{"base":{"model":"nope","seed":1},"prompt":[]}`, // unknown model / empty prompt
+	for _, c := range []struct {
+		body string
+		code string
+	}{
+		{`{"prompt":[1,2]}`, "invalid_request"},                               // neither adapter nor base
+		{`{"adapter":"ad-none","prompt":[1,2]}`, "not_found"},                 // unknown adapter
+		{`{"adapter":"x","base":{"model":"sim-small"}}`, "invalid_request"},   // both selectors
+		{`{"base":{"model":"nope","seed":1},"prompt":[]}`, "invalid_request"}, // unknown model / empty prompt
 	} {
-		resp, err := http.Post(e.ts.URL+"/v1/generate", "application/json", strings.NewReader(body))
+		resp, err := http.Post(e.ts.URL+"/v1/generate", "application/json", strings.NewReader(c.body))
 		if err != nil {
 			t.Fatal(err)
 		}
+		var envelope struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&envelope)
 		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("body %s: decoding error envelope: %v", c.body, err)
+		}
 		if resp.StatusCode < 400 || resp.StatusCode >= 500 {
-			t.Fatalf("body %s: status %d, want 4xx", body, resp.StatusCode)
+			t.Fatalf("body %s: status %d, want 4xx", c.body, resp.StatusCode)
+		}
+		if envelope.Error.Code != c.code || envelope.Error.Message == "" {
+			t.Fatalf("body %s: envelope %+v, want code %q with a message", c.body, envelope.Error, c.code)
 		}
 	}
 }

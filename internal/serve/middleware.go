@@ -75,7 +75,7 @@ func (g *guard) admit(w http.ResponseWriter, r *http.Request) (release func(), o
 				g.m.ShedRateLimited.Inc()
 			}
 			writeRetryAfter(w, retryAfter)
-			writeError(w, http.StatusTooManyRequests, "rate limit exceeded for tenant %q", tenant)
+			writeError(w, r, http.StatusTooManyRequests, "rate limit exceeded for tenant %q", tenant)
 			return nil, false
 		}
 	}
@@ -85,7 +85,7 @@ func (g *guard) admit(w http.ResponseWriter, r *http.Request) (release func(), o
 	release, shed := g.adm.Acquire(r.Context())
 	if shed != nil {
 		writeRetryAfter(w, shed.RetryAfter)
-		writeError(w, http.StatusTooManyRequests, "%v", shed)
+		writeError(w, r, http.StatusTooManyRequests, "%v", shed)
 		return nil, false
 	}
 	return release, true

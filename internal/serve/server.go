@@ -166,6 +166,7 @@ func New(store *jobs.Store, opts ...Option) *Server {
 		if s.gw != nil {
 			s.gw.metrics = obs.NewGatewayMetrics(s.obs)
 			s.gw.inferMetrics = obs.NewInferMetrics(s.obs)
+			s.gw.sparsity = obs.NewServingSparsityMetrics(s.obs)
 		}
 	}
 	if s.tracer != nil {
@@ -263,8 +264,43 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // ---- handlers ----
 
+// apiError is the structured error envelope every endpoint emits:
+//
+//	{"error": {"code": "...", "message": "...", "trace_id": "..."}}
+//
+// code is a stable machine-readable slug (derived from the HTTP status
+// unless overridden), message is human-readable, and trace_id — present
+// when the request is traced — links the failure to its span tree under
+// /debug/traces and to the X-Trace-Id response header.
 type apiError struct {
-	Error string `json:"error"`
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// errorCode maps an HTTP status to the envelope's default code slug.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusUnprocessableEntity:
+		return "not_servable"
+	case http.StatusTooManyRequests:
+		return "rate_limited"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		if status >= 500 {
+			return "internal"
+		}
+		return "invalid_request"
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -275,8 +311,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+// writeError emits the structured envelope with the status's default code
+// slug. r supplies the span context the trace id is read from; nil (or an
+// untraced request) omits the field.
+func writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	writeErrorCode(w, r, status, errorCode(status), format, args...)
+}
+
+// writeErrorCode is writeError with an explicit code slug.
+func writeErrorCode(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
+	body := errorBody{Code: code, Message: fmt.Sprintf(format, args...)}
+	if r != nil {
+		if id := trace.FromContext(r.Context()).TraceID(); id.Valid() {
+			body.TraceID = id.String()
+		}
+	}
+	writeJSON(w, status, apiError{Error: body})
 }
 
 func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
@@ -289,16 +339,16 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		writeError(w, r, http.StatusBadRequest, "decoding job spec: %v", err)
 		return
 	}
 	j, err := s.store.SubmitCtx(r.Context(), spec)
 	switch {
 	case errors.Is(err, jobs.ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	code := http.StatusAccepted
@@ -318,14 +368,14 @@ func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
 	switch status {
 	case "", jobs.StatusQueued, jobs.StatusRunning, jobs.StatusDone, jobs.StatusFailed, jobs.StatusCancelled:
 	default:
-		writeError(w, http.StatusBadRequest, "unknown status %q", status)
+		writeError(w, r, http.StatusBadRequest, "unknown status %q", status)
 		return
 	}
-	limitN, ok := queryInt(w, q.Get("limit"), "limit")
+	limitN, ok := queryInt(w, r, q.Get("limit"), "limit")
 	if !ok {
 		return
 	}
-	offset, ok := queryInt(w, q.Get("offset"), "offset")
+	offset, ok := queryInt(w, r, q.Get("offset"), "offset")
 	if !ok {
 		return
 	}
@@ -336,13 +386,13 @@ func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
 
 // queryInt parses a non-negative integer query parameter ("" = 0),
 // writing the 400 itself on bad input.
-func queryInt(w http.ResponseWriter, raw, name string) (int, bool) {
+func queryInt(w http.ResponseWriter, r *http.Request, raw, name string) (int, bool) {
 	if raw == "" {
 		return 0, true
 	}
 	n, err := strconv.Atoi(raw)
 	if err != nil || n < 0 {
-		writeError(w, http.StatusBadRequest, "invalid %s %q: want a non-negative integer", name, raw)
+		writeError(w, r, http.StatusBadRequest, "invalid %s %q: want a non-negative integer", name, raw)
 		return 0, false
 	}
 	return n, true
@@ -351,7 +401,7 @@ func queryInt(w http.ResponseWriter, raw, name string) (int, bool) {
 func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.store.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, r, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, j)
@@ -360,7 +410,7 @@ func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.store.Cancel(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, r, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j)

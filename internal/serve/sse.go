@@ -26,14 +26,14 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	ch, cancel, err := s.store.Subscribe(id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeError(w, r, http.StatusNotFound, "%v", err)
 		return
 	}
 	defer cancel()
 
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		writeError(w, r, http.StatusInternalServerError, "streaming unsupported by connection")
 		return
 	}
 	h := w.Header()

@@ -1,0 +1,83 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randSlice fills deterministic pseudo-random weights in [-1, 1).
+func randSlice(r *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(r.Float64()*2 - 1)
+	}
+	return s
+}
+
+// TestDecodeFC1GatherMatchesScalarReference pins the fused single-row FC1
+// kernel bit for bit against the obvious scalar computation in the same
+// operation order (products accumulated over k, bias added once, ReLU
+// clamp) — the order the training path FC1Sparse + bias + ReLU uses, which
+// is what makes decode and training agree bitwise on shared selections.
+func TestDecodeFC1GatherMatchesScalarReference(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	const d, H, blk = 12, 20, 8 // ragged final block: H % blk != 0
+	w := ColMajor{In: d, Out: H, Data: randSlice(r, d*H)}
+	bias := randSlice(r, H)
+	x := randSlice(r, d)
+
+	for _, blocks := range [][]int{{0}, {2}, {1, 2}, {0, 1, 2}} {
+		hidden := make([]float32, H)
+		DecodeFC1Gather(hidden, x, &w, bias, blocks, blk)
+
+		active := make(map[int]bool)
+		for _, nb := range blocks {
+			for c := nb * blk; c < (nb+1)*blk && c < H; c++ {
+				active[c] = true
+				var s float32
+				col := w.Col(c)
+				for k, xv := range x {
+					s += xv * col[k]
+				}
+				s += bias[c]
+				if s < 0 {
+					s = 0
+				}
+				if hidden[c] != s {
+					t.Fatalf("blocks %v: hidden[%d] = %v, reference %v", blocks, c, hidden[c], s)
+				}
+			}
+		}
+		for c := 0; c < H; c++ {
+			if !active[c] && hidden[c] != 0 {
+				t.Fatalf("blocks %v: inactive neuron %d wrote %v", blocks, c, hidden[c])
+			}
+		}
+	}
+}
+
+// TestDecodeFC2ScatterMatchesFC2Sparse pins the serial scatter kernel to
+// the parallel training kernel on one row: same blocks, same zero-skip,
+// same accumulation order per output column — bitwise equal.
+func TestDecodeFC2ScatterMatchesFC2Sparse(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	const H, d, blk = 20, 12, 8
+	w := RowMajor{In: H, Out: d, Data: randSlice(r, H*d)}
+	hidden := randSlice(r, H)
+	// Post-ReLU shape: a realistic mix of exact zeros the kernel must skip.
+	for i := 0; i < H; i += 3 {
+		hidden[i] = 0
+	}
+
+	for _, blocks := range [][]int{{0}, {2}, {0, 2}, AllBlocks(H, blk)} {
+		got := make([]float32, d)
+		DecodeFC2Scatter(got, hidden, &w, blocks, blk)
+		want := make([]float32, d)
+		FC2Sparse(want, hidden, 1, &w, blocks, blk)
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("blocks %v: out[%d] = %v, FC2Sparse %v", blocks, c, got[c], want[c])
+			}
+		}
+	}
+}
