@@ -5,7 +5,7 @@
 GO ?= go
 BASELINES := .github/bench
 
-.PHONY: build test race bench bench-allocs bench-all baseline fmt vet check ci
+.PHONY: build test race bench bench-precision bench-allocs bench-all baseline fmt vet check ci
 
 build:
 	$(GO) build ./...
@@ -17,12 +17,18 @@ test:
 # worker pool, concurrent training replicas, multi-adapter decoding on a
 # shared base) — the same set CI runs.
 race:
-	$(GO) test -race ./internal/jobs/... ./internal/serve/... ./internal/parallel/... ./internal/train/... ./internal/tensor/... ./internal/infer/... ./internal/registry/... ./internal/nn/... ./internal/obs/... ./internal/limit/...
+	$(GO) test -race ./internal/jobs/... ./internal/serve/... ./internal/parallel/... ./internal/train/... ./internal/tensor/... ./internal/infer/... ./internal/registry/... ./internal/nn/... ./internal/obs/... ./internal/limit/... ./internal/trace/... ./internal/predictor/... ./internal/half/... ./internal/sparse/...
 
 # CI-sized benchmarks, gated against the checked-in baselines on both
 # ns/op (relative tolerance) and allocs/op (absolute tolerance).
 bench:
-	$(GO) run ./cmd/lebench -suite kernels,train_step,generate,obs,trace -short -baseline $(BASELINES) -tolerance 0.20 -alloc-tolerance 16
+	$(GO) run ./cmd/lebench -suite kernels,kernels_precision,train_step,generate,obs,trace -short -baseline $(BASELINES) -tolerance 0.20 -alloc-tolerance 16
+
+# Reduced-precision pipeline alone: f16/int8 packed GEMM vs the f32 tiled
+# core, decode/prefill TB shapes, 2:4 N:M vs dense, and end-to-end int8
+# decode — gated on ns/op, allocs/op and the declared bytes/op model.
+bench-precision:
+	$(GO) run ./cmd/lebench -suite kernels_precision -short -baseline $(BASELINES) -tolerance 0.20 -alloc-tolerance 16
 
 # Allocation gate alone: the train_step and obs suites compare the
 # workspace-arena step (bare and instrumented) and the instrumented decode
@@ -39,7 +45,7 @@ bench-all:
 # only when intentionally resetting the perf reference (e.g. after a
 # deliberate trade-off or a runner change).
 baseline:
-	$(GO) run ./cmd/lebench -suite kernels,train_step,generate,obs,trace -short -repeats 4 -out .github/bench
+	$(GO) run ./cmd/lebench -suite kernels,kernels_precision,train_step,generate,obs,trace -short -repeats 4 -out .github/bench
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

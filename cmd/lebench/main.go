@@ -9,10 +9,13 @@
 // With -baseline (a report file, or a directory of BENCH_<suite>.json
 // files resolved per suite), each freshly measured suite is compared
 // against its baseline and the process exits 2 on regression: more than
-// -tolerance slower in ns/op, or more than -alloc-tolerance additional
+// -tolerance slower in ns/op, more than -alloc-tolerance additional
 // allocs/op (absolute delta — the axis that locks in the workspace arena's
-// near-zero steady-state allocations). The allocation gate, like the
-// wall-clock gate, only arms when baseline and runner hardware match.
+// near-zero steady-state allocations), or more than -bytes-tolerance
+// relative growth in declared bytes/op (the reduced-precision kernels'
+// traffic accounting). The wall-clock and allocation gates only arm when
+// baseline and runner hardware match; the bytes gate is deterministic and
+// always arms.
 package main
 
 import (
@@ -37,6 +40,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "baseline report to compare against; exit 2 on regression")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed slowdown vs baseline before failing (0.20 = 20%)")
 		allocTol  = flag.Float64("alloc-tolerance", 16, "allowed absolute growth in allocs/op vs baseline before failing; negative disables the allocation gate")
+		bytesTol  = flag.Float64("bytes-tolerance", 0.10, "allowed relative growth in declared bytes/op vs baseline before failing; negative disables the bytes gate")
 		minTime   = flag.Duration("mintime", 0, "minimum timed duration per round (default 300ms, 100ms in short mode)")
 		repeats   = flag.Int("repeats", 0, "measurement rounds per benchmark, best-of (default 3, 2 in short mode)")
 		workers   = flag.Int("workers", 0, "worker-pool size for parallel kernels (default GOMAXPROCS)")
@@ -118,10 +122,17 @@ func main() {
 					"comparison is informational only; refresh the baseline from this runner (make baseline) to arm the gate\n",
 					base.GOARCH, base.CPUs, orDash(base.Host), report.GOARCH, report.CPUs, orDash(report.Host))
 			}
-			deltas, bad := bench.Compare(base, report, bench.Tolerances{Ns: *tolerance, Allocs: *allocTol})
-			fmt.Printf("\nvs baseline %s (commit %s, tolerance %.0f%%, alloc tolerance %+.0f):\n%s",
-				basePath, orDash(base.Commit), *tolerance*100, *allocTol, bench.FormatDeltas(deltas))
-			regressed = regressed || (bad && hwMatch)
+			deltas, bad := bench.Compare(base, report, bench.Tolerances{Ns: *tolerance, Allocs: *allocTol, Bytes: *bytesTol})
+			fmt.Printf("\nvs baseline %s (commit %s, tolerance %.0f%%, alloc tolerance %+.0f, bytes tolerance %.0f%%):\n%s",
+				basePath, orDash(base.Commit), *tolerance*100, *allocTol, *bytesTol*100, bench.FormatDeltas(deltas))
+			// Declared bytes/op is machine-independent, so its gate arms even
+			// when the baseline hardware differs; ns/op and allocs only gate
+			// on matching hardware.
+			bytesBad := false
+			for _, d := range deltas {
+				bytesBad = bytesBad || d.BytesRegressed
+			}
+			regressed = regressed || (bad && hwMatch) || bytesBad
 		}
 	}
 	if regressed {

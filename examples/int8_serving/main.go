@@ -1,0 +1,113 @@
+// int8_serving runs the reduced-precision serving loop end to end, in
+// process: start the gateway, decode a prompt against the sim-small frozen
+// base at f32 and again with the same base published at int8 storage
+// precision, then read back the resident-weight gauge showing the ~4x
+// footprint drop. The two requests differ only in the base descriptor's
+// "precision" field — quantization is a publish-time decision, and the
+// int8 base is a distinct serving artifact (different content hash) from
+// the f32 base it was derived from.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"longexposure/internal/jobs"
+	"longexposure/internal/obs"
+	"longexposure/internal/registry"
+	"longexposure/internal/serve"
+)
+
+func main() {
+	// An in-process daemon: the same serve.New wiring longexpd uses, on an
+	// httptest listener so the example is self-contained.
+	dir, err := os.MkdirTemp("", "int8-serving-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	reg, err := registry.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obsReg := obs.NewRegistry()
+	store := jobs.NewStore(jobs.Config{Workers: 1, Registry: reg, Obs: obsReg})
+	srv := serve.New(store, serve.WithRegistry(reg, 2), serve.WithMetrics(obsReg))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, precision := range []string{"f32", "int8"} {
+		base := map[string]any{"model": "sim-small", "activation": "relu", "seed": 1, "blk": 8, "prime": true}
+		if precision != "f32" {
+			base["precision"] = precision
+		}
+		tokens := generate(ts.URL, base)
+		fmt.Printf("%-5s base: %d tokens: %v\n", precision, len(tokens), tokens)
+	}
+
+	// The metrics plane reports the resident frozen-base weight bytes per
+	// storage precision. Only the large matrices quantize (embeddings and
+	// norms stay f32), so at sim-small scale the int8 twin lands under
+	// half the f32 gauge; at real model shapes the packed matrices
+	// dominate and the ratio approaches 4x.
+	fmt.Println("\nlexp_base_weight_bytes:")
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "lexp_base_weight_bytes{") {
+			fmt.Println("  " + sc.Text())
+		}
+	}
+}
+
+// generate posts one /v1/generate request against an explicit base
+// description and returns the token ids from the stream's done frame.
+func generate(url string, base map[string]any) []int {
+	body, _ := json.Marshal(map[string]any{
+		"base":   base,
+		"prompt": []int{5, 6, 7},
+		"decode": map[string]any{"sampling": map[string]any{"max_tokens": 8, "seed": 3}},
+	})
+	resp, err := http.Post(url+"/v1/generate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e bytes.Buffer
+		e.ReadFrom(resp.Body)
+		log.Fatalf("generate: %s: %s", resp.Status, e.String())
+	}
+	event := ""
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: ") && event == "done":
+			var done struct {
+				Tokens []int `json:"tokens"`
+			}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &done); err != nil {
+				log.Fatalf("bad done frame: %v", err)
+			}
+			return done.Tokens
+		case strings.HasPrefix(line, "data: ") && event == "error":
+			log.Fatalf("error frame: %s", line)
+		}
+	}
+	log.Fatal("stream ended without done frame")
+	return nil
+}

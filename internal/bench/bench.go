@@ -102,6 +102,7 @@ func RunOne(b Benchmark, o Options) Result {
 		res.Iters = iters
 		res.NsPerOp = best
 	}
+	res.BytesPerOp = float64(b.Bytes)
 	if res.NsPerOp > 0 {
 		if b.Flops > 0 {
 			res.GFLOPS = float64(b.Flops) / res.NsPerOp

@@ -13,11 +13,16 @@ type Delta struct {
 	Ratio      float64 `json:"ratio"` // NewNs / BaseNs; >1 is slower
 	BaseAllocs float64 `json:"base_allocs_per_op"`
 	NewAllocs  float64 `json:"new_allocs_per_op"`
+	BaseBytes  float64 `json:"base_bytes_per_op,omitempty"`
+	NewBytes   float64 `json:"new_bytes_per_op,omitempty"`
 	// Regressed flags a wall-clock regression (ns/op ratio beyond the
 	// tolerance); AllocsRegressed flags an allocation regression (allocs/op
-	// grew by more than the absolute tolerance). Either fails the gate.
+	// grew by more than the absolute tolerance); BytesRegressed flags
+	// declared memory traffic growing beyond its relative tolerance. Any
+	// axis fails the gate.
 	Regressed       bool `json:"regressed"`
 	AllocsRegressed bool `json:"allocs_regressed"`
+	BytesRegressed  bool `json:"bytes_regressed,omitempty"`
 }
 
 // Tolerances bound how much a benchmark may degrade versus its baseline
@@ -30,14 +35,21 @@ type Tolerances struct {
 	// threshold is either vacuous or infinitely strict. A negative value
 	// disables allocation gating.
 	Allocs float64
+	// Bytes is the allowed relative growth in declared bytes/op. Bytes/op
+	// is deterministic (it is the suite's own traffic accounting), so the
+	// tolerance mostly absorbs intentional re-accounting; growth beyond it
+	// means a kernel started streaming more data. A negative value
+	// disables the bytes gate.
+	Bytes float64
 }
 
 // Compare matches cur's results against base by name and flags regressions:
 // wall-clock when a benchmark got more than tol.Ns slower (ns/op ratio
 // > 1+tol.Ns), allocation when allocs/op grew by more than tol.Allocs over
-// the baseline. Benchmarks present on only one side are skipped — suite
+// the baseline, bytes when declared bytes/op grew relatively beyond
+// tol.Bytes. Benchmarks present on only one side are skipped — suite
 // membership changes must not fail CI. The second return is true when any
-// benchmark regressed on either axis.
+// benchmark regressed on any axis.
 func Compare(base, cur *Report, tol Tolerances) ([]Delta, bool) {
 	var deltas []Delta
 	anyRegressed := false
@@ -53,21 +65,26 @@ func Compare(base, cur *Report, tol Tolerances) ([]Delta, bool) {
 			Ratio:      res.NsPerOp / b.NsPerOp,
 			BaseAllocs: b.AllocsPerOp,
 			NewAllocs:  res.AllocsPerOp,
+			BaseBytes:  b.BytesPerOp,
+			NewBytes:   res.BytesPerOp,
 		}
 		d.Regressed = d.Ratio > 1+tol.Ns
 		d.AllocsRegressed = tol.Allocs >= 0 && res.AllocsPerOp > b.AllocsPerOp+tol.Allocs
-		anyRegressed = anyRegressed || d.Regressed || d.AllocsRegressed
+		d.BytesRegressed = tol.Bytes >= 0 && b.BytesPerOp > 0 &&
+			res.BytesPerOp > b.BytesPerOp*(1+tol.Bytes)
+		anyRegressed = anyRegressed || d.Regressed || d.AllocsRegressed || d.BytesRegressed
 		deltas = append(deltas, d)
 	}
 	return deltas, anyRegressed
 }
 
 // FormatDeltas renders a fixed-width comparison table; rows that fail the
-// gate are marked REGRESSED (ns/op) or ALLOCS-REGRESSED (allocs/op).
+// gate are marked REGRESSED (ns/op), ALLOCS-REGRESSED (allocs/op) or
+// BYTES-REGRESSED (declared bytes/op).
 func FormatDeltas(deltas []Delta) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-36s %14s %14s %8s %12s %12s\n",
-		"benchmark", "base ns/op", "new ns/op", "ratio", "base allocs", "new allocs")
+	fmt.Fprintf(&sb, "%-36s %14s %14s %8s %12s %12s %14s %14s\n",
+		"benchmark", "base ns/op", "new ns/op", "ratio", "base allocs", "new allocs", "base B/op", "new B/op")
 	for _, d := range deltas {
 		mark := ""
 		if d.Regressed {
@@ -76,8 +93,11 @@ func FormatDeltas(deltas []Delta) string {
 		if d.AllocsRegressed {
 			mark += "  ALLOCS-REGRESSED"
 		}
-		fmt.Fprintf(&sb, "%-36s %14.0f %14.0f %7.2fx %12.0f %12.0f%s\n",
-			d.Name, d.BaseNs, d.NewNs, d.Ratio, d.BaseAllocs, d.NewAllocs, mark)
+		if d.BytesRegressed {
+			mark += "  BYTES-REGRESSED"
+		}
+		fmt.Fprintf(&sb, "%-36s %14.0f %14.0f %7.2fx %12.0f %12.0f %14.0f %14.0f%s\n",
+			d.Name, d.BaseNs, d.NewNs, d.Ratio, d.BaseAllocs, d.NewAllocs, d.BaseBytes, d.NewBytes, mark)
 	}
 	return sb.String()
 }

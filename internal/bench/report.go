@@ -14,11 +14,17 @@ import (
 
 // Result is one benchmark's measurement.
 type Result struct {
-	Name            string  `json:"name"`
-	Iters           int     `json:"iters"`
-	NsPerOp         float64 `json:"ns_per_op"`
-	GFLOPS          float64 `json:"gflops,omitempty"`
-	MBPerS          float64 `json:"mb_per_s,omitempty"`
+	Name    string  `json:"name"`
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+	GFLOPS  float64 `json:"gflops,omitempty"`
+	MBPerS  float64 `json:"mb_per_s,omitempty"`
+	// BytesPerOp is the benchmark's declared memory traffic per op
+	// (Benchmark.Bytes) — deterministic, machine-independent, and gated by
+	// Compare so a kernel change cannot silently grow its weight or
+	// activation streaming. The reduced-precision suites' headline bytes/op
+	// ratios (f16 ≈ 2x under f32) live on this axis.
+	BytesPerOp      float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp     float64 `json:"allocs_per_op"`
 	AllocBytesPerOp float64 `json:"alloc_bytes_per_op"`
 }

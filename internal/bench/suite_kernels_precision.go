@@ -1,0 +1,239 @@
+// The kernels_precision suite measures the reduced-precision weight
+// pipeline against its f32 references, on both axes the tentpole claims:
+//
+//   - GFLOP/s of the f16/int8 packed tiled GEMM vs the f32 tiled core at
+//     square sizes (the widening happens once per L1 panel, so throughput
+//     should track f32 closely while streaming half / a quarter of the
+//     weight bytes);
+//   - bytes/op on the decode-shaped TB matvec (m=1 and m=8), where weight
+//     streaming dominates, and the m=64 prefill shape where the packed path
+//     reaches f32 ns/op parity at a ≥1.8x bytes/op reduction — the
+//     documented acceptance claim;
+//   - the 2:4 N:M structured-sparse matvec vs the dense core at 50%
+//     structured sparsity;
+//   - end-to-end cached decode on the sim model, f32 base vs int8 base.
+//
+// CI runs it in short mode and gates ns/op, allocs/op and bytes/op against
+// the checked-in BENCH_kernels_precision.json baseline.
+package bench
+
+import (
+	"fmt"
+
+	"longexposure/internal/model"
+	"longexposure/internal/nn"
+	"longexposure/internal/sparse"
+	"longexposure/internal/tensor"
+)
+
+func init() {
+	Register("kernels_precision", precisionSuite)
+}
+
+func precisionSuite(o Options) []Benchmark {
+	var out []Benchmark
+	sizes := []int{128, 256}
+	if !o.Short {
+		sizes = append(sizes, 512)
+	}
+	for _, n := range sizes {
+		out = append(out, packedGemmBenchmarks(n)...)
+	}
+	out = append(out, decodeMatvecBenchmarks(1024, 1024)...)
+	out = append(out, prefillMatvecBenchmarks(64, 1536, 1536)...)
+	out = append(out, nmBenchmarks(1024, 1024)...)
+	out = append(out, decodeE2EBenchmarks(o)...)
+	return out
+}
+
+// packedGemmBenchmarks compares the packed-storage GEMM cores against the
+// f32 tiled core at n×n×n, with honest full-traffic byte accounting
+// (a + b + c streams; b at its stored width).
+func packedGemmBenchmarks(n int) []Benchmark {
+	r := tensor.NewRNG(uint64(n))
+	a, b, c := tensor.New(n, n), tensor.New(n, n), tensor.New(n, n)
+	r.FillNormal(a, 1)
+	r.FillNormal(b, 1)
+	f16 := tensor.PackF16(b)
+	i8 := tensor.PackInt8(b, tensor.ScalePerCol)
+	flops := 2 * int64(n) * int64(n) * int64(n)
+	f32Bytes := 4 * 3 * int64(n) * int64(n)
+	return []Benchmark{
+		{Name: fmt.Sprintf("gemm/f32/tiled/%d", n), Flops: flops, Bytes: f32Bytes, Fn: func() {
+			c.Zero()
+			tensor.GemmRange(c.Data, a.Data, b.Data, n, n, 0, n)
+		}},
+		{Name: fmt.Sprintf("gemm/f16/packed/%d", n), Flops: flops,
+			Bytes: 4*2*int64(n)*int64(n) + f16.Bytes(), Fn: func() {
+				c.Zero()
+				tensor.GemmRangePacked(c.Data, a.Data, f16, n, n, 0, n)
+			}},
+		{Name: fmt.Sprintf("gemm/int8/packed/%d", n), Flops: flops,
+			Bytes: 4*2*int64(n)*int64(n) + i8.Bytes(), Fn: func() {
+				c.Zero()
+				tensor.GemmRangePacked(c.Data, a.Data, i8, n, n, 0, n)
+			}},
+	}
+}
+
+// decodeMatvecBenchmarks is the decode-step shape (m tokens against a
+// [k → n] weight matrix via the TB kernel) at m=1 and m=8. Compute is thin,
+// weight streaming dominates, so bytes/op is the story — f16 packs to half
+// the f32 traffic, int8 to under a quarter plus scales. At m=1 the per-panel
+// widening is paid on every madd and packed kernels lose wall-clock (kept as
+// the honest single-stream cost); at m=8 — one continuous-batching decode
+// step — the widening amortizes across the batch and f16 reaches ns parity
+// at the documented ≥1.8x traffic reduction.
+func decodeMatvecBenchmarks(k, n int) []Benchmark {
+	r := tensor.NewRNG(uint64(k + n))
+	const mb = 8 // batched-step width
+	x, y := tensor.New(mb, k), tensor.New(mb, n)
+	w := tensor.New(n, k) // TB layout: row j is output j's weights
+	r.FillNormal(x, 1)
+	r.FillNormal(w, 1)
+	f16 := tensor.PackF16(w)
+	i8 := tensor.PackInt8(w, tensor.ScalePerRow)
+	var out []Benchmark
+	for _, m := range []int{1, mb} {
+		m := m
+		flops := 2 * int64(m) * int64(k) * int64(n)
+		actBytes := 4 * int64(m) * int64(k+n) // x stream + y stream
+		tag := fmt.Sprintf("m%dk%dn%d", m, k, n)
+		out = append(out,
+			Benchmark{Name: "decode/tb/f32/" + tag, Flops: flops, Bytes: actBytes + 4*int64(n)*int64(k), Fn: func() {
+				y.Zero()
+				tensor.GemmTBRange(y.Data, x.Data, w.Data, k, n, 0, m)
+			}},
+			Benchmark{Name: "decode/tb/f16/" + tag, Flops: flops, Bytes: actBytes + f16.Bytes(), Fn: func() {
+				y.Zero()
+				tensor.GemmTBRangePacked(y.Data, x.Data, f16, k, n, 0, m)
+			}},
+			Benchmark{Name: "decode/tb/int8/" + tag, Flops: flops, Bytes: actBytes + i8.Bytes(), Fn: func() {
+				y.Zero()
+				tensor.GemmTBRangePacked(y.Data, x.Data, i8, k, n, 0, m)
+			}},
+		)
+	}
+	return out
+}
+
+// prefillMatvecBenchmarks is the prefill-shaped TB sweep (m tokens at once)
+// where the per-quad widening amortizes over all m output rows: at m=64 the
+// packed kernels reach f32 ns/op parity (within ~10%, the residual being the
+// one-time O(k·n) widening pass) while streaming ≥1.8x fewer bytes/op for
+// f16 and >3x fewer for int8 — the documented bytes-at-parity acceptance
+// claim for the f16 pipeline.
+func prefillMatvecBenchmarks(m, k, n int) []Benchmark {
+	r := tensor.NewRNG(uint64(m + k + n))
+	x, y := tensor.New(m, k), tensor.New(m, n)
+	w := tensor.New(n, k)
+	r.FillNormal(x, 1)
+	r.FillNormal(w, 1)
+	f16 := tensor.PackF16(w)
+	i8 := tensor.PackInt8(w, tensor.ScalePerRow)
+	flops := 2 * int64(m) * int64(k) * int64(n)
+	actBytes := 4 * int64(m) * int64(k+n)
+	tag := fmt.Sprintf("m%dk%dn%d", m, k, n)
+	return []Benchmark{
+		{Name: "prefill/tb/f32/" + tag, Flops: flops, Bytes: actBytes + 4*int64(n)*int64(k), Fn: func() {
+			y.Zero()
+			tensor.GemmTBRange(y.Data, x.Data, w.Data, k, n, 0, m)
+		}},
+		{Name: "prefill/tb/f16/" + tag, Flops: flops, Bytes: actBytes + f16.Bytes(), Fn: func() {
+			y.Zero()
+			tensor.GemmTBRangePacked(y.Data, x.Data, f16, k, n, 0, m)
+		}},
+		{Name: "prefill/tb/int8/" + tag, Flops: flops, Bytes: actBytes + i8.Bytes(), Fn: func() {
+			y.Zero()
+			tensor.GemmTBRangePacked(y.Data, x.Data, i8, k, n, 0, m)
+		}},
+	}
+}
+
+// nmBenchmarks compares the 2:4 structured-sparse kernels against the dense
+// TB core on the same [rows → cols] matrix — 50% structured sparsity, so
+// the N:M kernels do half the multiply-adds and stream 0.625x the bytes.
+// Two shapes: the m=1 gather (honest loss — its offset loads outweigh the
+// halved madds) and the m=8 token-blocked MulTB, where the metadata loads
+// amortize across the four-token panes and the N:M kernel beats the dense
+// core outright.
+func nmBenchmarks(rows, cols int) []Benchmark {
+	r := tensor.NewRNG(uint64(rows * 2))
+	w := tensor.New(rows, cols)
+	r.FillNormal(w, 1)
+	nm := sparse.PackNM(w.Data, rows, cols, 2, 4)
+	const mb = 8
+	x, y := tensor.New(mb, cols), tensor.New(mb, rows)
+	r.FillNormal(x, 1)
+	var out []Benchmark
+	for _, m := range []int{1, mb} {
+		m := m
+		actBytes := 4 * int64(m) * int64(rows+cols)
+		tag := fmt.Sprintf("m%dr%dc%d", m, rows, cols)
+		out = append(out,
+			Benchmark{Name: "nm/dense/" + tag, Flops: 2 * int64(m) * int64(rows) * int64(cols),
+				Bytes: actBytes + 4*int64(rows)*int64(cols), Fn: func() {
+					y.Zero()
+					tensor.GemmTBRange(y.Data, x.Data, w.Data, cols, rows, 0, m)
+				}},
+			Benchmark{Name: "nm/24/" + tag, Flops: int64(m) * int64(rows) * int64(cols),
+				Bytes: actBytes + nm.Bytes(), Fn: func() {
+					y.Zero()
+					nm.MulTB(y.Data, x.Data, m)
+				}},
+		)
+	}
+	return out
+}
+
+// decodeE2EBenchmarks runs full cached decode to MaxSeq on the sim model,
+// f32 base against its int8-compressed twin — the serving-level payoff of
+// the packed pipeline (generate-suite idiom: one op = one generation).
+func decodeE2EBenchmarks(o Options) []Benchmark {
+	spec := model.Sim(model.OPT1p3B())
+	if o.Short {
+		spec = model.SimSmall(nn.ActReLU)
+	}
+	promptLen := 8
+	tokens := spec.Config.MaxSeq - promptLen
+	cfg := nn.GenerateConfig{MaxTokens: spec.Config.MaxSeq}
+	flops := genFlops(spec, tokens)
+
+	build := func(precision string) *nn.Transformer {
+		r := tensor.NewRNG(1234)
+		m := nn.NewTransformer(spec.Config, r)
+		model.PrimeSparsity(m, r.Split(), 8)
+		if err := m.Compress(precision); err != nil {
+			panic(err)
+		}
+		return m
+	}
+	prompt := make([]int, promptLen)
+	for i := range prompt {
+		prompt[i] = 10 + i
+	}
+
+	one := func(name, precision string) Benchmark {
+		var m *nn.Transformer
+		var cache *nn.KVCache
+		var ws *tensor.Arena
+		return Benchmark{
+			Name:  name,
+			Flops: flops,
+			Setup: func() {
+				m = build(precision)
+				cache = m.NewKVCache()
+				ws = tensor.NewArena()
+				m.GenerateCached(prompt, cfg, nil, cache, ws) // warm the arena
+			},
+			Fn: func() {
+				cache.Reset()
+				m.GenerateCached(prompt, cfg, nil, cache, ws)
+			},
+		}
+	}
+	return []Benchmark{
+		one("decode_e2e/f32", ""),
+		one("decode_e2e/int8", nn.PrecisionI8),
+	}
+}

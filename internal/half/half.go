@@ -51,12 +51,10 @@ func FromFloat32(x float32) Float16 {
 		}
 		m := frac | 0x800000 // restore implicit bit
 		shift := uint32(14 - e)
-		half := uint32(1) << (shift - 1)
-		rounded := m + half
-		// Round to nearest even on ties.
-		if rounded&(half<<1-1) == half && m&(uint32(1)<<shift) == 0 {
-			rounded = m
-		}
+		// Round to nearest, ties to even: add just under half, plus the
+		// kept lsb so exact ties carry only when the kept bit is odd —
+		// the same scheme the normal path uses on its 13 dropped bits.
+		rounded := m + (uint32(1)<<(shift-1) - 1) + ((m >> shift) & 1)
 		return Float16(sign | uint16(rounded>>shift))
 	}
 
@@ -77,28 +75,25 @@ func FromFloat32(x float32) Float16 {
 
 // ToFloat32 converts a Float16 back to float32 exactly (every binary16 value
 // is representable in binary32).
+//
+// The widening is branch-free except for the Inf/NaN class: sign and
+// magnitude bits are placed at their binary32 positions, which leaves the
+// exponent short by exactly 112 (the bias difference 127-15 minus the 13-bit
+// fraction shift already applied), and a single multiply by 2^112 rescales.
+// The multiply is exact for normals (pure exponent shift) and for subnormals
+// (m·2^-136 · 2^112 = m·2^-24, which binary32 normalizes losslessly), so no
+// normalization loop is needed; the sign rides through the multiply, so the
+// whole conversion needs one integer→float register move rather than a
+// round trip. This is the kernel-facing conversion the packed-GEMM pack
+// routines run per weight element, which is why it must be cheap;
+// TestToFloat32MatchesReference pins it against the obvious
+// shift-and-normalize decoder over all 65536 patterns.
 func (f Float16) ToFloat32() float32 {
-	sign := uint32(f&0x8000) << 16
-	exp := uint32(f>>10) & 0x1f
-	frac := uint32(f & 0x3ff)
-
-	switch {
-	case exp == 0x1f: // Inf / NaN
-		return math.Float32frombits(sign | 0x7f800000 | frac<<13)
-	case exp == 0:
-		if frac == 0 {
-			return math.Float32frombits(sign) // signed zero
-		}
-		// Subnormal: normalize.
-		e := uint32(127 - 15 + 1)
-		for frac&0x400 == 0 {
-			frac <<= 1
-			e--
-		}
-		frac &= 0x3ff
-		return math.Float32frombits(sign | (e << 23) | frac<<13)
+	if f&0x7c00 == 0x7c00 { // Inf / NaN: payload moves to the top fraction bits
+		return math.Float32frombits(uint32(f&0x8000)<<16 | 0x7f800000 | uint32(f&0x3ff)<<13)
 	}
-	return math.Float32frombits(sign | (exp-15+127)<<23 | frac<<13)
+	const twoPow112 = 0x1p112
+	return math.Float32frombits(uint32(f&0x8000)<<16|uint32(f&0x7fff)<<13) * twoPow112
 }
 
 // IsNaN reports whether f encodes a NaN.

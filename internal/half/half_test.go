@@ -113,6 +113,118 @@ func TestMonotonicOrdering(t *testing.T) {
 	}
 }
 
+// referenceToFloat32 is the obvious shift-and-normalize decoder, kept only
+// as the oracle for the branch-reduced production ToFloat32.
+func referenceToFloat32(f Float16) float32 {
+	sign := uint32(f&0x8000) << 16
+	exp := uint32(f>>10) & 0x1f
+	frac := uint32(f & 0x3ff)
+	switch {
+	case exp == 0x1f:
+		return math.Float32frombits(sign | 0x7f800000 | frac<<13)
+	case exp == 0:
+		if frac == 0 {
+			return math.Float32frombits(sign)
+		}
+		e := uint32(127 - 15 + 1)
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= 0x3ff
+		return math.Float32frombits(sign | (e << 23) | frac<<13)
+	}
+	return math.Float32frombits(sign | (exp-15+127)<<23 | frac<<13)
+}
+
+// TestToFloat32MatchesReference pins the magic-multiply widening against the
+// reference decoder bit for bit over every 16-bit pattern, including every
+// subnormal and every NaN payload.
+func TestToFloat32MatchesReference(t *testing.T) {
+	for bits := 0; bits <= 0xffff; bits++ {
+		h := Float16(bits)
+		got := math.Float32bits(h.ToFloat32())
+		want := math.Float32bits(referenceToFloat32(h))
+		if got != want {
+			t.Fatalf("bits %#04x: ToFloat32 = %#08x, reference %#08x", bits, got, want)
+		}
+	}
+}
+
+// TestSubnormalExact checks every fp16 subnormal decodes to exactly m·2⁻²⁴.
+func TestSubnormalExact(t *testing.T) {
+	for m := 1; m <= 0x3ff; m++ {
+		want := float32(math.Ldexp(float64(m), -24))
+		if got := Float16(m).ToFloat32(); got != want {
+			t.Fatalf("subnormal m=%d: got %g, want %g", m, got, want)
+		}
+		if got := Float16(uint16(m) | 0x8000).ToFloat32(); got != -want {
+			t.Fatalf("subnormal m=-%d: got %g, want %g", m, got, -want)
+		}
+	}
+}
+
+// TestNaNPayload: widening moves the 10 payload bits to the top of the f32
+// fraction; narrowing moves them back, with FromFloat32 forcing the quiet
+// bit. Payload-modulo-quiet-bit must survive the f16→f32→f16 round trip.
+func TestNaNPayload(t *testing.T) {
+	for _, payload := range []uint16{0x001, 0x155, 0x2aa, 0x3ff} {
+		for _, sign := range []uint16{0, 0x8000} {
+			h := Float16(sign | 0x7c00 | payload)
+			f := h.ToFloat32()
+			fb := math.Float32bits(f)
+			if fb>>23&0xff != 0xff || fb&0x7fffff != uint32(payload)<<13 {
+				t.Fatalf("NaN %#04x widened to %#08x, payload lost", h.Bits(), fb)
+			}
+			back := FromFloat32(f)
+			if !back.IsNaN() || back.Bits()&0x8000 != sign {
+				t.Fatalf("NaN %#04x round-tripped to %#04x", h.Bits(), back.Bits())
+			}
+			if got, want := back.Bits()&0x3ff, payload|0x200; got != want {
+				t.Fatalf("NaN payload %#03x round-tripped to %#03x, want %#03x (quieted)", payload, got, want)
+			}
+		}
+	}
+}
+
+// TestRoundToNearestEvenTies enumerates every pair of adjacent finite fp16
+// values: the exact midpoint (always representable in f32, it has one extra
+// mantissa bit) must round to whichever neighbour has an even mantissa, and
+// one f32 ulp to either side must round to the nearer neighbour.
+func TestRoundToNearestEvenTies(t *testing.T) {
+	for bits := 0; bits < 0x7bff; bits++ {
+		lo, hi := Float16(bits), Float16(bits+1)
+		fl, fh := lo.ToFloat32(), hi.ToFloat32()
+		mid := float32((float64(fl) + float64(fh)) / 2)
+		if float64(mid) != (float64(fl)+float64(fh))/2 {
+			t.Fatalf("bits %#04x: midpoint %g not exactly representable", bits, mid)
+		}
+		even := lo
+		if hi.Bits()&1 == 0 {
+			even = hi
+		}
+		if got := FromFloat32(mid); got != even {
+			t.Fatalf("tie between %#04x and %#04x: rounded to %#04x, want even %#04x",
+				lo.Bits(), hi.Bits(), got.Bits(), even.Bits())
+		}
+		below := math.Float32frombits(math.Float32bits(mid) - 1)
+		if got := FromFloat32(below); got != lo {
+			t.Fatalf("just below tie of %#04x/%#04x: rounded to %#04x, want %#04x",
+				lo.Bits(), hi.Bits(), got.Bits(), lo.Bits())
+		}
+		above := math.Float32frombits(math.Float32bits(mid) + 1)
+		if got := FromFloat32(above); got != hi {
+			t.Fatalf("just above tie of %#04x/%#04x: rounded to %#04x, want %#04x",
+				lo.Bits(), hi.Bits(), got.Bits(), hi.Bits())
+		}
+		// Mirror for the negative range.
+		nmid := math.Float32frombits(math.Float32bits(mid) | 0x80000000)
+		if got := FromFloat32(nmid); got.Bits() != even.Bits()|0x8000 {
+			t.Fatalf("negative tie of %#04x: rounded to %#04x", bits, got.Bits())
+		}
+	}
+}
+
 func TestSliceHelpers(t *testing.T) {
 	xs := []float32{0, 1, -1, 0.5, 3.14159, 65504}
 	enc := EncodeSlice(nil, xs)

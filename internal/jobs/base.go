@@ -24,10 +24,17 @@ func BuildBase(desc registry.BaseDesc) (*nn.Transformer, error) {
 	if desc.Seed == 0 || desc.Blk <= 0 {
 		return nil, fmt.Errorf("jobs: base desc missing seed or blk: %+v", desc)
 	}
+	if !nn.ValidPrecision(desc.Precision) {
+		return nil, fmt.Errorf("jobs: unknown base precision %q", desc.Precision)
+	}
 	rng := tensor.NewRNG(desc.Seed)
 	m := nn.NewTransformer(spec.Config, rng)
 	if desc.Prime {
 		model.PrimeSparsity(m, rng.Split(), desc.Blk)
+	}
+	// Compress last: priming reads the f32 weights it is about to free.
+	if err := m.Compress(desc.Precision); err != nil {
+		return nil, err
 	}
 	return m, nil
 }
@@ -46,5 +53,6 @@ func (f FinetuneSpec) baseDesc() (registry.BaseDesc, error) {
 		Seed:       cfg.Seed,
 		Blk:        cfg.Blk,
 		Prime:      cfg.Prime,
+		Precision:  f.Precision,
 	}, nil
 }

@@ -71,6 +71,12 @@ type FinetuneSpec struct {
 	// PredictorEpochs tunes the offline predictor pre-training phase
 	// (sparse jobs only, default 6).
 	PredictorEpochs int `json:"predictor_epochs,omitempty"`
+
+	// Precision selects the weight storage of the published base artifact
+	// ("f32" default, "f16", "int8", "nm24"). Training always runs f32;
+	// the choice is recorded in the artifact's base descriptor, and the
+	// serving gateway compresses the rebuilt base to match at load time.
+	Precision string `json:"precision,omitempty"`
 }
 
 // ExperimentSpec names one registered paper experiment.
@@ -153,6 +159,11 @@ func (f FinetuneSpec) normalized() FinetuneSpec {
 	if f.PredictorEpochs == 0 {
 		f.PredictorEpochs = 6
 	}
+	// "f32" is the default spelled out: fold to empty so it hashes (and
+	// base-descriptor-hashes) identically to a spec that omitted it.
+	if f.Precision == nn.PrecisionF32 {
+		f.Precision = ""
+	}
 	return f
 }
 
@@ -195,6 +206,9 @@ func (f FinetuneSpec) validate() error {
 	case "relu", "gelu":
 	default:
 		return fmt.Errorf("jobs: unknown activation %q (want relu or gelu)", f.Activation)
+	}
+	if !nn.ValidPrecision(n.Precision) {
+		return fmt.Errorf("jobs: unknown base precision %q (want f32, f16, int8 or nm24)", f.Precision)
 	}
 	if f.Epochs < 0 || f.Steps < 0 || f.Batch < 0 || f.Seq < 0 || f.Blk < 0 || f.PredictorEpochs < 0 {
 		return fmt.Errorf("jobs: negative finetune geometry")

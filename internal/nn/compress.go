@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"fmt"
+
+	"longexposure/internal/sparse"
+	"longexposure/internal/tensor"
+)
+
+// Frozen-base weight compression. The paper stores parameters in fp16 and
+// computes in fp32 (§VII-A); serving a frozen base additionally admits int8
+// and N:M structured storage because precision becomes a compile-time
+// property of a read-only artifact — the registry selects it at publish
+// time, and every PEFT delta stays f32 on top. Compress rewrites the big
+// matrices in place and FREES their f32 storage (weights and gradient
+// buffers), so a compressed model is serving-only: Backward, the exposer,
+// and the contextual-sparsity planner all need the f32 weights and refuse or
+// must be skipped.
+
+// Precision names accepted by Compress and the registry's base descriptor.
+const (
+	// PrecisionF32 (or empty) is the uncompressed default.
+	PrecisionF32 = "f32"
+	// PrecisionF16 stores every large matrix (attention projections, MLP,
+	// LM head) as IEEE binary16: half the weight bytes, ≤2⁻¹¹ relative
+	// error per weight.
+	PrecisionF16 = "f16"
+	// PrecisionI8 stores the same matrices as symmetric per-channel int8:
+	// a quarter of the weight bytes, ≤scale/2 absolute error per weight.
+	PrecisionI8 = "int8"
+	// PrecisionNM24 prunes the MLP matrices to 2:4 block-structured
+	// sparsity (f32 values, halved multiply-adds, 0.625x weight bytes);
+	// attention and head stay f32.
+	PrecisionNM24 = "nm24"
+)
+
+// ValidPrecision reports whether p names a supported storage precision.
+func ValidPrecision(p string) bool {
+	switch p {
+	case "", PrecisionF32, PrecisionF16, PrecisionI8, PrecisionNM24:
+		return true
+	}
+	return false
+}
+
+// CompressedPrecision reports whether p names a format that leaves f32 —
+// i.e. whether a base built at p is serving-only.
+func CompressedPrecision(p string) bool {
+	return p == PrecisionF16 || p == PrecisionI8 || p == PrecisionNM24
+}
+
+// Compress converts the model's large frozen matrices to the named storage
+// precision and frees their f32 weight and gradient buffers. Embeddings,
+// LayerNorms, biases and any attached PEFT modules stay f32 (they are small
+// and, for PEFT, trainable). The model must not carry LoRA branches on the
+// layers being packed — compression is a base-artifact operation, applied
+// before adapters attach.
+func (m *Transformer) Compress(precision string) error {
+	switch precision {
+	case "", PrecisionF32:
+		return nil
+	case PrecisionF16, PrecisionI8:
+		for _, b := range m.Blocks {
+			for _, l := range []*Linear{b.Attn.Wq, b.Attn.Wk, b.Attn.Wv, b.Attn.Wo} {
+				if err := packLinear(l, precision); err != nil {
+					return err
+				}
+			}
+			mlp := b.MLP
+			if precision == PrecisionF16 {
+				mlp.PackedW1 = tensor.PackF16(mlp.W1.W)
+				mlp.PackedW2 = tensor.PackF16(mlp.W2.W)
+			} else {
+				// W1 runs the TB kernel (rows are output neurons), W2 the
+				// A·B kernel (columns are) — scales follow the kernel.
+				mlp.PackedW1 = tensor.PackInt8(mlp.W1.W, tensor.ScalePerRow)
+				mlp.PackedW2 = tensor.PackInt8(mlp.W2.W, tensor.ScalePerCol)
+			}
+			freeParam(mlp.W1)
+			freeParam(mlp.W2)
+		}
+		return packLinear(m.Head, precision)
+	case PrecisionNM24:
+		if m.Cfg.Dim%4 != 0 {
+			return fmt.Errorf("nn: %s needs dim %% 4 == 0, got %d", precision, m.Cfg.Dim)
+		}
+		for _, b := range m.Blocks {
+			mlp := b.MLP
+			mlp.NMW1 = sparse.PackNM(mlp.W1.W.Data, mlp.Hidden, mlp.Dim, 2, 4)
+			mlp.NMW2 = sparse.PackNM(mlp.W2.W.Data, mlp.Hidden, mlp.Dim, 2, 4)
+			freeParam(mlp.W1)
+			freeParam(mlp.W2)
+		}
+		return nil
+	}
+	return fmt.Errorf("nn: unknown precision %q", precision)
+}
+
+func packLinear(l *Linear, precision string) error {
+	if l.HasLoRA() {
+		return fmt.Errorf("nn: cannot compress %s: LoRA branch attached", l.W.Name)
+	}
+	if precision == PrecisionF16 {
+		l.Packed = tensor.PackF16(l.W.W)
+	} else {
+		l.Packed = tensor.PackInt8(l.W.W, tensor.ScalePerCol)
+	}
+	freeParam(l.W)
+	return nil
+}
+
+// freeParam drops a parameter's f32 weight and gradient storage (shape
+// metadata survives) and freezes it. Any dense kernel that still reads the
+// weight will fail fast on the nil slice rather than compute with zeros.
+func freeParam(p *Parameter) {
+	p.W.Data = nil
+	p.Grad.Data = nil
+	p.Frozen = true
+}
+
+// WeightBytes reports the resident bytes of every weight the model serves
+// with — f32 parameters (embeddings, norms, biases, uncompressed matrices,
+// PEFT modules) plus packed and N:M storage. The serve gateway exports this
+// per base as lexp_base_weight_bytes.
+func (m *Transformer) WeightBytes() int64 {
+	var total int64
+	for _, p := range m.Params() {
+		total += 4 * int64(p.W.Len())
+	}
+	for _, b := range m.Blocks {
+		for _, l := range []*Linear{b.Attn.Wq, b.Attn.Wk, b.Attn.Wv, b.Attn.Wo} {
+			if l.Packed != nil {
+				total += l.Packed.Bytes()
+			}
+		}
+		mlp := b.MLP
+		if mlp.PackedW1 != nil {
+			total += mlp.PackedW1.Bytes()
+		}
+		if mlp.PackedW2 != nil {
+			total += mlp.PackedW2.Bytes()
+		}
+		if mlp.NMW1 != nil {
+			total += mlp.NMW1.Bytes()
+		}
+		if mlp.NMW2 != nil {
+			total += mlp.NMW2.Bytes()
+		}
+	}
+	if m.Head.Packed != nil {
+		total += m.Head.Packed.Bytes()
+	}
+	return total
+}
+
+// Compressed reports whether any layer left f32 storage.
+func (m *Transformer) Compressed() bool {
+	for _, b := range m.Blocks {
+		if b.Attn.Wq.Packed != nil || b.MLP.compressed() {
+			return true
+		}
+	}
+	return m.Head.Packed != nil
+}

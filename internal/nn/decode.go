@@ -217,7 +217,12 @@ func (m *Transformer) DecodeStepCfg(cache *KVCache, ids []int, cfg DecodeStepCon
 	// the vocab projection for every earlier row.
 	last := tensor.WrapIn(ws, x.Data[(n-1)*d:n*d], 1, d)
 	ln := decodeLayerNorm(m.LNF, last, ws)
-	logits := tensor.MatMulIn(ws, ln, m.Head.W.W)
+	var logits *tensor.Tensor
+	if m.Head.Packed != nil {
+		logits = tensor.MatMulPackedIn(ws, ln, m.Head.Packed)
+	} else {
+		logits = tensor.MatMulIn(ws, ln, m.Head.W.W)
+	}
 	tensor.AddRowVector(logits, m.Head.B.W.Data)
 	return logits
 }
@@ -267,7 +272,12 @@ func decodeLayerNorm(ln *LayerNorm, x *tensor.Tensor, ws *tensor.Arena) *tensor.
 // nothing: y = x·W + b (+ Scale·(x·A)·B), the exact op sequence of the
 // training layer.
 func decodeLinear(l *Linear, x *tensor.Tensor, lw *LoRAPair, ws *tensor.Arena) *tensor.Tensor {
-	y := tensor.MatMulIn(ws, x, l.W.W)
+	var y *tensor.Tensor
+	if l.Packed != nil {
+		y = tensor.MatMulPackedIn(ws, x, l.Packed)
+	} else {
+		y = tensor.MatMulIn(ws, x, l.W.W)
+	}
 	tensor.AddRowVector(y, l.B.W.Data)
 	if lw != nil {
 		xa := tensor.MatMulIn(ws, x, lw.A)
@@ -346,9 +356,7 @@ func decodeAttention(a *MultiHeadAttention, x *tensor.Tensor, kv *kvLayer, cache
 		}
 	}
 
-	y := tensor.MatMulIn(ws, ctx, a.Wo.W.W)
-	tensor.AddRowVector(y, a.Wo.B.W.Data)
-	return y
+	return decodeLinear(a.Wo, ctx, nil, ws)
 }
 
 // decodeAttentionSparse is the single-row block-sparse attention read: the
@@ -405,9 +413,7 @@ func decodeAttentionSparse(a *MultiHeadAttention, q *tensor.Tensor, kv *kvLayer,
 			}
 		}
 	}
-	y := tensor.MatMulIn(ws, ctx, a.Wo.W.W)
-	tensor.AddRowVector(y, a.Wo.B.W.Data)
-	return y
+	return decodeLinear(a.Wo, ctx, nil, ws)
 }
 
 // decodeMLP is MLP.Forward without the layer-struct caches. blocks selects
@@ -423,6 +429,9 @@ func decodeMLP(m *MLP, x *tensor.Tensor, blocks []int, blk int, ws *tensor.Arena
 	}
 	tokens := x.Dim(0)
 	if blocks != nil {
+		if m.compressed() {
+			panic("nn: neuron-block sparsity on a compressed MLP — compressed bases serve dense")
+		}
 		hidden := tensor.NewIn(ws, tokens, m.Hidden) // zeroed: inactive neurons stay 0
 		out := tensor.NewIn(ws, tokens, m.Dim)
 		w1 := sparse.ColMajor{In: m.Dim, Out: m.Hidden, Data: m.W1.W.Data}
@@ -435,7 +444,7 @@ func decodeMLP(m *MLP, x *tensor.Tensor, blocks []int, blk int, ws *tensor.Arena
 		return out
 	}
 	hidden := tensor.NewIn(ws, tokens, m.Hidden)
-	tensor.MatMulTBInto(hidden, x, m.W1.W)
+	m.fc1Dense(hidden, x, tokens)
 	tensor.AddRowVector(hidden, m.B1.W.Data)
 	switch m.Act {
 	case ActReLU:
@@ -444,7 +453,7 @@ func decodeMLP(m *MLP, x *tensor.Tensor, blocks []int, blk int, ws *tensor.Arena
 		tensor.GeLUIn(ws, hidden)
 	}
 	out := tensor.NewIn(ws, tokens, m.Dim)
-	tensor.MatMulInto(out, hidden, m.W2.W)
+	m.fc2Dense(out, hidden, tokens)
 	tensor.AddRowVector(out, m.B2.W.Data)
 	return out
 }

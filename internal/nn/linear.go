@@ -13,6 +13,12 @@ type Linear struct {
 	W       *Parameter
 	B       *Parameter
 
+	// Packed, when set, replaces W's f32 storage with reduced-precision
+	// weights ([in, out], per-column int8 scales): the forward paths run
+	// the widening GEMM kernels and W.W.Data is freed. A packed layer is
+	// frozen by construction — Backward refuses it (see Compress).
+	Packed *tensor.PackedWeights
+
 	// LoRA branch (nil when absent).
 	LoRAA     *Parameter
 	LoRAB     *Parameter
@@ -62,7 +68,12 @@ func (l *Linear) Params() ParamSet {
 // step-lived outputs come from (nil allocates, exactly as the seed code).
 func (l *Linear) Forward(x *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
 	l.x = x
-	y := tensor.MatMulIn(ws, x, l.W.W)
+	var y *tensor.Tensor
+	if l.Packed != nil {
+		y = tensor.MatMulPackedIn(ws, x, l.Packed)
+	} else {
+		y = tensor.MatMulIn(ws, x, l.W.W)
+	}
 	tensor.AddRowVector(y, l.B.W.Data)
 	if l.HasLoRA() {
 		l.xa = tensor.MatMulIn(ws, x, l.LoRAA.W)
@@ -76,6 +87,9 @@ func (l *Linear) Forward(x *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
 // parameters and returns dx. The frozen-weight gradients are genuinely
 // skipped — the PEFT cost structure the paper analyses in §II-C.
 func (l *Linear) Backward(dy *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
+	if l.Packed != nil {
+		panic("nn: Backward through a packed (compressed) linear layer — compressed bases are serving-only")
+	}
 	tokens := dy.Dim(0)
 	if !l.W.Frozen {
 		tensor.MatMulTAInto(l.W.Grad, l.x, dy) // dW += xᵀ·dy

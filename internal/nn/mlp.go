@@ -41,6 +41,14 @@ type MLP struct {
 	W1, B1      *Parameter // W1: [hidden, dim] column-major view of [dim→hidden]
 	W2, B2      *Parameter // W2: [hidden, dim] row-major
 
+	// Reduced-precision storage for a compressed frozen base (Compress):
+	// at most one of Packed/NM is set per matrix, the f32 data is freed,
+	// and the dense forward paths dispatch to the widening or N:M kernels.
+	// Compressed MLPs are serving-only — Backward and the neuron-block
+	// contextual-sparsity paths refuse them.
+	PackedW1, PackedW2 *tensor.PackedWeights // W1: per-row scales, W2: per-col
+	NMW1, NMW2         *sparse.NMWeights     // 2:4 block-structured
+
 	// Forward cache.
 	x       *tensor.Tensor
 	hidden  *tensor.Tensor // post-activation [tokens, hidden]
@@ -93,10 +101,13 @@ func (m *MLP) Forward(x *tensor.Tensor, blocks []int, blk int, ws *tensor.Arena)
 	m.x = x
 	m.blocks, m.blk = blocks, blk
 
+	if blocks != nil && m.compressed() {
+		panic("nn: neuron-block sparsity on a compressed MLP — compressed bases serve dense")
+	}
 	m.hidden = tensor.NewIn(ws, tokens, m.Hidden)
 	if blocks == nil {
 		// Dense: hidden = x·W1ᵀ(param) + b1.
-		tensor.MatMulTBInto(m.hidden, x, m.W1.W)
+		m.fc1Dense(m.hidden, x, tokens)
 		tensor.AddRowVector(m.hidden, m.B1.W.Data)
 		switch m.Act {
 		case ActReLU:
@@ -115,7 +126,7 @@ func (m *MLP) Forward(x *tensor.Tensor, blocks []int, blk int, ws *tensor.Arena)
 
 	out := tensor.NewIn(ws, tokens, m.Dim)
 	if blocks == nil {
-		tensor.MatMulInto(out, m.hidden, m.W2.W)
+		m.fc2Dense(out, m.hidden, tokens)
 	} else {
 		sparse.FC2Sparse(out.Data, m.hidden.Data, tokens, m.rowMajorW2(m.W2.W), blocks, blk)
 	}
@@ -123,11 +134,44 @@ func (m *MLP) Forward(x *tensor.Tensor, blocks []int, blk int, ws *tensor.Arena)
 	return out
 }
 
+// compressed reports whether either weight matrix left f32 storage.
+func (m *MLP) compressed() bool {
+	return m.PackedW1 != nil || m.PackedW2 != nil || m.NMW1 != nil || m.NMW2 != nil
+}
+
+// fc1Dense accumulates hidden += x·W1ᵀ through whichever storage W1 is in.
+// hidden arrives zeroed, so the accumulate is an overwrite.
+func (m *MLP) fc1Dense(hidden, x *tensor.Tensor, tokens int) {
+	switch {
+	case m.NMW1 != nil:
+		m.NMW1.MulTB(hidden.Data, x.Data, tokens)
+	case m.PackedW1 != nil:
+		tensor.MatMulTBPackedInto(hidden, x, m.PackedW1)
+	default:
+		tensor.MatMulTBInto(hidden, x, m.W1.W)
+	}
+}
+
+// fc2Dense accumulates out += hidden·W2 through whichever storage W2 is in.
+func (m *MLP) fc2Dense(out, hidden *tensor.Tensor, tokens int) {
+	switch {
+	case m.NMW2 != nil:
+		m.NMW2.TMulBatch(out.Data, hidden.Data, tokens)
+	case m.PackedW2 != nil:
+		tensor.MatMulPackedInto(out, hidden, m.PackedW2)
+	default:
+		tensor.MatMulInto(out, hidden, m.W2.W)
+	}
+}
+
 // Backward propagates dOut and returns dx. Under neuron sparsity, both the
 // hidden gradient and any weight gradients are computed only on active
 // blocks — inactive neurons are excluded from gradient computation exactly
 // as §II-D derives.
 func (m *MLP) Backward(dOut *tensor.Tensor, ws *tensor.Arena) *tensor.Tensor {
+	if m.compressed() {
+		panic("nn: Backward through a compressed MLP — compressed bases are serving-only")
+	}
 	tokens := dOut.Dim(0)
 	if !m.B2.Frozen {
 		accumulateColumnSum(m.B2.Grad.Data, dOut)

@@ -167,10 +167,11 @@ func NewHTTPMetrics(r *Registry) *HTTPMetrics {
 
 // GatewayMetrics instruments the serve gateway's model and adapter caches.
 type GatewayMetrics struct {
-	AdapterHits      *Counter // lexp_gateway_adapter_cache_hits_total
-	AdapterMisses    *Counter // lexp_gateway_adapter_cache_misses_total
-	AdapterEvictions *Counter // lexp_gateway_adapter_cache_evictions_total
-	Engines          *Gauge   // lexp_gateway_engines
+	AdapterHits      *Counter  // lexp_gateway_adapter_cache_hits_total
+	AdapterMisses    *Counter  // lexp_gateway_adapter_cache_misses_total
+	AdapterEvictions *Counter  // lexp_gateway_adapter_cache_evictions_total
+	Engines          *Gauge    // lexp_gateway_engines
+	BaseWeightBytes  *GaugeVec // lexp_base_weight_bytes{precision}
 }
 
 // NewGatewayMetrics registers the gateway instruments.
@@ -180,6 +181,8 @@ func NewGatewayMetrics(r *Registry) *GatewayMetrics {
 		AdapterMisses:    r.Counter("lexp_gateway_adapter_cache_misses_total", "Generate requests that loaded and compiled an adapter artifact."),
 		AdapterEvictions: r.Counter("lexp_gateway_adapter_cache_evictions_total", "Compiled adapters evicted after artifact deletion."),
 		Engines:          r.Gauge("lexp_gateway_engines", "Distinct base-model engines resident in the gateway."),
+		BaseWeightBytes: r.GaugeVec("lexp_base_weight_bytes",
+			"Resident weight bytes of base models in the gateway, by storage precision.", "precision"),
 	}
 }
 

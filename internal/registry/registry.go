@@ -40,6 +40,14 @@ type BaseDesc struct {
 	Seed       uint64 `json:"seed"`
 	Blk        int    `json:"blk"`
 	Prime      bool   `json:"prime"`
+
+	// Precision selects the frozen base's weight storage at publish time
+	// ("", "f32", "f16", "int8", "nm24" — see nn.ValidPrecision). It is
+	// part of the content hash: an int8 base is a different serving
+	// artifact than the f32 base it was quantized from. Empty (the f32
+	// default) is omitted from the JSON, so descriptors and hashes from
+	// before the field existed are unchanged.
+	Precision string `json:"precision,omitempty"`
 }
 
 // Hash returns the content key of the base description. Adapters sharing a

@@ -69,70 +69,55 @@ func TestGenerateDecodeOptionsValidation(t *testing.T) {
 		}
 	}
 
-	// A flat field that disagrees with its structured twin is a conflict
-	// naming both forms; one that merely duplicates it passes.
-	conflict := `{"base":` + string(base) + `,"prompt":[5],"max_tokens":8,` +
-		`"decode":{"sampling":{"max_tokens":4}}}`
-	resp, code, msg := postGenerate(t, e.ts.URL, conflict)
-	if resp.StatusCode != http.StatusBadRequest || code != "invalid_request" {
-		t.Fatalf("conflicting max_tokens: %d/%s, want 400/invalid_request", resp.StatusCode, code)
-	}
-	if !strings.Contains(msg, "max_tokens") || !strings.Contains(msg, "decode.sampling.max_tokens") {
-		t.Fatalf("conflict message %q does not name both fields", msg)
-	}
-	duplicate := `{"base":` + string(base) + `,"prompt":[5],"max_tokens":4,` +
-		`"decode":{"sampling":{"max_tokens":4}}}`
-	if resp, _, msg := postGenerate(t, e.ts.URL, duplicate); resp.StatusCode != http.StatusOK {
-		t.Fatalf("agreeing duplicate rejected: %d: %s", resp.StatusCode, msg)
-	}
 }
 
-// TestGenerateDeprecatedFlatFields checks the one-release compatibility
-// window: flat sampling fields still work but mark the response as
-// deprecated; the structured block does not.
-func TestGenerateDeprecatedFlatFields(t *testing.T) {
+// TestGenerateRemovedFlatFields checks that the old flat sampling fields
+// are gone: every one is a 400 naming its decode.sampling replacement, and
+// the structured spelling still decodes.
+func TestGenerateRemovedFlatFields(t *testing.T) {
 	e := newGatewayEnv(t, 1)
+	base, _ := json.Marshal(simSmallBase())
 
-	flat := map[string]any{"base": simSmallBase(), "prompt": []int{5, 6, 7}, "max_tokens": 4}
+	for _, c := range []struct{ field, value string }{
+		{"max_tokens", "4"},
+		{"temperature", "0.7"},
+		{"stop_token", "3"},
+		{"seed", "9"},
+	} {
+		body := `{"base":` + string(base) + `,"prompt":[5,6,7],"` + c.field + `":` + c.value + `}`
+		resp, code, msg := postGenerate(t, e.ts.URL, body)
+		if resp.StatusCode != http.StatusBadRequest || code != "invalid_request" {
+			t.Fatalf("flat %s: %d/%s, want 400/invalid_request", c.field, resp.StatusCode, code)
+		}
+		if !strings.Contains(msg, c.field) || !strings.Contains(msg, "decode.sampling."+c.field) {
+			t.Fatalf("flat %s: message %q does not point at decode.sampling.%s", c.field, msg, c.field)
+		}
+	}
+	// Even alongside an identical structured value, a flat field is a 400.
+	dup := `{"base":` + string(base) + `,"prompt":[5],"max_tokens":4,` +
+		`"decode":{"sampling":{"max_tokens":4}}}`
+	if resp, _, _ := postGenerate(t, e.ts.URL, dup); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("flat max_tokens next to structured twin accepted: %d", resp.StatusCode)
+	}
+
 	structured := map[string]any{
 		"base": simSmallBase(), "prompt": []int{5, 6, 7},
 		"decode": map[string]any{"sampling": map[string]any{"max_tokens": 4}},
 	}
-	var got [2][]int
-	for i, body := range []map[string]any{flat, structured} {
-		var buf bytes.Buffer
-		if err := json.NewEncoder(&buf).Encode(body); err != nil {
-			t.Fatal(err)
-		}
-		resp, err := http.Post(e.ts.URL+"/v1/generate", "application/json", &buf)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if resp.StatusCode != http.StatusOK {
-			var out bytes.Buffer
-			out.ReadFrom(resp.Body)
-			resp.Body.Close()
-			t.Fatalf("request %d: %d: %s", i, resp.StatusCode, out.String())
-		}
-		resp.Body.Close()
-		deprecated := resp.Header.Get("Deprecation") == "true"
-		if i == 0 && !deprecated {
-			t.Fatal("flat sampling fields did not set the Deprecation header")
-		}
-		if i == 1 && deprecated {
-			t.Fatal("structured decode block wrongly marked deprecated")
-		}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(structured); err != nil {
+		t.Fatal(err)
 	}
-	// Both spellings run the same decode.
-	got[0], _ = e.generateSSE(flat)
-	got[1], _ = e.generateSSE(structured)
-	if len(got[0]) == 0 || len(got[0]) != len(got[1]) {
-		t.Fatalf("flat %v vs structured %v", got[0], got[1])
+	resp, err := http.Post(e.ts.URL+"/v1/generate", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for k := range got[0] {
-		if got[0][k] != got[1][k] {
-			t.Fatalf("flat %v vs structured %v", got[0], got[1])
-		}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("structured decode block rejected: %d", resp.StatusCode)
+	}
+	if tokens, reason := e.generateSSE(structured); reason != "length" || len(tokens) != 4 {
+		t.Fatalf("structured decode: %v (%s)", tokens, reason)
 	}
 }
 

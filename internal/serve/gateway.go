@@ -38,17 +38,19 @@ type gateway struct {
 	inferMetrics *obs.InferMetrics    // shared by every engine built here
 	sparsity     *obs.SparsityMetrics // serving-density gauges, shared by every planner
 
-	mu       sync.Mutex
-	engines  map[string]*infer.Engine     // by BaseDesc.Hash()
-	compiled map[string]*nn.DecodeAdapter // by artifact id
+	mu        sync.Mutex
+	engines   map[string]*infer.Engine     // by BaseDesc.Hash()
+	compiled  map[string]*nn.DecodeAdapter // by artifact id
+	baseBytes map[string]float64           // resident weight bytes by precision (gauge mirror)
 }
 
 func newGateway(reg *registry.Store, maxBatch int) *gateway {
 	return &gateway{
-		reg:      reg,
-		maxBatch: maxBatch,
-		engines:  map[string]*infer.Engine{},
-		compiled: map[string]*nn.DecodeAdapter{},
+		reg:       reg,
+		maxBatch:  maxBatch,
+		engines:   map[string]*infer.Engine{},
+		compiled:  map[string]*nn.DecodeAdapter{},
+		baseBytes: map[string]float64{},
 	}
 }
 
@@ -67,13 +69,24 @@ func (g *gateway) engineFor(desc registry.BaseDesc) (*infer.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Every engine gets a serving planner: contextual sparsity is then a
-	// per-request decision (decode.sparsity.mode), not a deployment one.
-	planner := predictor.NewServingPlanner(base, nil, predictor.ServingConfig{Metrics: g.sparsity})
+	// Every f32 engine gets a serving planner: contextual sparsity is then
+	// a per-request decision (decode.sparsity.mode), not a deployment one.
+	// Compressed bases (f16/int8/nm24) serve dense — the planner reads the
+	// f32 MLP weights Compress freed, and the sparse kernels do too.
+	var planner *predictor.ServingPlanner
+	if !nn.CompressedPrecision(desc.Precision) {
+		planner = predictor.NewServingPlanner(base, nil, predictor.ServingConfig{Metrics: g.sparsity})
+	}
 	eng := infer.New(base, infer.Config{MaxBatch: g.maxBatch, Metrics: g.inferMetrics, Planner: planner})
 	g.engines[key] = eng
 	if g.metrics != nil {
 		g.metrics.Engines.Set(float64(len(g.engines)))
+		prec := desc.Precision
+		if prec == "" {
+			prec = nn.PrecisionF32
+		}
+		g.baseBytes[prec] += float64(base.WeightBytes())
+		g.metrics.BaseWeightBytes.With(prec).Set(g.baseBytes[prec])
 	}
 	return eng, nil
 }
@@ -132,12 +145,17 @@ func (g *gateway) close() {
 	engines := g.engines
 	g.engines = map[string]*infer.Engine{}
 	g.compiled = map[string]*nn.DecodeAdapter{}
+	resident := g.baseBytes
+	g.baseBytes = map[string]float64{}
 	g.mu.Unlock()
 	for _, eng := range engines {
 		eng.Close()
 	}
 	if g.metrics != nil {
 		g.metrics.Engines.Set(0)
+		for prec := range resident {
+			g.metrics.BaseWeightBytes.With(prec).Set(0)
+		}
 	}
 }
 
@@ -187,8 +205,9 @@ type decodeOptions struct {
 // generateRequest is the POST /v1/generate body. Exactly one of Adapter
 // (a registry id) or Base (an explicit base description, served without a
 // delta) selects the model. Sampling parameters live under Decode; the
-// flat top-level fields are accepted for one more release but deprecated —
-// a request that sets both forms with different values is rejected.
+// old flat top-level fields are REMOVED — they stay in the struct only so
+// a request still sending one gets a targeted 400 naming its
+// decode.sampling replacement instead of a generic unknown-field error.
 type generateRequest struct {
 	Adapter string             `json:"adapter,omitempty"`
 	Base    *registry.BaseDesc `json:"base,omitempty"`
@@ -196,19 +215,30 @@ type generateRequest struct {
 	Prompt []int          `json:"prompt"`
 	Decode *decodeOptions `json:"decode,omitempty"`
 
-	// Deprecated: use decode.sampling.* instead.
+	// Removed flat sampling fields (see struct comment).
 	MaxTokens   int     `json:"max_tokens,omitempty"`
 	Temperature float64 `json:"temperature,omitempty"`
 	StopToken   int     `json:"stop_token,omitempty"`
 	Seed        uint64  `json:"seed,omitempty"`
 }
 
-// resolveDecode folds the deprecated flat sampling fields and the
-// structured decode block into one effective configuration. Conflicts —
-// both forms set, with different values — are errors naming both fields;
-// a flat field that merely duplicates the structured value passes.
-// The returned bool reports whether any deprecated flat field was used.
-func (req *generateRequest) resolveDecode() (samplingOptions, nn.SparsityOptions, bool, error) {
+// resolveDecode validates the structured decode block and rejects any use
+// of the removed flat sampling fields, naming the replacement field.
+func (req *generateRequest) resolveDecode() (samplingOptions, nn.SparsityOptions, error) {
+	for _, f := range []struct {
+		set  bool
+		name string
+	}{
+		{req.MaxTokens != 0, "max_tokens"},
+		{req.Temperature != 0, "temperature"},
+		{req.StopToken != 0, "stop_token"},
+		{req.Seed != 0, "seed"},
+	} {
+		if f.set {
+			return samplingOptions{}, nn.SparsityOptions{},
+				fmt.Errorf("flat field %q has been removed; set decode.sampling.%s instead", f.name, f.name)
+		}
+	}
 	var sampling samplingOptions
 	var sparsity nn.SparsityOptions
 	if req.Decode != nil {
@@ -219,36 +249,10 @@ func (req *generateRequest) resolveDecode() (samplingOptions, nn.SparsityOptions
 			sparsity = *req.Decode.Sparsity
 		}
 	}
-	deprecated := req.MaxTokens != 0 || req.Temperature != 0 || req.StopToken != 0 || req.Seed != 0
-	merge := func(flatSet, structSet, differs bool, name string, adopt func()) error {
-		switch {
-		case !flatSet:
-		case structSet && differs:
-			return fmt.Errorf("deprecated %s conflicts with decode.sampling.%s; set only the decode block", name, name)
-		case !structSet:
-			adopt()
-		}
-		return nil
-	}
-	checks := []error{
-		merge(req.MaxTokens != 0, sampling.MaxTokens != 0, sampling.MaxTokens != req.MaxTokens,
-			"max_tokens", func() { sampling.MaxTokens = req.MaxTokens }),
-		merge(req.Temperature != 0, sampling.Temperature != 0, sampling.Temperature != req.Temperature,
-			"temperature", func() { sampling.Temperature = req.Temperature }),
-		merge(req.StopToken != 0, sampling.StopToken != 0, sampling.StopToken != req.StopToken,
-			"stop_token", func() { sampling.StopToken = req.StopToken }),
-		merge(req.Seed != 0, sampling.Seed != 0, sampling.Seed != req.Seed,
-			"seed", func() { sampling.Seed = req.Seed }),
-	}
-	for _, err := range checks {
-		if err != nil {
-			return samplingOptions{}, nn.SparsityOptions{}, deprecated, err
-		}
-	}
 	if err := sparsity.Validate("decode.sparsity"); err != nil {
-		return samplingOptions{}, nn.SparsityOptions{}, deprecated, err
+		return samplingOptions{}, nn.SparsityOptions{}, err
 	}
-	return sampling, sparsity, deprecated, nil
+	return sampling, sparsity, nil
 }
 
 // generate serves POST /v1/generate as a server-sent event stream: one
@@ -267,14 +271,10 @@ func (s *Server) generate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "decoding generate request: %v", err)
 		return
 	}
-	sampling, sparsity, deprecated, err := req.resolveDecode()
+	sampling, sparsity, err := req.resolveDecode()
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
-	}
-	if deprecated {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Warning", `299 - "flat sampling fields are deprecated; use the decode.sampling block"`)
 	}
 
 	var (
@@ -305,6 +305,11 @@ func (s *Server) generate(w http.ResponseWriter, r *http.Request) {
 		desc = *req.Base
 	default:
 		writeError(w, r, http.StatusBadRequest, "a generate request needs an adapter id or a base description")
+		return
+	}
+	if sparsity.Enabled() && nn.CompressedPrecision(desc.Precision) {
+		writeError(w, r, http.StatusBadRequest,
+			"decode.sparsity.mode %q is unavailable on a %s-precision base: compressed bases serve dense", sparsity.Mode, desc.Precision)
 		return
 	}
 

@@ -189,7 +189,8 @@ func TestGatewayEndToEnd(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			got[i], reasons[i] = e.generateSSE(map[string]any{
-				"adapter": adapterIDs[i], "prompt": prompt, "max_tokens": 8,
+				"adapter": adapterIDs[i], "prompt": prompt,
+				"decode": map[string]any{"sampling": map[string]any{"max_tokens": 8}},
 			})
 		}(i)
 	}
@@ -267,7 +268,8 @@ func TestGatewayBaseOnlyGenerate(t *testing.T) {
 	want := base.Generate(prompt, nn.GenerateConfig{MaxTokens: 6, Temperature: 0.5, RNG: nil})
 	got, reason := e.generateSSE(map[string]any{
 		"base":   map[string]any{"model": "sim-small", "activation": "relu", "seed": 1, "blk": 8, "prime": true},
-		"prompt": prompt, "max_tokens": 6, "temperature": 0.5, "seed": 1,
+		"prompt": prompt,
+		"decode": map[string]any{"sampling": map[string]any{"max_tokens": 6, "temperature": 0.5, "seed": 1}},
 	})
 	if reason != "length" {
 		t.Fatalf("finish reason %q", reason)

@@ -74,7 +74,8 @@ func TestMetricsEndpoint(t *testing.T) {
 	// … and one base-desc generation (exercises the infer instruments).
 	tokens, _ := e.generateSSE(map[string]any{
 		"base":   map[string]any{"model": "sim-small", "activation": "relu", "seed": 1, "blk": 8, "prime": true},
-		"prompt": []int{5, 6, 7}, "max_tokens": 4,
+		"prompt": []int{5, 6, 7},
+		"decode": map[string]any{"sampling": map[string]any{"max_tokens": 4}},
 	})
 	if len(tokens) == 0 {
 		t.Fatal("generation emitted no tokens")
@@ -274,7 +275,8 @@ func TestLivenessReadinessSplit(t *testing.T) {
 func saturationBody() map[string]any {
 	return map[string]any{
 		"base":   map[string]any{"model": "OPT-125M", "activation": "relu", "seed": 1, "blk": 8, "prime": true},
-		"prompt": []int{5, 6, 7}, "max_tokens": 100000, "seed": 1,
+		"prompt": []int{5, 6, 7},
+		"decode": map[string]any{"sampling": map[string]any{"max_tokens": 100000, "seed": 1}},
 	}
 }
 
@@ -356,7 +358,7 @@ func TestGenerateSaturationSheds(t *testing.T) {
 		roundShed := 0
 		for i := 0; i < probes; i++ {
 			resp, err := http.Post(throttled.ts.URL+"/v1/generate", "application/json",
-				strings.NewReader(`{"base":{"model":"OPT-125M","activation":"relu","seed":1,"blk":8,"prime":true},"prompt":[5,6,7],"max_tokens":100000,"seed":1}`))
+				strings.NewReader(`{"base":{"model":"OPT-125M","activation":"relu","seed":1,"blk":8,"prime":true},"prompt":[5,6,7],"decode":{"sampling":{"max_tokens":100000,"seed":1}}}`))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -465,7 +467,7 @@ func TestTenantRateLimit(t *testing.T) {
 	gen := func(tenant string) *http.Response {
 		t.Helper()
 		req, err := http.NewRequest("POST", e.ts.URL+"/v1/generate",
-			strings.NewReader(`{"base":{"model":"sim-small","activation":"relu","seed":1,"blk":8,"prime":true},"prompt":[1,2],"max_tokens":1}`))
+			strings.NewReader(`{"base":{"model":"sim-small","activation":"relu","seed":1,"blk":8,"prime":true},"prompt":[1,2],"decode":{"sampling":{"max_tokens":1}}}`))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -96,7 +96,7 @@ func TestTraceEndToEnd(t *testing.T) {
 
 	const tid = "0123456789abcdef0123456789abcdef"
 	body := `{"base":{"model":"sim-small","activation":"relu","seed":1,"blk":8,"prime":true},` +
-		`"prompt":[5,6,7],"max_tokens":4,"seed":1}`
+		`"prompt":[5,6,7],"decode":{"sampling":{"max_tokens":4,"seed":1}}}`
 	req, err := http.NewRequest("POST", ts.URL+"/v1/generate", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)

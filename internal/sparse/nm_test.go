@@ -1,0 +1,127 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"longexposure/internal/tensor"
+)
+
+func randMat(rows, cols int, seed uint64) []float32 {
+	t := tensor.New(rows, cols)
+	tensor.NewRNG(seed).FillNormal(t, 1)
+	return t.Data
+}
+
+// TestPackNMSelection pins the pruning rule: top-n by |value| per aligned
+// group, ties to the lower column, kept entries in ascending column order.
+func TestPackNMSelection(t *testing.T) {
+	w := []float32{
+		0.1, -3, 2, 0.5 /**/, 1, 1, -1, 0, // tie between cols 0,1,2: keep 0,1
+		0, 0, 0, 0 /**/, -0.5, 0, 0, 4,
+	}
+	p := PackNM(w, 2, 8, 2, 4)
+	wantVal := []float32{-3, 2, 1, 1, 0, 0, -0.5, 4}
+	wantIdx := []uint8{1, 2, 0, 1, 0, 1, 0, 3}
+	for i := range wantVal {
+		if p.Val[i] != wantVal[i] || p.Idx[i] != wantIdx[i] {
+			t.Fatalf("entry %d: (%g, %d), want (%g, %d)", i, p.Val[i], p.Idx[i], wantVal[i], wantIdx[i])
+		}
+	}
+	if p.Bytes() != 4*8+8 {
+		t.Fatalf("Bytes = %d, want 40", p.Bytes())
+	}
+}
+
+// TestPackNMExactForStructured: a matrix that is already 2:4 structured
+// survives pack→dequant bit-exactly.
+func TestPackNMExactForStructured(t *testing.T) {
+	const rows, cols = 6, 16
+	w := randMat(rows, cols, 1)
+	for i := 0; i < len(w); i += 4 { // zero two of every four
+		w[i+1], w[i+3] = 0, 0
+	}
+	got := PackNM(w, rows, cols, 2, 4).Dequant()
+	for i := range w {
+		if math.Float32bits(got[i]) != math.Float32bits(w[i]) {
+			t.Fatalf("element %d: %g -> %g", i, w[i], got[i])
+		}
+	}
+}
+
+// TestNMMulVec checks the gather kernel against a dense matvec over the
+// dequantized matrix, including the generic (non-2:4) path.
+func TestNMMulVec(t *testing.T) {
+	const rows, cols = 33, 64
+	w := randMat(rows, cols, 2)
+	x := randMat(1, cols, 3)
+	for _, shape := range []struct{ n, m int }{{2, 4}, {1, 4}, {3, 8}} {
+		p := PackNM(w, rows, cols, shape.n, shape.m)
+		deq := p.Dequant()
+		y := make([]float32, rows)
+		p.MulVec(y, x)
+		for r := 0; r < rows; r++ {
+			var want float64
+			for c := 0; c < cols; c++ {
+				want += float64(deq[r*cols+c]) * float64(x[c])
+			}
+			if d := math.Abs(float64(y[r]) - want); d > 1e-4 {
+				t.Fatalf("%d:%d row %d: got %g, want %g", shape.n, shape.m, r, y[r], want)
+			}
+		}
+	}
+}
+
+// TestNMTMulVec checks the scatter kernel (FC2 orientation) against a dense
+// vector-matrix product, and that exact-zero activations are skipped without
+// changing the result.
+func TestNMTMulVec(t *testing.T) {
+	const rows, cols = 24, 32
+	w := randMat(rows, cols, 4)
+	h := randMat(1, rows, 5)
+	for r := 0; r < rows; r += 3 {
+		h[r] = 0 // ReLU-style exact zeros
+	}
+	p := PackNM(w, rows, cols, 2, 4)
+	deq := p.Dequant()
+	out := make([]float32, cols)
+	p.TMulVec(out, h)
+	for c := 0; c < cols; c++ {
+		var want float64
+		for r := 0; r < rows; r++ {
+			want += float64(h[r]) * float64(deq[r*cols+c])
+		}
+		if d := math.Abs(float64(out[c]) - want); d > 1e-4 {
+			t.Fatalf("col %d: got %g, want %g", c, out[c], want)
+		}
+	}
+}
+
+// TestNMBatchForms checks MulTB/TMulBatch agree with their per-row kernels.
+func TestNMBatchForms(t *testing.T) {
+	const rows, cols, tokens = 16, 32, 3
+	p := PackNM(randMat(rows, cols, 6), rows, cols, 2, 4)
+	x := randMat(tokens, cols, 7)
+	hb := randMat(tokens, rows, 8)
+
+	y := make([]float32, tokens*rows)
+	p.MulTB(y, x, tokens)
+	out := make([]float32, tokens*cols)
+	p.TMulBatch(out, hb, tokens)
+	for tk := 0; tk < tokens; tk++ {
+		yRow := make([]float32, rows)
+		p.MulVec(yRow, x[tk*cols:(tk+1)*cols])
+		for r := 0; r < rows; r++ {
+			if y[tk*rows+r] != yRow[r] {
+				t.Fatalf("MulTB token %d row %d diverges", tk, r)
+			}
+		}
+		oRow := make([]float32, cols)
+		p.TMulVec(oRow, hb[tk*rows:(tk+1)*rows])
+		for c := 0; c < cols; c++ {
+			if out[tk*cols+c] != oRow[c] {
+				t.Fatalf("TMulBatch token %d col %d diverges", tk, c)
+			}
+		}
+	}
+}

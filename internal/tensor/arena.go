@@ -1,6 +1,9 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+)
 
 // Arena is a size-bucketed workspace allocator for the training hot path.
 // One arena backs one training step of one worker: layers Get step-lived
@@ -62,10 +65,20 @@ type pooled[E any] struct {
 	s     []E
 }
 
+// arenaFloorBytes is the smallest bucket, measured in bytes so pools of
+// different element widths bucket equivalently: tiny buffers share buckets
+// without a wide-element pool (float64, int) over-allocating its floor or a
+// narrow-element pool (fp16, int8) splitting it into sub-cacheline classes.
+const arenaFloorBytes = 256
+
 // sizeClass rounds n up to the bucket capacity: the next power of two, with
-// a 64-element floor so tiny buffers share buckets.
-func sizeClass(n int) int {
-	c := 64
+// the byte-based floor above converted to whole elements of the pool's
+// width. elemBytes must be a power of two (true of every machine type).
+func sizeClass(n, elemBytes int) int {
+	c := arenaFloorBytes / elemBytes
+	if c < 1 {
+		c = 1
+	}
 	for c < n {
 		c <<= 1
 	}
@@ -73,7 +86,8 @@ func sizeClass(n int) int {
 }
 
 func (p *bucketPool[E]) get(n int) (s []E, fresh bool) {
-	class := sizeClass(n)
+	var e E
+	class := sizeClass(n, int(unsafe.Sizeof(e)))
 	if fl := p.free[class]; len(fl) > 0 {
 		s = fl[len(fl)-1]
 		p.free[class] = fl[:len(fl)-1]

@@ -137,10 +137,50 @@ func TestMatMulInMatchesMatMul(t *testing.T) {
 }
 
 func TestSizeClass(t *testing.T) {
-	cases := map[int]int{0: 64, 1: 64, 64: 64, 65: 128, 1000: 1024, 4096: 4096}
-	for n, want := range cases {
-		if got := sizeClass(n); got != want {
-			t.Fatalf("sizeClass(%d) = %d, want %d", n, got, want)
+	f32 := map[int]int{0: 64, 1: 64, 64: 64, 65: 128, 1000: 1024, 4096: 4096}
+	for n, want := range f32 {
+		if got := sizeClass(n, 4); got != want {
+			t.Fatalf("sizeClass(%d, 4) = %d, want %d", n, got, want)
 		}
 	}
+	// The floor is 256 bytes, not 64 elements: wider elements get a lower
+	// element floor, narrower ones a higher one.
+	for _, c := range []struct{ n, elem, want int }{
+		{1, 8, 32}, {32, 8, 32}, {33, 8, 64}, // float64, int
+		{1, 2, 128}, {129, 2, 256}, // fp16
+		{1, 1, 256}, {257, 1, 512}, // int8
+		{1, 1024, 1}, {3, 1024, 4}, // wider than the floor: per-element classes
+	} {
+		if got := sizeClass(c.n, c.elem); got != c.want {
+			t.Fatalf("sizeClass(%d, %d) = %d, want %d", c.n, c.elem, got, c.want)
+		}
+	}
+}
+
+// TestArenaBucketWidths pins the byte-based floor end to end: the capacity a
+// pool hands out reflects its element width, and recycled buffers come back
+// from the matching class (a float64 buffer must never be sized as if its
+// elements were 4 bytes wide).
+func TestArenaBucketWidths(t *testing.T) {
+	ws := NewArena()
+	f := ws.Floats(9)
+	d := ws.Float64s(9)
+	if cap(f) != 64 {
+		t.Fatalf("float32 floor bucket cap = %d, want 64 (256 bytes)", cap(f))
+	}
+	if cap(d) != 32 {
+		t.Fatalf("float64 floor bucket cap = %d, want 32 (256 bytes)", cap(d))
+	}
+	ws.Release()
+	// Same class on reuse: a request within the floor gets the recycled
+	// backing array, one beyond it allocates the next class up.
+	d2 := ws.Float64s(32)
+	if &d2[0] != &d[0] {
+		t.Fatal("float64 floor bucket was not recycled within its class")
+	}
+	d3 := ws.Float64s(33)
+	if cap(d3) != 64 {
+		t.Fatalf("float64 second class cap = %d, want 64", cap(d3))
+	}
+	ws.Release()
 }

@@ -1,0 +1,44 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"longexposure/internal/model"
+	"longexposure/internal/nn"
+	"longexposure/internal/tensor"
+)
+
+// TestPerplexityCompressedTolerance is the end-to-end acceptance bound for
+// serving a compressed frozen base: on the sim task, the perplexity of an
+// int8 (or f16) base stays within a stated relative tolerance of the f32
+// base it was quantized from. The forward path of a compressed model is
+// pinned bit-identical to its cached decode path (nn's
+// TestCompressForwardMatchesDecode), so this bound transfers verbatim to
+// token-at-a-time decode. The tolerances here are the ones README's
+// "Precision & weight formats" table documents.
+func TestPerplexityCompressedTolerance(t *testing.T) {
+	batches := copyTaskBatches(64, 2, 8, 8, 91)
+	build := func() *nn.Transformer {
+		return nn.NewTransformer(model.SimSmall(nn.ActReLU).Config, tensor.NewRNG(90))
+	}
+	ref := Perplexity(build(), batches, nil)
+
+	for _, tc := range []struct {
+		precision string
+		relTol    float64
+	}{
+		{nn.PrecisionF16, 0.001}, // ≤2⁻¹¹ per-weight error barely moves NLL
+		{nn.PrecisionI8, 0.02},   // stated int8 serving bound: 2% relative
+	} {
+		m := build()
+		if err := m.Compress(tc.precision); err != nil {
+			t.Fatal(err)
+		}
+		got := Perplexity(m, batches, nil)
+		if rel := math.Abs(got-ref) / ref; rel > tc.relTol {
+			t.Fatalf("%s perplexity %v vs f32 %v: relative drift %v exceeds %v",
+				tc.precision, got, ref, rel, tc.relTol)
+		}
+	}
+}
