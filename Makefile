@@ -5,7 +5,7 @@
 GO ?= go
 BASELINES := .github/bench
 
-.PHONY: build test race bench bench-precision bench-allocs bench-all baseline fmt vet check ci
+.PHONY: build test race bench bench-precision bench-allocs bench-slo bench-all baseline fmt vet check ci
 
 build:
 	$(GO) build ./...
@@ -17,12 +17,12 @@ test:
 # worker pool, concurrent training replicas, multi-adapter decoding on a
 # shared base) — the same set CI runs.
 race:
-	$(GO) test -race ./internal/jobs/... ./internal/serve/... ./internal/parallel/... ./internal/train/... ./internal/tensor/... ./internal/infer/... ./internal/registry/... ./internal/nn/... ./internal/obs/... ./internal/limit/... ./internal/trace/... ./internal/predictor/... ./internal/half/... ./internal/sparse/...
+	$(GO) test -race ./internal/jobs/... ./internal/serve/... ./internal/parallel/... ./internal/train/... ./internal/tensor/... ./internal/infer/... ./internal/registry/... ./internal/nn/... ./internal/obs/... ./internal/limit/... ./internal/trace/... ./internal/predictor/... ./internal/half/... ./internal/sparse/... ./internal/slo/... ./internal/events/...
 
 # CI-sized benchmarks, gated against the checked-in baselines on both
 # ns/op (relative tolerance) and allocs/op (absolute tolerance).
 bench:
-	$(GO) run ./cmd/lebench -suite kernels,kernels_precision,train_step,generate,obs,trace -short -baseline $(BASELINES) -tolerance 0.20 -alloc-tolerance 16
+	$(GO) run ./cmd/lebench -suite kernels,kernels_precision,train_step,generate,obs,trace,slo -short -baseline $(BASELINES) -tolerance 0.20 -alloc-tolerance 16
 
 # Reduced-precision pipeline alone: f16/int8 packed GEMM vs the f32 tiled
 # core, decode/prefill TB shapes, 2:4 N:M vs dense, and end-to-end int8
@@ -30,12 +30,18 @@ bench:
 bench-precision:
 	$(GO) run ./cmd/lebench -suite kernels_precision -short -baseline $(BASELINES) -tolerance 0.20 -alloc-tolerance 16
 
-# Allocation gate alone: the train_step and obs suites compare the
-# workspace-arena step (bare and instrumented) and the instrumented decode
-# step against their checked-in zero allocs/op baselines — mirrors the CI
-# bench job's allocation axis.
+# Allocation gate alone: the train_step, obs, trace and slo suites compare
+# the workspace-arena step (bare and instrumented), the instrumented decode
+# step, and the SLO evaluation tick against their checked-in zero allocs/op
+# baselines — mirrors the CI bench job's allocation axis.
 bench-allocs:
-	$(GO) run ./cmd/lebench -suite train_step,obs,trace -short -baseline $(BASELINES) -tolerance 1000 -alloc-tolerance 16
+	$(GO) run ./cmd/lebench -suite train_step,obs,trace,slo -short -baseline $(BASELINES) -tolerance 1000 -alloc-tolerance 16
+
+# SLO engine alone: the zero-alloc evaluation tick (bare and with the
+# flight recorder's per-tick capture) plus the /readyz enabled/disabled
+# parity pair.
+bench-slo:
+	$(GO) run ./cmd/lebench -suite slo -short -baseline $(BASELINES) -tolerance 0.20 -alloc-tolerance 16
 
 # Every suite at full size (kernels + train step + whole-experiment timings).
 bench-all:
@@ -45,7 +51,7 @@ bench-all:
 # only when intentionally resetting the perf reference (e.g. after a
 # deliberate trade-off or a runner change).
 baseline:
-	$(GO) run ./cmd/lebench -suite kernels,kernels_precision,train_step,generate,obs,trace -short -repeats 4 -out .github/bench
+	$(GO) run ./cmd/lebench -suite kernels,kernels_precision,train_step,generate,obs,trace,slo -short -repeats 4 -out .github/bench
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

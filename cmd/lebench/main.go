@@ -36,7 +36,7 @@ func main() {
 		suiteFlag = flag.String("suite", "kernels", "suite to run: one of "+strings.Join(bench.Suites(), ", ")+", a comma list, or 'all'")
 		short     = flag.Bool("short", false, "short mode: smaller sizes and budgets (what CI runs)")
 		runFilter = flag.String("run", "", "only run benchmarks matching this regexp")
-		outDir    = flag.String("out", ".", "directory for BENCH_<suite>.json artifacts")
+		outDir    = flag.String("out", "bench-reports", "directory for BENCH_<suite>.json artifacts (created if missing)")
 		baseline  = flag.String("baseline", "", "baseline report to compare against; exit 2 on regression")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed slowdown vs baseline before failing (0.20 = 20%)")
 		allocTol  = flag.Float64("alloc-tolerance", 16, "allowed absolute growth in allocs/op vs baseline before failing; negative disables the allocation gate")
@@ -56,6 +56,9 @@ func main() {
 	}
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatalf("creating -out directory: %v", err)
 	}
 
 	o := bench.Options{Short: *short, MinTime: *minTime, Repeats: *repeats}

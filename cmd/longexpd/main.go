@@ -39,6 +39,20 @@
 // net/http/pprof at GET /debug/pprof/; -sse-keepalive emits comment
 // frames on idle SSE streams so proxies don't reap them.
 //
+// The SLO plane: -slo-config (a JSON file, or "default" for the
+// built-in objectives) starts a burn-rate alerting engine over the live
+// metrics — Google-SRE multi-window multi-burn-rate rules per objective,
+// lexp_slo_* gauges, GET /debug/slo error-budget reports, and a
+// GET /v1/alerts SSE stream of pending/firing/resolved transitions.
+// /readyz also reports 503 "slo_firing" while a critical objective
+// fires. -flight-recorder-dir arms the black-box flight recorder: alert
+// transitions, recent slog records, span trees and per-tick metric
+// deltas are kept in fixed-size rings, served at
+// GET /debug/flightrecorder, and dumped atomically to disk when an
+// alert starts firing, on SIGQUIT, and on panic. -slo-interval,
+// -slo-for, -slo-fast-windows and -slo-slow-windows override the
+// evaluation cadence and alert windows without a config file.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown that drains queued and
 // running jobs, bounded by -drain.
 package main
@@ -51,6 +65,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,8 +74,37 @@ import (
 	"longexposure/internal/obs"
 	"longexposure/internal/registry"
 	"longexposure/internal/serve"
+	"longexposure/internal/slo"
 	"longexposure/internal/trace"
 )
+
+// version is stamped by the build (-ldflags "-X main.version=v1.2.3");
+// obs.Build falls back to VCS metadata when it is left at "dev".
+var version = "dev"
+
+// fatal reports a startup error and exits.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "longexpd:", err)
+	os.Exit(1)
+}
+
+// parseWindowPair parses "short,long" duration pairs for the
+// -slo-fast-windows / -slo-slow-windows overrides.
+func parseWindowPair(flagName, s string) (short, long slo.Duration, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("%s: want \"short,long\" (e.g. \"5m,1h\"), got %q", flagName, s)
+	}
+	sd, err := time.ParseDuration(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: %w", flagName, err)
+	}
+	ld, err := time.ParseDuration(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: %w", flagName, err)
+	}
+	return slo.Duration(sd), slo.Duration(ld), nil
+}
 
 func main() {
 	var (
@@ -85,10 +129,45 @@ func main() {
 		traceSlowest = flag.Int("trace-slowest", 32, "slowest spans retained for GET /debug/traces; negative disables")
 		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof at GET /debug/pprof/")
 		sseKeepalive = flag.Duration("sse-keepalive", 15*time.Second, "idle SSE keepalive comment interval; 0 disables")
+
+		sloConfig   = flag.String("slo-config", "", `SLO objectives: a JSON config path, or "default" for the built-in objectives; empty disables the SLO engine`)
+		sloInterval = flag.Duration("slo-interval", 0, "override the SLO evaluation interval (0 keeps the config value)")
+		sloFor      = flag.Duration("slo-for", 0, "override how long a burn-rate violation must hold before an alert fires (0 keeps the config value)")
+		sloFast     = flag.String("slo-fast-windows", "", `override the fast-burn alert windows as "short,long" (e.g. "5m,1h")`)
+		sloSlow     = flag.String("slo-slow-windows", "", `override the slow-burn alert windows as "short,long" (e.g. "30m,6h")`)
+		flightDir   = flag.String("flight-recorder-dir", "", "directory for flight-recorder dumps (alert-firing, SIGQUIT, panic); empty keeps the black box in memory only")
+
+		showVersion = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
 
+	if *showVersion {
+		b := obs.Build(version)
+		fmt.Printf("longexpd %s (commit %s, %s)\n", b.Version, b.Commit, b.GoVersion)
+		return
+	}
+
 	logger := trace.NewLogger(os.Stderr, *logLevel, *logFormat)
+
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Config{
+			SampleRatio: *traceSample,
+			Capacity:    *traceBuffer,
+			SlowestN:    *traceSlowest,
+		})
+	}
+
+	// The flight recorder tees every slog record into its ring, so it
+	// wraps the logger before any subsystem takes a reference. It exists
+	// whenever the SLO engine does (dir-less recorders still serve
+	// GET /debug/flightrecorder); a dump directory arms dumps-to-disk.
+	var recorder *slo.Recorder
+	if *sloConfig != "" {
+		recorder = slo.NewRecorder(slo.RecorderConfig{Dir: *flightDir}, tracer)
+		logger = slog.New(recorder.LogHandler(logger.Handler()))
+		defer recorder.HandlePanic()
+	}
 	slog.SetDefault(logger)
 
 	jcfg := jobs.Config{Workers: *workers, CacheSize: *cache, Logger: logger}
@@ -100,13 +179,7 @@ func main() {
 	if *pprofFlag {
 		opts = append(opts, serve.WithPprof())
 	}
-	var tracer *trace.Tracer
-	if *traceSample > 0 {
-		tracer = trace.New(trace.Config{
-			SampleRatio: *traceSample,
-			Capacity:    *traceBuffer,
-			SlowestN:    *traceSlowest,
-		})
+	if tracer != nil {
 		jcfg.Tracer = tracer
 		opts = append(opts, serve.WithTracing(tracer))
 	}
@@ -114,14 +187,58 @@ func main() {
 	if *metrics {
 		obsReg = obs.NewRegistry()
 		obs.RegisterRuntimeMetrics(obsReg)
+		obs.RegisterBuildInfo(obsReg, version)
 		jcfg.Obs = obsReg
 		opts = append(opts, serve.WithMetrics(obsReg))
+	}
+	var sloEngine *slo.Engine
+	if *sloConfig != "" {
+		if obsReg == nil {
+			fatal(fmt.Errorf("-slo-config requires -metrics (the engine evaluates live metrics)"))
+		}
+		cfg := slo.DefaultConfig()
+		if *sloConfig != "default" {
+			var err error
+			if cfg, err = slo.LoadConfig(*sloConfig); err != nil {
+				fatal(err)
+			}
+		}
+		if *sloInterval > 0 {
+			cfg.Interval = slo.Duration(*sloInterval)
+		}
+		if *sloFor > 0 {
+			cfg.Windows.For = slo.Duration(*sloFor)
+		}
+		if *sloFast != "" {
+			short, long, err := parseWindowPair("-slo-fast-windows", *sloFast)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Windows.FastShort, cfg.Windows.FastLong = short, long
+		}
+		if *sloSlow != "" {
+			short, long, err := parseWindowPair("-slo-slow-windows", *sloSlow)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Windows.SlowShort, cfg.Windows.SlowLong = short, long
+		}
+		var err error
+		sloEngine, err = slo.New(cfg, slo.Deps{
+			Metrics:  obsReg,
+			Tracer:   tracer,
+			Logger:   logger,
+			Recorder: recorder,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, serve.WithSLO(sloEngine))
 	}
 	if *regDir != "" {
 		reg, err := registry.Open(*regDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "longexpd:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if obsReg != nil {
 			reg.Instrument(obs.NewRegistryMetrics(obsReg))
@@ -139,6 +256,28 @@ func main() {
 	}
 	store := jobs.NewStore(jcfg)
 	srv := serve.New(store, opts...)
+	if sloEngine != nil {
+		sloEngine.Start()
+		defer sloEngine.Stop()
+	}
+
+	// SIGQUIT: dump the black box, then restore the runtime's default
+	// handler and re-raise so the process still dies with its goroutine
+	// stacks — the dump is a bonus, not a behavior change.
+	if recorder != nil {
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			<-quit
+			if path, err := recorder.Dump("SIGQUIT"); err != nil {
+				logger.Error("flight recorder dump failed", "err", err)
+			} else if path != "" {
+				logger.Info("flight recorder dump written", "path", path)
+			}
+			signal.Reset(syscall.SIGQUIT)
+			syscall.Kill(syscall.Getpid(), syscall.SIGQUIT)
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,195 @@
+// The slo suite defends the SLO engine's two cost promises. First, the
+// steady-state evaluation tick — five objectives sampled from live
+// instruments, windowed burn rates over the sample rings, the alert
+// state machine, gauge updates, and the flight recorder's per-tick
+// delta capture — runs at zero allocations per evaluation, so a 10s
+// cadence engine adds no GC pressure to a serving replica. Second, the
+// request path pays nothing for the SLO plane: /readyz with an engine
+// attached is benchmarked against /readyz without one, and CI gates
+// both against the same baseline.
+package bench
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"longexposure/internal/jobs"
+	"longexposure/internal/obs"
+	"longexposure/internal/serve"
+	"longexposure/internal/slo"
+)
+
+func init() {
+	Register("slo", sloSuite)
+}
+
+// sloBenchConfig exercises every source kind at a cadence that keeps
+// the sample rings busy without firing alerts (traffic below is healthy).
+func sloBenchConfig() slo.Config {
+	return slo.Config{
+		Interval: slo.Duration(time.Second),
+		Objectives: []slo.Objective{
+			{Name: "latency", Kind: slo.KindLatency, Route: "GET /bench", Threshold: 0.5, Target: 0.99},
+			{Name: "availability", Kind: slo.KindAvailability, Route: "GET /bench", Target: 0.99},
+			{Name: "queue-wait", Kind: slo.KindQueueWait, Route: "generate", Threshold: 0.5, Target: 0.95},
+			{Name: "jobs", Kind: slo.KindJobFailure, Target: 0.9},
+			{Name: "density", Kind: slo.KindDensityDrift, Expected: 0.5, Threshold: 0.25, Target: 0.9},
+		},
+	}
+}
+
+// populateSLOInstruments creates and feeds every instrument the bench
+// objectives read, so each tick samples real child handles.
+func populateSLOInstruments(reg *obs.Registry) {
+	httpm := obs.NewHTTPMetrics(reg)
+	httpm.Latency.With("GET /bench").Observe(0.001)
+	httpm.Requests.With("GET /bench", "2xx").Inc()
+	ep := obs.NewLimitMetrics(reg).Endpoint("generate")
+	ep.WaitSeconds.Observe(0.001)
+	ep.ShedQueueFull.Inc()
+	jm := obs.NewJobsMetrics(reg)
+	jm.Done.Add(100)
+	jm.Failed.Inc()
+	sm := obs.NewServingSparsityMetrics(reg)
+	for l := 0; l < 8; l++ {
+		sm.SetMLP(l, 0.5)
+		sm.SetAttn(l, 0.5)
+	}
+}
+
+func sloSuite(o Options) []Benchmark {
+	var benchmarks []Benchmark
+
+	// ---- steady-state evaluation tick ----
+	// The headline gate: one full evaluation pass over five objectives at
+	// zero allocations. Setup warms the per-objective sample rings and
+	// lets every source resolve its instrument handles.
+	{
+		var (
+			eng *slo.Engine
+			now time.Time
+		)
+		benchmarks = append(benchmarks, Benchmark{
+			Name: "slo/tick_steady",
+			Setup: func() {
+				reg := obs.NewRegistry()
+				populateSLOInstruments(reg)
+				var err error
+				eng, err = slo.New(sloBenchConfig(), slo.Deps{Metrics: reg})
+				if err != nil {
+					panic(err)
+				}
+				now = time.Unix(1_700_000_000, 0)
+				for i := 0; i < 4; i++ { // warm rings + source handle caches
+					now = now.Add(time.Second)
+					eng.Tick(now)
+				}
+			},
+			Fn: func() {
+				now = now.Add(time.Second)
+				eng.Tick(now)
+			},
+		})
+	}
+
+	// ---- tick with the flight recorder attached ----
+	// Same pass plus the recorder's per-tick delta capture. Setup runs
+	// one full lap of the tick ring so every slot is preallocated; after
+	// that, recording refills slots in place and stays at zero allocs.
+	{
+		var (
+			eng *slo.Engine
+			now time.Time
+		)
+		const tickRing = 32
+		benchmarks = append(benchmarks, Benchmark{
+			Name: "slo/tick_recorder",
+			Setup: func() {
+				reg := obs.NewRegistry()
+				populateSLOInstruments(reg)
+				rec := slo.NewRecorder(slo.RecorderConfig{TickRing: tickRing}, nil)
+				var err error
+				eng, err = slo.New(sloBenchConfig(), slo.Deps{Metrics: reg, Recorder: rec})
+				if err != nil {
+					panic(err)
+				}
+				now = time.Unix(1_700_000_000, 0)
+				for i := 0; i < tickRing+2; i++ {
+					now = now.Add(time.Second)
+					eng.Tick(now)
+				}
+			},
+			Fn: func() {
+				now = now.Add(time.Second)
+				eng.Tick(now)
+			},
+		})
+	}
+
+	// ---- readiness with and without the SLO plane ----
+	// /readyz is the one request-path surface the engine joins (as a
+	// health source). The pair pins the with-SLO cost to the without-SLO
+	// cost; the disabled path must not regress when the plane evolves.
+	for _, withSLO := range []bool{false, true} {
+		name := "slo/readyz_disabled"
+		if withSLO {
+			name = "slo/readyz_enabled"
+		}
+		enabled := withSLO
+		var handler http.Handler
+		req := httptest.NewRequest("GET", "/readyz", nil)
+		benchmarks = append(benchmarks, Benchmark{
+			Name: name,
+			Setup: func() {
+				store := jobs.NewStore(jobs.Config{Workers: 1})
+				opts := []serve.Option{}
+				if enabled {
+					reg := obs.NewRegistry()
+					populateSLOInstruments(reg)
+					eng, err := slo.New(sloBenchConfig(), slo.Deps{Metrics: reg})
+					if err != nil {
+						panic(err)
+					}
+					eng.Tick(time.Unix(1_700_000_000, 0))
+					opts = append(opts, serve.WithSLO(eng))
+				}
+				handler = serve.New(store, opts...).Handler()
+			},
+			Fn: func() {
+				rw := httptest.NewRecorder()
+				handler.ServeHTTP(rw, req)
+				if rw.Code != http.StatusOK {
+					panic("readyz not ready")
+				}
+			},
+		})
+	}
+
+	// ---- report assembly ----
+	// GET /debug/slo's cost: informational (it allocates by design), but
+	// tracked so the debug surface cannot silently become quadratic.
+	{
+		var eng *slo.Engine
+		benchmarks = append(benchmarks, Benchmark{
+			Name: "slo/report",
+			Setup: func() {
+				reg := obs.NewRegistry()
+				populateSLOInstruments(reg)
+				var err error
+				eng, err = slo.New(sloBenchConfig(), slo.Deps{Metrics: reg})
+				if err != nil {
+					panic(err)
+				}
+				eng.Tick(time.Unix(1_700_000_000, 0))
+			},
+			Fn: func() {
+				if rep := eng.Report(); len(rep.Objectives) != 5 {
+					panic("bad report")
+				}
+			},
+		})
+	}
+
+	return benchmarks
+}

@@ -1,0 +1,233 @@
+package events
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+type ev struct {
+	Seq      int
+	Kind     string
+	Lost     int
+	terminal bool
+}
+
+func opts(backlog int, drops *int, mu *sync.Mutex) Options[ev] {
+	o := Options[ev]{
+		Backlog:  backlog,
+		Terminal: func(e ev) bool { return e.terminal },
+		Lost: func(lost int, first, next ev) ev {
+			return ev{Seq: first.Seq, Kind: "lost", Lost: lost}
+		},
+	}
+	if drops != nil {
+		o.OnDrop = func() {
+			mu.Lock()
+			*drops++
+			mu.Unlock()
+		}
+	}
+	return o
+}
+
+func collect(t *testing.T, sub *Subscriber[ev], want int) []ev {
+	t.Helper()
+	var got []ev
+	deadline := time.After(5 * time.Second)
+	for len(got) < want {
+		select {
+		case e, ok := <-sub.C():
+			if !ok {
+				return got
+			}
+			got = append(got, e)
+		case <-deadline:
+			t.Fatalf("timed out after %d/%d events: %v", len(got), want, got)
+		}
+	}
+	return got
+}
+
+func TestReplayThenLiveThenTerminalCloses(t *testing.T) {
+	replay := []ev{{Seq: 0}, {Seq: 1}}
+	sub := New(replay, opts(0, nil, nil))
+	sub.Push(ev{Seq: 2})
+	sub.Push(ev{Seq: 3, Kind: "done", terminal: true})
+	got := collect(t, sub, 4)
+	for i, e := range got {
+		if e.Seq != i {
+			t.Fatalf("event %d: got seq %d", i, e.Seq)
+		}
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("channel still open after terminal event")
+	}
+	// Pushes after terminal are ignored, not a panic.
+	sub.Push(ev{Seq: 99})
+}
+
+func TestBoundedBacklogDropsOldestAndSynthesizesMarker(t *testing.T) {
+	var mu sync.Mutex
+	drops := 0
+	sub := New[ev](nil, opts(3, &drops, &mu))
+	// Stall delivery by not reading; fill past the bound. The channel
+	// buffer (16) can absorb early events, so push enough to guarantee
+	// pending-queue pressure.
+	n := 40
+	for i := 0; i < n; i++ {
+		sub.Push(ev{Seq: i})
+	}
+	sub.Push(ev{Seq: n, Kind: "done", terminal: true})
+	var got []ev
+	for e := range sub.C() {
+		got = append(got, e)
+	}
+	mu.Lock()
+	d := drops
+	mu.Unlock()
+	if d == 0 {
+		t.Fatal("expected drops under a backlog of 3")
+	}
+	lost := 0
+	for _, e := range got {
+		if e.Kind == "lost" {
+			lost += e.Lost
+		}
+	}
+	if lost != d {
+		t.Fatalf("lost markers account for %d events, %d were dropped", lost, d)
+	}
+	last := got[len(got)-1]
+	if !last.terminal || last.Seq != n {
+		t.Fatalf("terminal event not delivered last: %+v", last)
+	}
+	// Sequence numbers of delivered (non-marker) events must be ascending.
+	prev := -1
+	for _, e := range got {
+		if e.Kind == "lost" {
+			continue
+		}
+		if e.Seq <= prev {
+			t.Fatalf("out-of-order delivery: %d after %d", e.Seq, prev)
+		}
+		prev = e.Seq
+	}
+}
+
+func TestTerminalNeverDropped(t *testing.T) {
+	sub := New[ev](nil, opts(1, nil, nil))
+	sub.Push(ev{Seq: 0, Kind: "done", terminal: true})
+	// Flood with droppable events; the terminal one must survive.
+	for i := 1; i < 30; i++ {
+		sub.Push(ev{Seq: i})
+	}
+	var sawTerminal bool
+	for e := range sub.C() {
+		if e.terminal {
+			sawTerminal = true
+		}
+	}
+	if !sawTerminal {
+		t.Fatal("terminal event was dropped")
+	}
+}
+
+func TestDropReleasesBlockedPump(t *testing.T) {
+	sub := New[ev](nil, opts(0, nil, nil))
+	// Fill the channel buffer and beyond so the pump blocks on send.
+	for i := 0; i < 64; i++ {
+		sub.Push(ev{Seq: i})
+	}
+	time.Sleep(10 * time.Millisecond) // let the pump hit the blocked send
+	done := make(chan struct{})
+	go func() {
+		sub.Drop()
+		sub.Drop() // idempotent
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Drop did not return with a blocked pump")
+	}
+}
+
+func TestCloseDrainsWithoutTerminal(t *testing.T) {
+	sub := New[ev](nil, Options[ev]{})
+	for i := 0; i < 5; i++ {
+		sub.Push(ev{Seq: i})
+	}
+	sub.Close()
+	var got []ev
+	for e := range sub.C() {
+		got = append(got, e)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d events after Close, want 5", len(got))
+	}
+}
+
+func TestSilentDropsWithoutLostFunc(t *testing.T) {
+	sub := New[ev](nil, Options[ev]{Backlog: 2})
+	for i := 0; i < 20; i++ {
+		sub.Push(ev{Seq: i})
+	}
+	sub.Close()
+	for e := range sub.C() {
+		if e.Kind == "lost" {
+			t.Fatal("lost marker synthesized without a Lost func")
+		}
+	}
+}
+
+func TestConcurrentPushersAndConsumer(t *testing.T) {
+	var mu sync.Mutex
+	drops := 0
+	sub := New[ev](nil, opts(8, &drops, &mu))
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sub.Push(ev{Seq: p*1000 + i})
+			}
+		}(p)
+	}
+	consumed := make(chan int)
+	go func() {
+		n := 0
+		for range sub.C() {
+			n++
+		}
+		consumed <- n
+	}()
+	wg.Wait()
+	sub.Close()
+	select {
+	case n := <-consumed:
+		mu.Lock()
+		d := drops
+		mu.Unlock()
+		if n+d < 400 {
+			t.Fatalf("delivered %d + dropped %d < 400 pushed (markers may add to delivered)", n, d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("consumer never finished")
+	}
+}
+
+func ExampleNew() {
+	sub := New([]ev{{Seq: 0}}, Options[ev]{
+		Terminal: func(e ev) bool { return e.terminal },
+	})
+	sub.Push(ev{Seq: 1, terminal: true})
+	for e := range sub.C() {
+		fmt.Println(e.Seq)
+	}
+	// Output:
+	// 0
+	// 1
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"longexposure/internal/events"
 	"longexposure/internal/obs"
 	"longexposure/internal/registry"
 	"longexposure/internal/trace"
@@ -60,8 +61,8 @@ type Store struct {
 	pending jobHeap
 	cache   *resultCache
 
-	events map[string][]Event       // per-job event log
-	subs   map[string][]*subscriber // per-job live subscribers
+	events map[string][]Event                     // per-job event log
+	subs   map[string][]*events.Subscriber[Event] // per-job live subscribers
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -98,7 +99,7 @@ func NewStore(cfg Config) *Store {
 		jobs:       make(map[string]*Job),
 		cache:      newResultCache(cfg.CacheSize),
 		events:     make(map[string][]Event),
-		subs:       make(map[string][]*subscriber),
+		subs:       make(map[string][]*events.Subscriber[Event]),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		registry:   cfg.Registry,
@@ -396,126 +397,30 @@ func (s *Store) Shutdown(ctx context.Context) error {
 
 // ---- events ----
 
-// subscriber is one event-stream consumer: a bounded pending queue
-// drained by a pump goroutine, so slow consumers never block publishers
-// and never grow memory without limit — once the backlog exceeds max,
-// the oldest pending (non-terminal) events are dropped and the consumer
-// receives a single EventLost marker in their place. Terminal events are
-// never dropped. A consumer that stops reading without unsubscribing
-// cannot strand the pump either — sends race a done channel.
-type subscriber struct {
-	jobID   string
-	max     int          // pending-backlog bound (<= 0: unbounded)
-	dropped *obs.Counter // nil: unmetered
-
-	mu        sync.Mutex
-	cond      *sync.Cond
-	pending   []Event
-	stopped   bool // no further events will be queued
-	lost      int  // events dropped since the last lost marker
-	lostFirst int  // Seq of the first of them
-
-	done     chan struct{} // closed when the consumer abandons the stream
-	dropOnce sync.Once
-	ch       chan Event
-}
-
-func newSubscriber(jobID string, replay []Event, max int, dropped *obs.Counter) *subscriber {
-	sub := &subscriber{
-		jobID: jobID, max: max, dropped: dropped,
-		ch: make(chan Event, 16), done: make(chan struct{}),
-	}
-	sub.cond = sync.NewCond(&sub.mu)
-	sub.pending = append(sub.pending, replay...)
-	go sub.pump()
-	return sub
-}
-
-func (sub *subscriber) push(e Event) {
-	sub.mu.Lock()
-	if !sub.stopped {
-		if sub.max > 0 && len(sub.pending) >= sub.max {
-			// Drop the oldest non-terminal pending event (terminal events
-			// are always deliverable: they end the stream).
-			for i := range sub.pending {
-				if sub.pending[i].Kind.Terminal() {
-					continue
-				}
-				if sub.lost == 0 {
-					sub.lostFirst = sub.pending[i].Seq
-				}
-				sub.lost++
-				sub.pending = append(sub.pending[:i], sub.pending[i+1:]...)
-				if sub.dropped != nil {
-					sub.dropped.Inc()
-				}
-				break
-			}
-		}
-		sub.pending = append(sub.pending, e)
-		sub.cond.Signal()
-	}
-	sub.mu.Unlock()
-}
-
-// close stops the stream after any already-queued events are delivered.
-func (sub *subscriber) close() {
-	sub.mu.Lock()
-	sub.stopped = true
-	sub.cond.Signal()
-	sub.mu.Unlock()
-}
-
-// drop abandons the stream immediately (consumer went away): pending
-// events are discarded and a pump blocked on a send is released.
-func (sub *subscriber) drop() {
-	sub.dropOnce.Do(func() { close(sub.done) })
-	sub.mu.Lock()
-	sub.stopped = true
-	sub.pending = nil
-	sub.cond.Signal()
-	sub.mu.Unlock()
-}
-
-func (sub *subscriber) pump() {
-	for {
-		sub.mu.Lock()
-		for len(sub.pending) == 0 && !sub.stopped {
-			sub.cond.Wait()
-		}
-		if len(sub.pending) == 0 {
-			sub.mu.Unlock()
-			close(sub.ch)
-			return
-		}
-		var e Event
-		if sub.lost > 0 {
-			// Surface the gap before the next surviving event.
-			e = Event{
-				JobID: sub.jobID,
+// newSubscriber binds the generic bounded-backlog machinery in
+// internal/events to this store's Event semantics: terminal job events
+// end the stream and are never dropped, slow-consumer gaps surface as a
+// single EventLost marker, and every drop is metered.
+func newSubscriber(jobID string, replay []Event, max int, dropped *obs.Counter) *events.Subscriber[Event] {
+	opts := events.Options[Event]{
+		Backlog:  max,
+		Terminal: func(e Event) bool { return e.Kind.Terminal() },
+		Lost: func(lost int, first, next Event) Event {
+			return Event{
+				JobID: jobID,
 				Kind:  EventLost,
-				Seq:   sub.lostFirst,
+				Seq:   first.Seq,
 				Time:  time.Now(),
-				Lost:  sub.lost,
+				Lost:  lost,
 				Message: fmt.Sprintf("%d events dropped (slow consumer); next delivered seq is %d",
-					sub.lost, sub.pending[0].Seq),
+					lost, next.Seq),
 			}
-			sub.lost = 0
-		} else {
-			e = sub.pending[0]
-			sub.pending = sub.pending[1:]
-		}
-		sub.mu.Unlock()
-		select {
-		case sub.ch <- e:
-		case <-sub.done:
-			return // abandoned; nobody reads ch anymore
-		}
-		if e.Kind.Terminal() {
-			// Terminal is always the last event; drain and close.
-			sub.close()
-		}
+		},
 	}
+	if dropped != nil {
+		opts.OnDrop = dropped.Inc
+	}
+	return events.New(replay, opts)
 }
 
 // Subscribe returns a channel replaying the job's full event history and
@@ -537,10 +442,10 @@ func (s *Store) Subscribe(id string) (<-chan Event, func(), error) {
 	if !j.Status.Terminal() {
 		s.subs[id] = append(s.subs[id], sub)
 	} else {
-		sub.close()
+		sub.Close()
 	}
 	cancel := func() {
-		sub.drop()
+		sub.Drop()
 		s.mu.Lock()
 		list := s.subs[id]
 		for i, x := range list {
@@ -551,7 +456,7 @@ func (s *Store) Subscribe(id string) (<-chan Event, func(), error) {
 		}
 		s.mu.Unlock()
 	}
-	return sub.ch, cancel, nil
+	return sub.C(), cancel, nil
 }
 
 // Events returns a snapshot of the job's event log so far.
@@ -576,7 +481,7 @@ func (s *Store) publishLocked(id string, e Event) {
 		m.Events.Inc()
 	}
 	for _, sub := range s.subs[id] {
-		sub.push(e)
+		sub.Push(e)
 	}
 	if e.Kind.Terminal() {
 		delete(s.subs, id)

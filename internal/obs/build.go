@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: the version string baked in
+// at link time (or "dev"), the VCS revision embedded by the Go
+// toolchain, and the Go version that compiled it.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	Commit    string `json:"commit"`
+	GoVersion string `json:"go_version"`
+}
+
+// Build resolves the binary's build metadata. version is the
+// link-time/flag-provided version string; empty means "dev".
+func Build(version string) BuildInfo {
+	if version == "" {
+		version = "dev"
+	}
+	bi := BuildInfo{Version: version, Commit: "unknown", GoVersion: runtime.Version()}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				bi.Commit = s.Value
+				if len(bi.Commit) > 12 {
+					bi.Commit = bi.Commit[:12]
+				}
+			}
+		}
+	}
+	return bi
+}
+
+// RegisterBuildInfo registers the lexp_build_info info-style gauge: a
+// constant 1 whose labels carry the binary's identity, so dashboards
+// and alerts can join every other series against the deployed version.
+func RegisterBuildInfo(r *Registry, version string) BuildInfo {
+	bi := Build(version)
+	r.GaugeVec("lexp_build_info",
+		"Build metadata of the running binary; the value is always 1.",
+		"version", "commit", "go_version").
+		With(bi.Version, bi.Commit, bi.GoVersion).Set(1)
+	return bi
+}

@@ -280,6 +280,64 @@ func (m *SparsityMetrics) SetMLP(layer int, density float64) {
 	m.layerGauge(&m.mlpG, m.mlp, layer).Set(density)
 }
 
+// SLOMetrics instruments the SLO engine (internal/slo): the evaluation
+// loop, per-objective burn rates and error budgets, and the alert state
+// machine. Per-objective handles are resolved once at engine
+// construction (ObjectiveSLOMetrics), keeping the evaluation tick
+// allocation-free.
+type SLOMetrics struct {
+	Evaluations  *Counter // lexp_slo_evaluations_total
+	AlertsFiring *Gauge   // lexp_slo_alerts_firing
+
+	budget      *GaugeVec   // lexp_slo_error_budget_remaining{objective}
+	burn        *GaugeVec   // lexp_slo_burn_rate{objective,window}
+	state       *GaugeVec   // lexp_slo_alert_state{objective}
+	transitions *CounterVec // lexp_slo_alert_transitions_total{objective,state}
+}
+
+// NewSLOMetrics registers the SLO instruments.
+func NewSLOMetrics(r *Registry) *SLOMetrics {
+	return &SLOMetrics{
+		Evaluations:  r.Counter("lexp_slo_evaluations_total", "SLO engine evaluation ticks."),
+		AlertsFiring: r.Gauge("lexp_slo_alerts_firing", "Objectives currently in the firing state."),
+		budget: r.GaugeVec("lexp_slo_error_budget_remaining",
+			"Fraction of the error budget left over the budget window (1 = untouched, <= 0 = exhausted).", "objective"),
+		burn: r.GaugeVec("lexp_slo_burn_rate",
+			"Error-budget burn rate per evaluation window (1 = burning exactly the budget).", "objective", "window"),
+		state: r.GaugeVec("lexp_slo_alert_state",
+			"Alert state machine position per objective (0 inactive, 1 pending, 2 firing, 3 resolved).", "objective"),
+		transitions: r.CounterVec("lexp_slo_alert_transitions_total",
+			"Alert state transitions, by objective and entered state.", "objective", "state"),
+	}
+}
+
+// ObjectiveSLOMetrics is SLOMetrics resolved for one objective: every
+// handle pre-fetched so the evaluation tick stays allocation-free.
+type ObjectiveSLOMetrics struct {
+	BudgetRemaining *Gauge
+	State           *Gauge
+
+	BurnFastShort, BurnFastLong *Gauge
+	BurnSlowShort, BurnSlowLong *Gauge
+
+	ToPending, ToFiring, ToResolved *Counter
+}
+
+// Objective resolves the per-objective handles.
+func (m *SLOMetrics) Objective(name string) *ObjectiveSLOMetrics {
+	return &ObjectiveSLOMetrics{
+		BudgetRemaining: m.budget.With(name),
+		State:           m.state.With(name),
+		BurnFastShort:   m.burn.With(name, "fast_short"),
+		BurnFastLong:    m.burn.With(name, "fast_long"),
+		BurnSlowShort:   m.burn.With(name, "slow_short"),
+		BurnSlowLong:    m.burn.With(name, "slow_long"),
+		ToPending:       m.transitions.With(name, "pending"),
+		ToFiring:        m.transitions.With(name, "firing"),
+		ToResolved:      m.transitions.With(name, "resolved"),
+	}
+}
+
 // LimitMetrics instruments internal/limit: every admission and shed
 // decision, in-flight and waiting levels, and wait latency, per guarded
 // endpoint. Tenants tracks the rate limiter's live tenant-bucket count.

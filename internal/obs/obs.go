@@ -333,6 +333,27 @@ func (h *Histogram) Count() uint64 { return h.n.Load() }
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Bounds returns the histogram's bucket upper bounds. The slice is
+// shared and must not be mutated.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// CountAtMost returns the cumulative number of observations that landed
+// in buckets whose upper bound is <= bound — the "good events" count a
+// latency objective reads every evaluation tick. The answer is
+// bucketized: a bound falling strictly inside a bucket excludes that
+// whole bucket. Lock-free and allocation-free.
+func (h *Histogram) CountAtMost(bound float64) uint64 {
+	i := sort.SearchFloat64s(h.bounds, bound)
+	if i < len(h.bounds) && h.bounds[i] == bound {
+		i++
+	}
+	var n uint64
+	for j := 0; j < i; j++ {
+		n += h.counts[j].Load()
+	}
+	return n
+}
+
 // LogBuckets returns n strictly ascending upper bounds starting at min
 // and growing by factor — the fixed log-scale bucket layout every
 // histogram in this repo uses (a final +Inf bucket is implicit).
@@ -458,4 +479,83 @@ func (r *Registry) Value(name string, labelValues ...string) (float64, bool) {
 	default:
 		return float64(ch.h.Count()), true
 	}
+}
+
+// ---- live lookups ----
+//
+// Gather copies everything and therefore allocates; the SLO engine's
+// steady-state evaluation tick must not. These lookups resolve live
+// instrument handles by name and precomputed label key without creating
+// anything and without allocating, so a reader can retry them every
+// tick until the instrumented code path first runs (e.g. a "5xx" status
+// child on a healthy server may never exist at all).
+
+// LabelKey precomputes the unambiguous child key for a label-value
+// tuple, for use with the Peek*Key lookups. Compute it once at
+// configuration time; the lookups themselves are then allocation-free.
+func LabelKey(values ...string) string { return labelKey(values) }
+
+// peek returns the live child for (name, key), or nil when the family
+// is absent, of a different kind, or the child does not exist yet.
+func (r *Registry) peek(name, key string, kind Kind) *child {
+	r.mu.RLock()
+	f, ok := r.byName[name]
+	r.mu.RUnlock()
+	if !ok || f.kind != kind {
+		return nil
+	}
+	f.mu.Lock()
+	ch := f.byLabels[key]
+	f.mu.Unlock()
+	return ch
+}
+
+// PeekCounterKey returns the live counter registered under name with
+// child key LabelKey(labelValues...), without creating it. ok stays
+// false until the instrumented path first touches the child.
+func (r *Registry) PeekCounterKey(name, key string) (*Counter, bool) {
+	if ch := r.peek(name, key, KindCounter); ch != nil {
+		return ch.c, true
+	}
+	return nil, false
+}
+
+// PeekGaugeKey is PeekCounterKey for gauges.
+func (r *Registry) PeekGaugeKey(name, key string) (*Gauge, bool) {
+	if ch := r.peek(name, key, KindGauge); ch != nil {
+		return ch.g, true
+	}
+	return nil, false
+}
+
+// PeekHistogramKey is PeekCounterKey for histograms.
+func (r *Registry) PeekHistogramKey(name, key string) (*Histogram, bool) {
+	if ch := r.peek(name, key, KindHistogram); ch != nil {
+		return ch.h, true
+	}
+	return nil, false
+}
+
+// SumValues sums every live child of a counter or gauge family and
+// reports how many children exist. It is the allocation-free way to
+// fold a whole family (e.g. the mean per-layer serving density) without
+// snapshotting it; ok is false for unknown or histogram families.
+func (r *Registry) SumValues(name string) (sum float64, n int, ok bool) {
+	r.mu.RLock()
+	f, found := r.byName[name]
+	r.mu.RUnlock()
+	if !found || f.kind == KindHistogram {
+		return 0, 0, false
+	}
+	f.mu.Lock()
+	for _, ch := range f.children {
+		if f.kind == KindCounter {
+			sum += ch.c.Value()
+		} else {
+			sum += ch.g.Value()
+		}
+		n++
+	}
+	f.mu.Unlock()
+	return sum, n, true
 }

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func TestPeekLookupsFindExistingChildrenOnly(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("peek_c", "h", "route", "code")
+	gv := r.GaugeVec("peek_g", "h", "layer")
+	hv := r.HistogramVec("peek_h", "h", DurationBuckets, "route")
+
+	cv.With("/a", "2xx").Add(3)
+	gv.With("0").Set(0.5)
+	hv.With("/a").Observe(0.01)
+
+	if c, ok := r.PeekCounterKey("peek_c", LabelKey("/a", "2xx")); !ok || c.Value() != 3 {
+		t.Fatalf("PeekCounterKey existing child: ok=%v", ok)
+	}
+	if _, ok := r.PeekCounterKey("peek_c", LabelKey("/a", "5xx")); ok {
+		t.Fatal("PeekCounterKey must not report a child that was never created")
+	}
+	// Peeking must not create the child either.
+	if _, ok := r.Value("peek_c", "/a", "5xx"); ok {
+		t.Fatal("peek created a child")
+	}
+	if g, ok := r.PeekGaugeKey("peek_g", LabelKey("0")); !ok || g.Value() != 0.5 {
+		t.Fatalf("PeekGaugeKey: ok=%v", ok)
+	}
+	if h, ok := r.PeekHistogramKey("peek_h", LabelKey("/a")); !ok || h.Count() != 1 {
+		t.Fatalf("PeekHistogramKey: ok=%v", ok)
+	}
+	// Wrong kind and unknown family both miss.
+	if _, ok := r.PeekCounterKey("peek_g", LabelKey("0")); ok {
+		t.Fatal("kind mismatch must miss")
+	}
+	if _, ok := r.PeekGaugeKey("nope", ""); ok {
+		t.Fatal("unknown family must miss")
+	}
+}
+
+func TestHistogramCountAtMost(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("cam", "h", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.001, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	// Buckets: <=0.001 has 2 (0.0005 and the inclusive 0.001), <=0.01 adds
+	// 0.005, <=0.1 adds 0.05, <=1 adds 0.5, +Inf holds 5.
+	cases := []struct {
+		bound float64
+		want  uint64
+	}{
+		{0.0001, 0}, // below the first bound: no whole bucket qualifies
+		{0.001, 2},
+		{0.002, 2}, // inside a bucket: that bucket is excluded
+		{0.01, 3},
+		{0.1, 4},
+		{1, 5},
+		{100, 5}, // beyond the last finite bound: +Inf never qualifies
+	}
+	for _, c := range cases {
+		if got := h.CountAtMost(c.bound); got != c.want {
+			t.Errorf("CountAtMost(%g) = %d, want %d", c.bound, got, c.want)
+		}
+	}
+	if len(h.Bounds()) != 4 {
+		t.Fatalf("Bounds() len = %d", len(h.Bounds()))
+	}
+}
+
+func TestSumValues(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("sum_g", "h", "layer")
+	for i := 0; i < 4; i++ {
+		gv.With(strconv.Itoa(i)).Set(0.25)
+	}
+	sum, n, ok := r.SumValues("sum_g")
+	if !ok || n != 4 || sum != 1 {
+		t.Fatalf("SumValues gauges = (%g, %d, %v)", sum, n, ok)
+	}
+	c := r.Counter("sum_c", "h")
+	c.Add(7)
+	sum, n, ok = r.SumValues("sum_c")
+	if !ok || n != 1 || sum != 7 {
+		t.Fatalf("SumValues counter = (%g, %d, %v)", sum, n, ok)
+	}
+	r.Histogram("sum_h", "h", DurationBuckets)
+	if _, _, ok := r.SumValues("sum_h"); ok {
+		t.Fatal("SumValues must reject histogram families")
+	}
+	if _, _, ok := r.SumValues("missing"); ok {
+		t.Fatal("SumValues must reject unknown families")
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	bi := RegisterBuildInfo(r, "v1.2.3")
+	if bi.Version != "v1.2.3" || bi.GoVersion == "" || bi.Commit == "" {
+		t.Fatalf("BuildInfo = %+v", bi)
+	}
+	v, ok := r.Value("lexp_build_info", bi.Version, bi.Commit, bi.GoVersion)
+	if !ok || v != 1 {
+		t.Fatalf("lexp_build_info = (%g, %v), want (1, true)", v, ok)
+	}
+	if Build("").Version != "dev" {
+		t.Fatal("empty version must default to dev")
+	}
+}
+
+// TestConcurrentGatherHooksAndVecChildren exercises Gather (and the
+// exposition writer behind it) racing lazy OnGather hooks, live child
+// creation on vec families, concurrent peeks, and even concurrent
+// family registration — the invariants -race must hold for a registry
+// scraped while the daemon is under load.
+func TestConcurrentGatherHooksAndVecChildren(t *testing.T) {
+	r := NewRegistry()
+	lazy := r.Gauge("lazy_g", "set only from a gather hook")
+	var hookRuns sync.Map
+	r.OnGather(func() {
+		lazy.Set(1)
+		hookRuns.Store("ran", true)
+	})
+	cv := r.CounterVec("race_c", "h", "k")
+	hv := r.HistogramVec("race_h", "h", DurationBuckets, "k")
+	gv := r.GaugeVec("race_g", "h", "k")
+
+	const writers, scrapers, iters = 4, 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := strconv.Itoa((w*iters + i) % 16)
+				cv.With(k).Inc()
+				hv.With(k).Observe(float64(i) * 1e-6)
+				gv.With(k).Set(float64(i))
+			}
+		}(w)
+	}
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < iters/4; i++ {
+				if snaps := r.Gather(); len(snaps) == 0 {
+					t.Error("Gather returned no families")
+					return
+				}
+				r.WritePrometheus(io.Discard)
+				r.Value("race_c", strconv.Itoa(i%16))
+				r.PeekCounterKey("race_c", LabelKey(strconv.Itoa(i%16)))
+				r.SumValues("race_g")
+			}
+		}(s)
+	}
+	// Registration concurrent with scrapes: new families must appear
+	// atomically, never tearing an in-progress Gather.
+	for n := 0; n < 2; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				r.Counter(fmt.Sprintf("late_c_%d_%d", n, i), "h").Inc()
+			}
+		}(n)
+	}
+	wg.Wait()
+	if _, ok := hookRuns.Load("ran"); !ok {
+		t.Fatal("OnGather hook never ran")
+	}
+	if lazy.Value() != 1 {
+		t.Fatal("lazy gauge not set by hook")
+	}
+	sum, n, ok := r.SumValues("race_c")
+	if !ok || n != 16 || sum != float64(writers*iters) {
+		t.Fatalf("race_c sum = (%g, %d, %v), want (%d, 16, true)", sum, n, ok, writers*iters)
+	}
+}

@@ -16,18 +16,46 @@ type tracesResponse struct {
 }
 
 // debugTraces serves GET /debug/traces (mounted by WithTracing).
-// ?limit= bounds how many recent traces are assembled (default 20).
-// The endpoint is diagnostic: it reads the lock-free span ring without
-// stopping writers, so a trace finishing mid-read may be partially
-// represented — acceptable for a debugging surface, and the reason this
-// endpoint is itself exempt from tracing.
+// ?limit= bounds how many recent traces are assembled (default 20);
+// ?trace_id= instead returns exactly the one named trace (the 32-char
+// hex id every error envelope and X-Trace-Id header carries), 404 when
+// its spans have already rotated out of the ring. The endpoint is
+// diagnostic: it reads the lock-free span ring without stopping
+// writers, so a trace finishing mid-read may be partially represented —
+// acceptable for a debugging surface, and the reason this endpoint is
+// itself exempt from tracing.
 func (s *Server) debugTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("trace_id"); id != "" {
+		if len(id) != 32 || !isHex(id) {
+			writeError(w, r, http.StatusBadRequest, "invalid trace_id %q: want 32 hex characters", id)
+			return
+		}
+		rec, ok := s.tracer.SnapshotTrace(id)
+		if !ok {
+			writeError(w, r, http.StatusNotFound, "trace %s not found (it may have rotated out of the ring)", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, tracesResponse{Recent: []trace.TraceRecord{rec}})
+		return
+	}
 	limitN, ok := queryInt(w, r, r.URL.Query().Get("limit"), "limit")
 	if !ok {
 		return
 	}
 	recent, slowest := s.tracer.Snapshot(limitN)
 	writeJSON(w, http.StatusOK, tracesResponse{Recent: recent, Slowest: slowest})
+}
+
+// isHex reports whether id is entirely lowercase-or-uppercase hex.
+func isHex(id string) bool {
+	for _, c := range id {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // mountPprof exposes net/http/pprof under /debug/pprof/ (the Index

@@ -13,9 +13,12 @@
 //	GET    /v1/adapters/{id}    one adapter manifest
 //	DELETE /v1/adapters/{id}    delete an adapter artifact
 //	POST   /v1/generate         KV-cached token generation (SSE stream)
+//	GET    /v1/alerts           SLO alert-transition stream (SSE, WithSLO)
 //	GET    /healthz             liveness + queue stats
-//	GET    /readyz              readiness (503 while draining/shedding)
+//	GET    /readyz              readiness (503 while draining/shedding/slo_firing)
 //	GET    /metrics             Prometheus text exposition (WithMetrics)
+//	GET    /debug/slo           objective report + error budgets (WithSLO)
+//	GET    /debug/flightrecorder black-box snapshot + dump list (WithSLO)
 //
 // Shutdown is graceful: in-flight HTTP requests finish and the job store
 // drains queued and running jobs before the process exits; /readyz flips
@@ -45,6 +48,7 @@ import (
 	"longexposure/internal/limit"
 	"longexposure/internal/obs"
 	"longexposure/internal/registry"
+	"longexposure/internal/slo"
 	"longexposure/internal/trace"
 )
 
@@ -71,7 +75,13 @@ type Server struct {
 	gdGenerate *guard
 	gdJobs     *guard
 
-	draining atomic.Bool // set when Shutdown begins; read by /readyz
+	// SLO plane (nil without WithSLO).
+	slo    *slo.Engine
+	health []slo.HealthSource // readiness inputs, checked in order
+
+	draining     atomic.Bool   // set when Shutdown begins; read by /readyz
+	shutdownC    chan struct{} // closed when Shutdown begins; ends /v1/alerts streams
+	shutdownOnce sync.Once
 
 	mu     sync.Mutex // guards http/closed against Shutdown from another goroutine
 	http   *http.Server
@@ -143,7 +153,7 @@ func WithSSEKeepalive(d time.Duration) Option {
 
 // New builds a server over the store.
 func New(store *jobs.Store, opts ...Option) *Server {
-	s := &Server{store: store, mux: http.NewServeMux()}
+	s := &Server{store: store, mux: http.NewServeMux(), shutdownC: make(chan struct{})}
 	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.listJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
@@ -207,6 +217,25 @@ func New(store *jobs.Store, opts ...Option) *Server {
 		s.gdGenerate = mk("POST /v1/generate")
 		s.gdJobs = mk("POST /v1/jobs")
 	}
+
+	// Readiness inputs, checked in order by /readyz: admission shedding
+	// first (the historical behavior), then the SLO engine when present.
+	s.health = append(s.health, slo.HealthFunc("admission", func() (bool, string) {
+		for _, g := range []*guard{s.gdGenerate, s.gdJobs} {
+			if g != nil && g.adm != nil && g.adm.Shedding() {
+				return false, "shedding"
+			}
+		}
+		return true, ""
+	}))
+	if s.slo != nil {
+		s.health = append(s.health, s.slo)
+		s.mux.HandleFunc("GET /debug/slo", s.debugSLO)
+		s.mux.HandleFunc("GET /v1/alerts", s.streamAlerts)
+		if s.slo.Recorder() != nil {
+			s.mux.HandleFunc("GET /debug/flightrecorder", s.debugFlightRecorder)
+		}
+	}
 	return s
 }
 
@@ -240,6 +269,7 @@ func (s *Server) ListenAndServe(addr string) error {
 // closing server.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.shutdownOnce.Do(func() { close(s.shutdownC) })
 	for _, g := range []*guard{s.gdGenerate, s.gdJobs} {
 		if g != nil && g.adm != nil {
 			g.adm.SetDraining(true)
@@ -431,17 +461,23 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // readyz is the readiness probe: 503 while the server is draining for
-// shutdown or while an admission controller is fully shedding (at its
-// concurrency cap with a full wait queue) — in both states new traffic
-// belongs elsewhere.
+// shutdown, while an admission controller is fully shedding (at its
+// concurrency cap with a full wait queue), or while a critical SLO
+// objective is firing — in every such state new traffic belongs
+// elsewhere. Non-drain conditions are expressed as slo.HealthSource
+// inputs, checked in registration order; the first unhealthy one names
+// the status.
 func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
 	status := "ready"
-	switch {
-	case s.draining.Load():
+	if s.draining.Load() {
 		status = "draining"
-	case s.gdGenerate != nil && s.gdGenerate.adm != nil && s.gdGenerate.adm.Shedding(),
-		s.gdJobs != nil && s.gdJobs.adm != nil && s.gdJobs.adm.Shedding():
-		status = "shedding"
+	} else {
+		for _, h := range s.health {
+			if ok, st := h.Healthy(); !ok {
+				status = st
+				break
+			}
+		}
 	}
 	code := http.StatusOK
 	if status != "ready" {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"longexposure/internal/jobs"
+	"longexposure/internal/slo"
 )
 
 // streamEvents serves GET /v1/jobs/{id}/events as a server-sent event
@@ -90,5 +91,16 @@ func writeSSE(w http.ResponseWriter, e jobs.Event) error {
 		return err
 	}
 	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", e.Kind, e.Seq, data)
+	return err
+}
+
+// writeSSEAlert frames one alert transition for the /v1/alerts stream;
+// the frame's event name is the new alert state.
+func writeSSEAlert(w http.ResponseWriter, e slo.AlertEvent) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", e.State, e.Seq, data)
 	return err
 }

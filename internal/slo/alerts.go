@@ -1,0 +1,144 @@
+package slo
+
+import (
+	"sync"
+	"time"
+
+	"longexposure/internal/events"
+)
+
+// Alert states. The gauge encoding (lexp_slo_alert_state) is their
+// index: 0 inactive, 1 pending, 2 firing, 3 resolved.
+const (
+	StateInactive = "inactive"
+	StatePending  = "pending"
+	StateFiring   = "firing"
+	StateResolved = "resolved"
+	// StateLost marks a synthesized slow-consumer gap on the alert
+	// stream, never a real objective state.
+	StateLost = "lost"
+)
+
+func stateGauge(state string) float64 {
+	switch state {
+	case StatePending:
+		return 1
+	case StateFiring:
+		return 2
+	case StateResolved:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// AlertEvent is one alert state transition, as delivered on the
+// /v1/alerts SSE stream and retained in the flight recorder.
+type AlertEvent struct {
+	Seq       int64     `json:"seq"`
+	Time      time.Time `json:"time"`
+	Objective string    `json:"objective,omitempty"`
+	Kind      Kind      `json:"kind,omitempty"`
+	State     string    `json:"state"`
+	Prev      string    `json:"prev,omitempty"`
+	Critical  bool      `json:"critical,omitempty"`
+
+	// Burn rates per window at transition time.
+	BurnFastShort float64 `json:"burn_fast_short,omitempty"`
+	BurnFastLong  float64 `json:"burn_fast_long,omitempty"`
+	BurnSlowShort float64 `json:"burn_slow_short,omitempty"`
+	BurnSlowLong  float64 `json:"burn_slow_long,omitempty"`
+	// BudgetRemaining is the error-budget fraction left over the budget
+	// window (1 = untouched).
+	BudgetRemaining float64 `json:"budget_remaining"`
+
+	// Lost counts dropped events when State is "lost".
+	Lost    int    `json:"lost,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+// hub fans alert transitions out to /v1/alerts subscribers, replaying a
+// bounded ring of recent transitions to newcomers. It reuses the same
+// bounded-backlog subscriber machinery job event streams run on.
+type hub struct {
+	backlog int
+
+	mu     sync.Mutex
+	seq    int64
+	recent []AlertEvent // bounded replay ring, oldest first
+	subs   []*events.Subscriber[AlertEvent]
+	closed bool
+}
+
+const hubRecent = 64
+
+func newHub(backlog int) *hub { return &hub{backlog: backlog} }
+
+// publish stamps a sequence number and fans the event out. Returns the
+// stamped event (for the flight recorder).
+func (h *hub) publish(e AlertEvent) AlertEvent {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seq++
+	e.Seq = h.seq
+	if h.closed {
+		return e
+	}
+	h.recent = append(h.recent, e)
+	if len(h.recent) > hubRecent {
+		h.recent = h.recent[len(h.recent)-hubRecent:]
+	}
+	for _, sub := range h.subs {
+		sub.Push(e)
+	}
+	return e
+}
+
+// subscribe returns a channel replaying recent transitions then
+// streaming live ones, plus a cancel func (safe to call repeatedly).
+// On a closed hub the channel closes after the replay.
+func (h *hub) subscribe() (<-chan AlertEvent, func()) {
+	h.mu.Lock()
+	replay := append([]AlertEvent(nil), h.recent...)
+	sub := events.New(replay, events.Options[AlertEvent]{
+		Backlog: h.backlog,
+		Lost: func(lost int, first, next AlertEvent) AlertEvent {
+			return AlertEvent{
+				Seq:   first.Seq,
+				Time:  time.Now(),
+				State: StateLost,
+				Lost:  lost,
+			}
+		},
+	})
+	if h.closed {
+		sub.Close()
+	} else {
+		h.subs = append(h.subs, sub)
+	}
+	h.mu.Unlock()
+	cancel := func() {
+		sub.Drop()
+		h.mu.Lock()
+		for i, x := range h.subs {
+			if x == sub {
+				h.subs = append(h.subs[:i], h.subs[i+1:]...)
+				break
+			}
+		}
+		h.mu.Unlock()
+	}
+	return sub.C(), cancel
+}
+
+// close ends every subscription after its backlog drains. Idempotent.
+func (h *hub) close() {
+	h.mu.Lock()
+	h.closed = true
+	subs := h.subs
+	h.subs = nil
+	h.mu.Unlock()
+	for _, sub := range subs {
+		sub.Close()
+	}
+}

@@ -1,0 +1,272 @@
+package slo
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"longexposure/internal/obs"
+	"longexposure/internal/trace"
+)
+
+// quietHandler discards output; tests only care about the recorder tee.
+// It must stay Enabled at Info, or slog never calls Handle at all.
+func quietHandler() slog.Handler {
+	return slog.NewTextHandler(io.Discard, nil)
+}
+
+func newFiringEngine(t *testing.T, dir string) (*Engine, *obs.HistogramVec) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	httpm := obs.NewHTTPMetrics(reg)
+	tr := trace.New(trace.Config{SampleRatio: 1, Capacity: 128, SlowestN: 4, Seed: 7})
+	rec := NewRecorder(RecorderConfig{Dir: dir, MaxDumps: 4}, tr)
+	cfg := Config{
+		Interval: Duration(time.Second),
+		Windows:  testWindows(),
+		Objectives: []Objective{{
+			Name: "lat", Kind: KindLatency, Route: "GET /x",
+			Threshold: 1e-6, Target: 0.99, Critical: true,
+		}},
+	}
+	logger := slog.New(rec.LogHandler(quietHandler()))
+	eng, err := New(cfg, Deps{Metrics: reg, Tracer: tr, Logger: logger, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Leave a span tree in the trace ring so the dump has something to
+	// correlate, and a log record carrying its trace id.
+	span := tr.StartRoot("http.request", trace.SpanContext{})
+	child := span.StartChild("model.forward")
+	child.Finish()
+	span.Finish()
+	logger.Info("handled request", "route", "GET /x", "trace_id", span.TraceID().String())
+
+	return eng, httpm.Latency
+}
+
+func driveToFiring(t *testing.T, eng *Engine, lat *obs.HistogramVec) {
+	t.Helper()
+	h := lat.With("GET /x")
+	now := time.Unix(1_700_000_000, 0)
+	eng.Tick(now)
+	for i := 0; i < 6; i++ {
+		h.Observe(0.25)
+		now = now.Add(time.Second)
+		eng.Tick(now)
+	}
+	if v, _ := eng.reg.Value("lexp_slo_alert_state", "lat"); v != 2 {
+		t.Fatalf("engine not firing, state = %v", v)
+	}
+}
+
+func TestDumpOnFiring(t *testing.T) {
+	dir := t.TempDir()
+	eng, lat := newFiringEngine(t, dir)
+	defer eng.Stop()
+	driveToFiring(t, eng, lat)
+
+	files := eng.Recorder().List()
+	if len(files) != 1 {
+		t.Fatalf("dumps on disk = %d, want exactly 1 (the firing transition)", len(files))
+	}
+	if !strings.Contains(files[0].Name, "alert-firing-lat") {
+		t.Fatalf("dump name %q missing reason", files[0].Name)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, files[0].Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if len(d.Alerts) == 0 || d.Alerts[len(d.Alerts)-1].State != StateFiring {
+		t.Fatalf("dump alerts = %+v", d.Alerts)
+	}
+	var logged bool
+	for _, lr := range d.Logs {
+		if lr.Message == "handled request" {
+			logged = true
+			if lr.TraceID == "" {
+				t.Fatal("captured log record lost its trace id")
+			}
+			if lr.Attrs["route"] != "GET /x" {
+				t.Fatalf("captured attrs = %v", lr.Attrs)
+			}
+		}
+	}
+	if !logged {
+		t.Fatal("dump missing the slog record routed through LogHandler")
+	}
+	var sawSpan bool
+	for _, rec := range d.RecentTraces {
+		for _, root := range rec.Roots {
+			if root.Name != "http.request" {
+				continue
+			}
+			sawSpan = true
+			if len(root.Children) != 1 || root.Children[0].Name != "model.forward" {
+				t.Fatalf("span tree not assembled: %+v", root)
+			}
+		}
+	}
+	if !sawSpan {
+		t.Fatal("dump missing the http.request span tree")
+	}
+	if len(d.MetricDeltas) == 0 {
+		t.Fatal("dump has no metric tick deltas")
+	}
+	last := d.MetricDeltas[len(d.MetricDeltas)-1]
+	if len(last.Objectives) != 1 || last.Objectives[0].DTotal <= 0 {
+		t.Fatalf("newest tick delta = %+v, want DTotal > 0", last.Objectives)
+	}
+	if d.SLO == nil || len(d.SLO.Objectives) != 1 || d.SLO.Objectives[0].State != StateFiring {
+		t.Fatalf("dump SLO report = %+v", d.SLO)
+	}
+	if leftovers, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(leftovers) != 0 {
+		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+}
+
+func TestManualSnapshotAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	eng, lat := newFiringEngine(t, dir)
+	defer eng.Stop()
+	lat.With("GET /x").Observe(0.5)
+	eng.Tick(time.Unix(1_700_000_000, 0))
+
+	d := eng.Recorder().Snapshot("manual")
+	if d.Reason != "manual" || len(d.MetricDeltas) == 0 {
+		t.Fatalf("snapshot = reason %q, %d deltas", d.Reason, len(d.MetricDeltas))
+	}
+
+	for i := 0; i < 6; i++ {
+		if _, err := eng.Recorder().Dump("manual"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files := eng.Recorder().List()
+	if len(files) != 4 { // MaxDumps
+		t.Fatalf("retained dumps = %d, want 4", len(files))
+	}
+	for i := 1; i < len(files); i++ { // newest-first ordering
+		if files[i-1].Name < files[i].Name {
+			t.Fatalf("List not newest-first: %v", files)
+		}
+	}
+}
+
+func TestHandlePanicDumps(t *testing.T) {
+	dir := t.TempDir()
+	eng, _ := newFiringEngine(t, dir)
+	defer eng.Stop()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("HandlePanic swallowed the panic")
+			}
+		}()
+		defer eng.Recorder().HandlePanic()
+		panic("boom")
+	}()
+
+	files := eng.Recorder().List()
+	if len(files) == 0 {
+		t.Fatal("no panic dump written")
+	}
+	if !strings.Contains(files[0].Name, "panic") {
+		t.Fatalf("dump name %q missing panic reason", files[0].Name)
+	}
+}
+
+func TestRecorderWithoutDirStillSnapshots(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{}, nil)
+	path, err := rec.Dump("manual")
+	if err != nil || path != "" {
+		t.Fatalf("dir-less Dump = (%q, %v), want no-op", path, err)
+	}
+	if files := rec.List(); len(files) != 0 {
+		t.Fatalf("List on dir-less recorder = %v", files)
+	}
+	if d := rec.Snapshot("manual"); d.Reason != "manual" {
+		t.Fatalf("snapshot = %+v", d)
+	}
+}
+
+func TestLogHandlerWithAttrsAndFallbackTraceID(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{LogRing: 8}, nil)
+	logger := slog.New(rec.LogHandler(quietHandler())).With("component", "serve")
+	logger.Warn("queue saturated", "trace_id", "deadbeef", "depth", 12)
+	if got := rec.Snapshot("t").Logs; len(got) != 1 {
+		t.Fatalf("records = %+v", got)
+	} else {
+		r := got[0]
+		if r.Level != "WARN" || r.Message != "queue saturated" {
+			t.Fatalf("record = %+v", r)
+		}
+		if r.TraceID != "deadbeef" {
+			t.Fatalf("trace_id attr fallback not captured: %+v", r)
+		}
+		if r.Attrs["component"] != "serve" || r.Attrs["depth"] != "12" {
+			t.Fatalf("attrs = %v", r.Attrs)
+		}
+	}
+
+	for i := 0; i < 10; i++ { // overflow the ring
+		logger.Info("filler", "i", i)
+	}
+	logs := rec.Snapshot("t").Logs
+	if len(logs) != 8 {
+		t.Fatalf("log ring kept %d records, want 8", len(logs))
+	}
+	if logs[len(logs)-1].Attrs["i"] != "9" {
+		t.Fatalf("ring did not keep the newest records: %+v", logs[len(logs)-1])
+	}
+}
+
+func TestPrevTickDeltas(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{TickRing: 4}, nil)
+	reg := obs.NewRegistry()
+	jm := obs.NewJobsMetrics(reg)
+	cfg := Config{
+		Interval:   Duration(time.Second),
+		Windows:    testWindows(),
+		Objectives: []Objective{{Name: "jobs", Kind: KindJobFailure, Target: 0.9}},
+	}
+	eng, err := New(cfg, Deps{Metrics: reg, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	now := time.Unix(1_700_000_000, 0)
+	jm.Done.Add(5)
+	eng.Tick(now)
+	jm.Done.Add(3)
+	jm.Failed.Inc()
+	eng.Tick(now.Add(time.Second))
+
+	d := rec.Snapshot("t")
+	if len(d.MetricDeltas) != 2 {
+		t.Fatalf("tick deltas = %d, want 2", len(d.MetricDeltas))
+	}
+	first, second := d.MetricDeltas[0].Objectives[0], d.MetricDeltas[1].Objectives[0]
+	if first.DTotal != 0 {
+		t.Fatalf("first tick has no predecessor, DTotal = %v", first.DTotal)
+	}
+	if second.DGood != 3 || second.DTotal != 4 {
+		t.Fatalf("second tick delta = (%v, %v), want (3, 4)", second.DGood, second.DTotal)
+	}
+	if second.Good != 8 || second.Total != 9 {
+		t.Fatalf("second tick cumulative = (%v, %v), want (8, 9)", second.Good, second.Total)
+	}
+}

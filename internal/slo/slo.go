@@ -1,0 +1,292 @@
+// Package slo is the daemon's judgement plane: it turns the raw
+// instruments internal/obs accumulates into declarative service-level
+// objectives, evaluates them on a fixed tick by diffing live counter
+// and histogram state into windowed rates, and runs a Google-SRE-style
+// multi-window multi-burn-rate alert state machine (pending → firing →
+// resolved) per objective. Results surface three ways: lexp_slo_*
+// metrics on the same registry the objectives read, a JSON report with
+// error-budget remaining (GET /debug/slo), and an SSE alert stream
+// (GET /v1/alerts) built on the bounded-backlog machinery in
+// internal/events.
+//
+// The evaluation tick is allocation-free at steady state: objectives
+// bind live instrument handles through the registry's Peek lookups
+// (precomputed label keys, no snapshot, no closure), samples land in
+// fixed-capacity rings, and burn rates are plain arithmetic over ring
+// deltas. Alert transitions — rare by construction — are the only
+// allocating events.
+//
+// The companion flight recorder (recorder.go) keeps a black-box ring of
+// recent log records, alert transitions and per-tick metric deltas, and
+// dumps them (with span trees from internal/trace) atomically to disk
+// when an alert fires, on SIGQUIT, or on panic.
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+)
+
+// Duration is a time.Duration that unmarshals from either a Go duration
+// string ("5m", "1h30m") or a plain number of seconds, so SLO config
+// files stay human-writable.
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) == 0 {
+		return fmt.Errorf("slo: empty duration")
+	}
+	if b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("slo: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	secs, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return fmt.Errorf("slo: bad duration %s: %w", b, err)
+	}
+	*d = Duration(secs * float64(time.Second))
+	return nil
+}
+
+// MarshalJSON renders the duration as a Go duration string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Std returns the duration as a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// Kind names what signal an objective judges.
+type Kind string
+
+const (
+	// KindLatency judges per-route request latency against a threshold:
+	// good events are requests the lexp_http_request_seconds{route}
+	// histogram bucketizes at or under Threshold seconds.
+	KindLatency Kind = "latency"
+	// KindAvailability judges per-route availability: bad events are 5xx
+	// responses in lexp_http_requests_total{route,code}.
+	KindAvailability Kind = "availability"
+	// KindQueueWait judges admission quality for one guarded endpoint:
+	// good events waited at most Threshold seconds in the admission
+	// queue (lexp_limit_wait_seconds{endpoint}); requests shed for
+	// queue_full or timeout count as bad.
+	KindQueueWait Kind = "queue_wait"
+	// KindJobFailure judges the async job plane: bad events are jobs
+	// reaching the failed status in lexp_jobs_completed_total.
+	KindJobFailure Kind = "job_failure"
+	// KindDensityDrift judges sparse-serving quality: a tick is bad when
+	// the mean live per-layer density (lexp_sparse_serving_*_density)
+	// drifts more than Threshold from the Expected plan density.
+	KindDensityDrift Kind = "density_drift"
+)
+
+// Objective is one declarative SLO.
+type Objective struct {
+	// Name identifies the objective in metrics, reports and alerts.
+	Name string `json:"name"`
+	// Kind selects the signal (see the Kind constants).
+	Kind Kind `json:"kind"`
+	// Route scopes latency/availability objectives to one route pattern
+	// (e.g. "POST /v1/generate") and queue_wait objectives to one
+	// admission endpoint (e.g. "generate").
+	Route string `json:"route,omitempty"`
+	// Signal selects the density family for density_drift: "mlp"
+	// (default) or "attn".
+	Signal string `json:"signal,omitempty"`
+	// Threshold is the good/bad cut: seconds for latency and queue_wait,
+	// absolute density deviation for density_drift. Unused otherwise.
+	Threshold float64 `json:"threshold,omitempty"`
+	// Expected is the requested plan density a density_drift objective
+	// compares against.
+	Expected float64 `json:"expected,omitempty"`
+	// Target is the objective: the minimum good fraction, in (0, 1),
+	// e.g. 0.99. The error budget is 1 - Target.
+	Target float64 `json:"target"`
+	// Critical marks objectives whose firing alerts flip the engine's
+	// HealthSource to unhealthy, failing /readyz.
+	Critical bool `json:"critical,omitempty"`
+}
+
+func (o Objective) validate() error {
+	if o.Name == "" {
+		return fmt.Errorf("slo: objective needs a name")
+	}
+	if o.Target <= 0 || o.Target >= 1 {
+		return fmt.Errorf("slo: objective %s: target must be in (0, 1), got %g", o.Name, o.Target)
+	}
+	switch o.Kind {
+	case KindLatency, KindQueueWait:
+		if o.Route == "" {
+			return fmt.Errorf("slo: objective %s: %s needs a route", o.Name, o.Kind)
+		}
+		if o.Threshold <= 0 {
+			return fmt.Errorf("slo: objective %s: %s needs a positive threshold (seconds)", o.Name, o.Kind)
+		}
+	case KindAvailability:
+		if o.Route == "" {
+			return fmt.Errorf("slo: objective %s: availability needs a route", o.Name)
+		}
+	case KindJobFailure:
+	case KindDensityDrift:
+		if o.Threshold <= 0 || o.Threshold >= 1 {
+			return fmt.Errorf("slo: objective %s: density_drift needs a threshold in (0, 1)", o.Name)
+		}
+		if o.Expected <= 0 || o.Expected > 1 {
+			return fmt.Errorf("slo: objective %s: density_drift needs expected density in (0, 1]", o.Name)
+		}
+		if o.Signal != "" && o.Signal != "mlp" && o.Signal != "attn" {
+			return fmt.Errorf("slo: objective %s: signal must be mlp or attn, got %q", o.Name, o.Signal)
+		}
+	default:
+		return fmt.Errorf("slo: objective %s: unknown kind %q", o.Name, o.Kind)
+	}
+	return nil
+}
+
+// Windows configures the multi-window multi-burn-rate alert rules — the
+// Google SRE workbook shape. An objective alerts when either rule is
+// active; a rule is active when the burn rate over BOTH its windows
+// meets its threshold (the short window gates on current behavior, the
+// long window on sustained damage, so a recovered incident stops
+// alerting fast).
+type Windows struct {
+	// Fast rule: catches sharp burns quickly. Defaults 5m / 1h at 14.4x
+	// (2% of a 30-day budget in one hour, scaled to the budget window).
+	FastShort Duration `json:"fast_short"`
+	FastLong  Duration `json:"fast_long"`
+	FastBurn  float64  `json:"fast_burn"`
+	// Slow rule: catches sustained moderate burns. Defaults 30m / 6h at 6x.
+	SlowShort Duration `json:"slow_short"`
+	SlowLong  Duration `json:"slow_long"`
+	SlowBurn  float64  `json:"slow_burn"`
+	// For is how long a rule must stay active before pending escalates
+	// to firing. Default 2 evaluation intervals.
+	For Duration `json:"for"`
+	// Budget is the error-budget accounting horizon for the
+	// budget-remaining gauge and report. Default: SlowLong (the ring
+	// only retains enough history for the longest alert window).
+	Budget Duration `json:"budget"`
+}
+
+func (w Windows) withDefaults(interval Duration) Windows {
+	def := func(d *Duration, v time.Duration) {
+		if *d <= 0 {
+			*d = Duration(v)
+		}
+	}
+	def(&w.FastShort, 5*time.Minute)
+	def(&w.FastLong, time.Hour)
+	def(&w.SlowShort, 30*time.Minute)
+	def(&w.SlowLong, 6*time.Hour)
+	def(&w.For, 2*interval.Std())
+	def(&w.Budget, w.SlowLong.Std())
+	if w.FastBurn <= 0 {
+		w.FastBurn = 14.4
+	}
+	if w.SlowBurn <= 0 {
+		w.SlowBurn = 6
+	}
+	return w
+}
+
+func (w Windows) validate() error {
+	if w.FastShort >= w.FastLong {
+		return fmt.Errorf("slo: fast_short (%v) must be shorter than fast_long (%v)", w.FastShort.Std(), w.FastLong.Std())
+	}
+	if w.SlowShort >= w.SlowLong {
+		return fmt.Errorf("slo: slow_short (%v) must be shorter than slow_long (%v)", w.SlowShort.Std(), w.SlowLong.Std())
+	}
+	return nil
+}
+
+// Config is a full SLO engine configuration, as loaded from the
+// -slo-config JSON file.
+type Config struct {
+	// Interval is the evaluation tick period. Default 10s.
+	Interval Duration `json:"interval"`
+	// Windows configures the alert rules (see Windows).
+	Windows Windows `json:"windows"`
+	// Objectives are the SLOs to evaluate.
+	Objectives []Objective `json:"objectives"`
+	// AlertBacklog bounds each /v1/alerts subscriber's pending queue.
+	// Default 256.
+	AlertBacklog int `json:"alert_backlog"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = Duration(10 * time.Second)
+	}
+	c.Windows = c.Windows.withDefaults(c.Interval)
+	if c.AlertBacklog <= 0 {
+		c.AlertBacklog = 256
+	}
+	return c
+}
+
+// Validate checks the configuration (after defaulting).
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if err := c.Windows.validate(); err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	for _, o := range c.Objectives {
+		if err := o.validate(); err != nil {
+			return err
+		}
+		if seen[o.Name] {
+			return fmt.Errorf("slo: duplicate objective name %q", o.Name)
+		}
+		seen[o.Name] = true
+	}
+	return nil
+}
+
+// LoadConfig reads and validates a JSON config file.
+func LoadConfig(path string) (Config, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("slo: read config: %w", err)
+	}
+	var c Config
+	if err := json.Unmarshal(b, &c); err != nil {
+		return Config{}, fmt.Errorf("slo: parse config %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, fmt.Errorf("slo: config %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// DefaultConfig is the built-in objective set longexpd uses with
+// -slo-config=default: latency and availability on the generate route,
+// admission queue wait, job failures, and MLP serving-density drift.
+func DefaultConfig() Config {
+	return Config{
+		Objectives: []Objective{
+			{Name: "generate-latency", Kind: KindLatency, Route: "POST /v1/generate",
+				Threshold: 2, Target: 0.95, Critical: true},
+			{Name: "generate-availability", Kind: KindAvailability, Route: "POST /v1/generate",
+				Target: 0.999, Critical: true},
+			{Name: "generate-queue-wait", Kind: KindQueueWait, Route: "generate",
+				Threshold: 0.5, Target: 0.95},
+			{Name: "job-failures", Kind: KindJobFailure, Target: 0.9},
+			{Name: "serving-density-drift", Kind: KindDensityDrift, Signal: "mlp",
+				Expected: 0.5, Threshold: 0.25, Target: 0.9},
+		},
+	}
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/hex"
 	"sort"
 	"time"
 )
@@ -104,6 +105,32 @@ func (t *Tracer) Snapshot(limit int) (recent []TraceRecord, slowest []*SpanRecor
 	t.slowMu.Unlock()
 	sort.Slice(slowest, func(i, j int) bool { return slowest[i].DurationNs > slowest[j].DurationNs })
 	return recent, slowest
+}
+
+// SnapshotTrace reconstructs the single trace with the given hex id (as
+// reported in X-Trace-Id headers and log records) from whatever spans of
+// it the ring still retains. ok is false for a malformed id or when no
+// retained span carries it — the trace may simply have been overwritten.
+func (t *Tracer) SnapshotTrace(id string) (TraceRecord, bool) {
+	if t == nil || len(id) != 32 {
+		return TraceRecord{}, false
+	}
+	var tid TraceID
+	if _, err := hex.Decode(tid[:], []byte(id)); err != nil {
+		return TraceRecord{}, false
+	}
+	var spans []*SpanRecord
+	var e entry
+	for i := range t.ring {
+		if !readEntry(&t.ring[i], &e) || e.tid != tid {
+			continue
+		}
+		spans = append(spans, e.render())
+	}
+	if len(spans) == 0 {
+		return TraceRecord{}, false
+	}
+	return assemble(tid, spans), true
 }
 
 // assemble links a trace's spans into trees by parent id.

@@ -59,6 +59,8 @@ import (
 	"longexposure/internal/predictor"
 	"longexposure/internal/registry"
 	"longexposure/internal/serve"
+	"longexposure/internal/slo"
+	"longexposure/internal/trace"
 	"longexposure/internal/train"
 )
 
@@ -247,3 +249,42 @@ type ServerLimitConfig = serve.LimitConfig
 // RateLimitConfig configures the rate-limit tiers inside a
 // ServerLimitConfig (limit.Config).
 type RateLimitConfig = limit.Config
+
+// SLOEngine evaluates declarative service-level objectives over the live
+// metrics registry on a fixed tick: windowed good/total rates, Google-SRE
+// multi-window multi-burn-rate alerting (pending → firing → resolved),
+// error-budget accounting, lexp_slo_* instruments, and an alert-event
+// stream served at GET /v1/alerts.
+type SLOEngine = slo.Engine
+
+// SLOConfig declares the objectives and alert windows an SLOEngine
+// evaluates. DefaultSLOConfig returns the built-in objective set.
+type SLOConfig = slo.Config
+
+// DefaultSLOConfig is the built-in objective set: generate latency and
+// availability, admission queue wait, job failures, and serving-density
+// drift.
+func DefaultSLOConfig() SLOConfig { return slo.DefaultConfig() }
+
+// NewSLOEngine builds an SLO engine over cfg; Deps.Metrics must be the
+// same registry the server and job store are instrumented with. The
+// caller owns Start/Stop.
+func NewSLOEngine(cfg SLOConfig, d slo.Deps) (*SLOEngine, error) { return slo.New(cfg, d) }
+
+// FlightRecorder is the black-box crash recorder: bounded rings of alert
+// transitions, slog records, span trees and per-tick metric deltas,
+// dumped atomically to disk on alert-firing, SIGQUIT and panic, and
+// served live at GET /debug/flightrecorder.
+type FlightRecorder = slo.Recorder
+
+// NewFlightRecorder builds a flight recorder; attach it to an engine via
+// slo.Deps.Recorder and wrap your logger with its LogHandler.
+func NewFlightRecorder(cfg slo.RecorderConfig, tr *trace.Tracer) *FlightRecorder {
+	return slo.NewRecorder(cfg, tr)
+}
+
+// WithSLO attaches an SLO engine to a server: GET /debug/slo reports,
+// the GET /v1/alerts SSE stream, GET /debug/flightrecorder (when a
+// recorder is attached), and readiness gating while a critical objective
+// fires.
+var WithSLO = serve.WithSLO
