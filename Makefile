@@ -17,12 +17,12 @@ test:
 # worker pool, concurrent training replicas, multi-adapter decoding on a
 # shared base) — the same set CI runs.
 race:
-	$(GO) test -race ./internal/jobs/... ./internal/serve/... ./internal/parallel/... ./internal/train/... ./internal/tensor/... ./internal/infer/... ./internal/registry/... ./internal/nn/... ./internal/obs/... ./internal/limit/... ./internal/trace/... ./internal/predictor/... ./internal/half/... ./internal/sparse/... ./internal/slo/... ./internal/events/...
+	$(GO) test -race ./internal/jobs/... ./internal/serve/... ./internal/parallel/... ./internal/train/... ./internal/tensor/... ./internal/infer/... ./internal/registry/... ./internal/nn/... ./internal/obs/... ./internal/limit/... ./internal/trace/... ./internal/predictor/... ./internal/half/... ./internal/sparse/... ./internal/slo/... ./internal/events/... ./internal/account/...
 
 # CI-sized benchmarks, gated against the checked-in baselines on both
 # ns/op (relative tolerance) and allocs/op (absolute tolerance).
 bench:
-	$(GO) run ./cmd/lebench -suite kernels,kernels_precision,train_step,generate,obs,trace,slo -short -baseline $(BASELINES) -tolerance 0.20 -alloc-tolerance 16
+	$(GO) run ./cmd/lebench -suite kernels,kernels_precision,train_step,generate,obs,trace,slo,account -short -baseline $(BASELINES) -tolerance 0.20 -alloc-tolerance 16
 
 # Reduced-precision pipeline alone: f16/int8 packed GEMM vs the f32 tiled
 # core, decode/prefill TB shapes, 2:4 N:M vs dense, and end-to-end int8
@@ -30,12 +30,13 @@ bench:
 bench-precision:
 	$(GO) run ./cmd/lebench -suite kernels_precision -short -baseline $(BASELINES) -tolerance 0.20 -alloc-tolerance 16
 
-# Allocation gate alone: the train_step, obs, trace and slo suites compare
-# the workspace-arena step (bare and instrumented), the instrumented decode
-# step, and the SLO evaluation tick against their checked-in zero allocs/op
-# baselines — mirrors the CI bench job's allocation axis.
+# Allocation gate alone: the train_step, obs, trace, slo and account
+# suites compare the workspace-arena step (bare and instrumented), the
+# instrumented decode step, the SLO evaluation tick, and the wide-event
+# emit against their checked-in zero allocs/op baselines — mirrors the CI
+# bench job's allocation axis.
 bench-allocs:
-	$(GO) run ./cmd/lebench -suite train_step,obs,trace,slo -short -baseline $(BASELINES) -tolerance 1000 -alloc-tolerance 16
+	$(GO) run ./cmd/lebench -suite train_step,obs,trace,slo,account -short -baseline $(BASELINES) -tolerance 1000 -alloc-tolerance 16
 
 # SLO engine alone: the zero-alloc evaluation tick (bare and with the
 # flight recorder's per-tick capture) plus the /readyz enabled/disabled
@@ -51,7 +52,7 @@ bench-all:
 # only when intentionally resetting the perf reference (e.g. after a
 # deliberate trade-off or a runner change).
 baseline:
-	$(GO) run ./cmd/lebench -suite kernels,kernels_precision,train_step,generate,obs,trace,slo -short -repeats 4 -out .github/bench
+	$(GO) run ./cmd/lebench -suite kernels,kernels_precision,train_step,generate,obs,trace,slo,account -short -repeats 4 -out .github/bench
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -53,6 +53,16 @@
 // -slo-for, -slo-fast-windows and -slo-slow-windows override the
 // evaluation cadence and alert windows without a config file.
 //
+// The accounting plane: every completed generate request and terminal
+// job becomes one wide event — tenant, route, adapter, trace id, outcome,
+// and the full resource vector (tokens, decode steps, dense-equivalent vs
+// executed FLOPs and the sparsity saving, peak KV footprint, arena bytes,
+// queue/phase durations) — served with filters and rollups at
+// GET /debug/events and as per-tenant cumulative usage at GET /v1/usage
+// (-usage-api). -account-dir persists events to a crash-tolerant
+// segmented binary log replayed on startup; -account-retention ages
+// sealed segments out.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown that drains queued and
 // running jobs, bounded by -drain.
 package main
@@ -69,6 +79,7 @@ import (
 	"syscall"
 	"time"
 
+	"longexposure/internal/account"
 	"longexposure/internal/jobs"
 	"longexposure/internal/limit"
 	"longexposure/internal/obs"
@@ -137,6 +148,10 @@ func main() {
 		sloSlow     = flag.String("slo-slow-windows", "", `override the slow-burn alert windows as "short,long" (e.g. "30m,6h")`)
 		flightDir   = flag.String("flight-recorder-dir", "", "directory for flight-recorder dumps (alert-firing, SIGQUIT, panic); empty keeps the black box in memory only")
 
+		accountDir       = flag.String("account-dir", "", "directory for the wide-event accounting log; empty keeps accounting in memory only")
+		accountRetention = flag.Duration("account-retention", 0, "prune sealed accounting segments older than this age; 0 keeps them until the size budget evicts them")
+		usageAPI         = flag.Bool("usage-api", true, "mount GET /v1/usage (per-tenant usage rollups) alongside GET /debug/events")
+
 		showVersion = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
@@ -191,6 +206,26 @@ func main() {
 		jcfg.Obs = obsReg
 		opts = append(opts, serve.WithMetrics(obsReg))
 	}
+	// The accounting plane is always on: the in-memory ring and
+	// GET /debug/events cost nothing when idle; -account-dir additionally
+	// persists every event to a crash-tolerant segmented log (replayed on
+	// startup, so usage rollups survive restarts).
+	var acctMetrics *obs.AccountMetrics
+	if obsReg != nil {
+		acctMetrics = obs.NewAccountMetrics(obsReg)
+	}
+	plane, err := account.New(account.Config{
+		Dir:       *accountDir,
+		Retention: *accountRetention,
+		Metrics:   acctMetrics,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer plane.Close()
+	jcfg.Account = plane
+	opts = append(opts, serve.WithAccounting(plane, *usageAPI))
+
 	var sloEngine *slo.Engine
 	if *sloConfig != "" {
 		if obsReg == nil {
@@ -234,6 +269,14 @@ func main() {
 			fatal(err)
 		}
 		opts = append(opts, serve.WithSLO(sloEngine))
+		// Cross-plane joins: every accounting event carries the SLO
+		// verdict at emit time, and flight-recorder dumps include the
+		// last wide events next to the spans and logs they share trace
+		// ids with.
+		plane.SetHealth(sloEngine.Healthy)
+		if recorder != nil {
+			recorder.SetEventSource(func() any { return plane.Recent(32) })
+		}
 	}
 	if *regDir != "" {
 		reg, err := registry.Open(*regDir)

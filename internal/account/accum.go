@@ -1,0 +1,30 @@
+package account
+
+import "time"
+
+// TrainAccumulator assembles one training-run wide event incrementally —
+// the train-side counterpart of infer's per-sequence accumulator. The
+// owner (a job runner or a standalone trainer) preallocates one per run,
+// stamps the identity fields on Event, points the engine at it, and emits
+// Event once at completion. AddStep is plain field arithmetic: zero
+// allocations per training step.
+//
+// Training FLOPs are analytic (Model.TrainStepFLOPs) and counted as both
+// dense-equivalent and executed: sparsity savings in this codebase are a
+// serving-time effect (predictor-gated decode plans), so train events
+// always carry SavedFLOPs() == 0 and the attribution stays on the
+// generate side of the ledger.
+type TrainAccumulator struct {
+	Event Event
+}
+
+// AddStep records one optimizer step: the tokens it consumed, its
+// analytic FLOP cost and its wall-clock duration.
+func (a *TrainAccumulator) AddStep(tokens int, flops int64, d time.Duration) {
+	e := &a.Event
+	e.TrainSteps++
+	e.PromptTokens += int64(tokens)
+	e.DenseFLOPs += flops
+	e.ExecFLOPs += flops
+	e.TotalNs += d.Nanoseconds()
+}

@@ -1,0 +1,171 @@
+// The account suite defends the accounting plane's admission ticket: a
+// serving replica can afford one wide event per completed request. Two
+// claims are gated at zero allocations per op. First, Emit — ring slot
+// copy, per-tenant rollup, metric folds, and the segmented disk append
+// through the reused encode buffer — allocates nothing once the tenant
+// entry and buffers are warm. Second, the instrumented cached decode
+// step costs the same as the plain one: DecodeStats recording is plain
+// field arithmetic on a caller-owned struct, so attaching the
+// accumulator to the per-token hot path adds no GC pressure (the
+// plain/stats pair pins the comparison).
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"time"
+
+	"longexposure/internal/account"
+	"longexposure/internal/nn"
+	"longexposure/internal/obs"
+	"longexposure/internal/tensor"
+)
+
+func init() {
+	Register("account", accountSuite)
+}
+
+// benchEvent is a representative generate event: every identity string
+// set (so the codec path length is realistic) and a full resource vector.
+func benchEvent() account.Event {
+	return account.Event{
+		Kind:           account.KindGenerate,
+		Tenant:         "bench-tenant",
+		Route:          "POST /v1/generate",
+		Adapter:        "sha256:0123456789abcdef",
+		Base:           "sim-OPT-1.3B",
+		TraceID:        "4bf92f3577b34da6a3ce929d0e0e4736",
+		Outcome:        "length",
+		Limit:          "admitted",
+		PromptTokens:   8,
+		OutputTokens:   152,
+		DecodeSteps:    153,
+		PlannedSteps:   152,
+		DenseFLOPs:     9_400_000_000,
+		ExecFLOPs:      6_100_000_000,
+		MLPSavedFLOPs:  2_900_000_000,
+		AttnSavedFLOPs: 400_000_000,
+		PeakKVRows:     160,
+		PeakKVBytes:    160 * 2048,
+		ArenaBytes:     1 << 20,
+		QueueWaitNs:    int64(50 * time.Microsecond),
+		PrefillNs:      int64(2 * time.Millisecond),
+		DecodeNs:       int64(80 * time.Millisecond),
+		TotalNs:        int64(83 * time.Millisecond),
+	}
+}
+
+func accountSuite(o Options) []Benchmark {
+	var benchmarks []Benchmark
+
+	// ---- emit, in-memory plane ----
+	// The headline gate: ring slot copy + tenant rollup + metric folds at
+	// zero allocations. Setup emits once so the tenant map entry exists.
+	{
+		var (
+			plane *account.Plane
+			ev    account.Event
+		)
+		benchmarks = append(benchmarks, Benchmark{
+			Name: "account/emit",
+			Setup: func() {
+				var err error
+				plane, err = account.New(account.Config{Ring: 1024, Metrics: obs.NewAccountMetrics(obs.NewRegistry())})
+				if err != nil {
+					panic(err)
+				}
+				ev = benchEvent()
+				plane.Emit(&ev)
+			},
+			Fn: func() {
+				plane.Emit(&ev)
+			},
+		})
+	}
+
+	// ---- emit, disk-backed plane ----
+	// Same path plus the segmented log append: frame encode into the
+	// reused buffer, CRC, one file write. The segment bound is set high
+	// enough that no rotation happens inside a round, so the number is
+	// the steady-state append cost.
+	{
+		var (
+			plane *account.Plane
+			ev    account.Event
+		)
+		dir := filepath.Join(os.TempDir(), "lexp-bench-account")
+		benchmarks = append(benchmarks, Benchmark{
+			Name: "account/emit_disk",
+			Setup: func() {
+				os.RemoveAll(dir)
+				var err error
+				plane, err = account.New(account.Config{
+					Dir: dir, Ring: 1024, SegmentBytes: 1 << 30,
+					Metrics: obs.NewAccountMetrics(obs.NewRegistry()),
+				})
+				if err != nil {
+					panic(err)
+				}
+				ev = benchEvent()
+				plane.Emit(&ev) // warm the tenant entry and encode buffer
+			},
+			Fn: func() {
+				plane.Emit(&ev)
+			},
+		})
+	}
+
+	// ---- cached decode step, plain vs instrumented ----
+	// One op is one single-token KV-cached decode step. The stats variant
+	// attaches the DecodeStats accumulator exactly as the serving engine
+	// does per sequence; both must hold zero allocations, pinning the
+	// claim that per-request accounting is free on the token path.
+	for _, withStats := range []bool{false, true} {
+		name := "account/decode_step_plain"
+		if withStats {
+			name = "account/decode_step_stats"
+		}
+		instrumented := withStats
+		var (
+			m     *nn.Transformer
+			cache *nn.KVCache
+			ws    *tensor.Arena
+			stats nn.DecodeStats
+			feed  []int
+		)
+		benchmarks = append(benchmarks, Benchmark{
+			Name: name,
+			Setup: func() {
+				m, _ = generateModel(o.Short)
+				cache = m.NewKVCache()
+				ws = tensor.NewArena()
+				feed = []int{7}
+				cfg := nn.DecodeStepConfig{WS: ws}
+				if instrumented {
+					cfg.Stats = &stats
+				}
+				// Prefill, then one full lap to MaxSeq so the cache and
+				// arena buffers reach their high-water marks before timing.
+				m.DecodeStepCfg(cache, []int{10, 11, 12, 13, 14, 15, 16, 17}, cfg)
+				ws.Release()
+				for cache.Len < m.Cfg.MaxSeq {
+					m.DecodeStepCfg(cache, feed, cfg)
+					ws.Release()
+				}
+			},
+			Fn: func() {
+				if cache.Len >= m.Cfg.MaxSeq {
+					cache.Reset()
+				}
+				cfg := nn.DecodeStepConfig{WS: ws}
+				if instrumented {
+					cfg.Stats = &stats
+				}
+				m.DecodeStepCfg(cache, feed, cfg)
+				ws.Release()
+			},
+		})
+	}
+
+	return benchmarks
+}

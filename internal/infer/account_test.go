@@ -1,0 +1,241 @@
+package infer
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"longexposure/internal/account"
+	"longexposure/internal/nn"
+	"longexposure/internal/obs"
+	"longexposure/internal/predictor"
+	"longexposure/internal/tensor"
+)
+
+// accountedEngine builds an engine over cfg with a sparsity planner and a
+// metrics-instrumented accounting plane attached.
+func accountedEngine(t *testing.T, cfg nn.Config, seed uint64) (*Engine, *account.Plane, *obs.Registry) {
+	t.Helper()
+	base := nn.NewTransformer(cfg, tensor.NewRNG(seed))
+	reg := obs.NewRegistry()
+	plane, err := account.New(account.Config{Metrics: obs.NewAccountMetrics(reg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := predictor.NewServingPlanner(base, nil, predictor.ServingConfig{})
+	eng := New(base, Config{MaxBatch: 4, Planner: sp, Account: plane})
+	return eng, plane, reg
+}
+
+// TestAccountConservationConcurrent drives mixed-tenant, mixed-sparsity
+// traffic through one engine concurrently (run under -race by CI) and
+// pins the conservation invariant the plane promises: the sum of the
+// per-tenant /v1/usage rollups equals the global lexp_account_* counters
+// equals the sum over the raw ring events — nothing double-counted,
+// nothing dropped.
+func TestAccountConservationConcurrent(t *testing.T) {
+	eng, plane, reg := accountedEngine(t, testConfig(), 1400)
+
+	tenants := []string{"acme", "globex", "initech"}
+	const perTenant = 4
+	var wg sync.WaitGroup
+	errs := make([]error, len(tenants)*perTenant)
+	for ti, tenant := range tenants {
+		for j := 0; j < perTenant; j++ {
+			wg.Add(1)
+			go func(ti, j int, tenant string) {
+				defer wg.Done()
+				opts := nn.SparsityOptions{}
+				if j%2 == 1 {
+					opts = nn.SparsityOptions{Mode: nn.SparsityForced, MLPDensity: 0.5}
+				}
+				stream, err := eng.Generate(context.Background(), Request{
+					Prompt:    []int{1 + ti, 2 + j, 3},
+					MaxTokens: 6,
+					Seed:      uint64(100*ti + j),
+					Sparsity:  opts,
+					Tenant:    tenant,
+					Route:     "POST /v1/generate",
+				})
+				if err != nil {
+					errs[ti*perTenant+j] = err
+					return
+				}
+				if _, _, err := stream.Collect(); err != nil {
+					errs[ti*perTenant+j] = err
+				}
+			}(ti, j, tenant)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Retirement emits on the scheduler goroutine after the terminal
+	// stream event; Close joins it, so every event is in the plane now.
+	eng.Close()
+
+	want := len(tenants) * perTenant
+	events := plane.Events(account.Filter{})
+	if len(events) != want {
+		t.Fatalf("ring holds %d events, want %d", len(events), want)
+	}
+	var evSum account.Usage
+	for i := range events {
+		e := &events[i]
+		if e.Kind != account.KindGenerate || e.Outcome != "length" {
+			t.Fatalf("event %d: kind=%q outcome=%q", i, e.Kind, e.Outcome)
+		}
+		if e.DenseFLOPs != e.ExecFLOPs+e.MLPSavedFLOPs+e.AttnSavedFLOPs {
+			t.Fatalf("event %d: dense %d != exec %d + saved %d",
+				i, e.DenseFLOPs, e.ExecFLOPs, e.SavedFLOPs())
+		}
+		evSum.PromptTokens += e.PromptTokens
+		evSum.OutputTokens += e.OutputTokens
+		evSum.DenseFLOPs += e.DenseFLOPs
+		evSum.ExecFLOPs += e.ExecFLOPs
+		evSum.SavedFLOPs += e.SavedFLOPs()
+	}
+
+	byTenant, total := plane.UsageByTenant()
+	if len(byTenant) != len(tenants) {
+		t.Fatalf("usage spans %d tenants, want %d: %v", len(byTenant), len(tenants), byTenant)
+	}
+	var tenantSum account.Usage
+	for _, tenant := range tenants {
+		u, ok := byTenant[tenant]
+		if !ok || u.Requests != perTenant {
+			t.Fatalf("tenant %s: usage %+v, want %d requests", tenant, u, perTenant)
+		}
+		tenantSum.Requests += u.Requests
+		tenantSum.PromptTokens += u.PromptTokens
+		tenantSum.OutputTokens += u.OutputTokens
+		tenantSum.DenseFLOPs += u.DenseFLOPs
+		tenantSum.ExecFLOPs += u.ExecFLOPs
+		tenantSum.SavedFLOPs += u.SavedFLOPs
+	}
+
+	if total != tenantSum {
+		t.Fatalf("global rollup %+v != tenant sum %+v", total, tenantSum)
+	}
+	checks := []struct {
+		metric string
+		labels []string
+		want   int64
+	}{
+		{"lexp_account_events_total", []string{"generate"}, int64(want)},
+		{"lexp_account_prompt_tokens_total", nil, evSum.PromptTokens},
+		{"lexp_account_output_tokens_total", nil, evSum.OutputTokens},
+		{"lexp_account_flops_dense_total", nil, evSum.DenseFLOPs},
+		{"lexp_account_flops_executed_total", nil, evSum.ExecFLOPs},
+	}
+	for _, c := range checks {
+		v, ok := reg.Value(c.metric, c.labels...)
+		if !ok || int64(v) != c.want {
+			t.Fatalf("%s{%v} = %v (ok=%v), want %d", c.metric, c.labels, v, ok, c.want)
+		}
+	}
+	if saved, _, _ := reg.SumValues("lexp_flops_saved_total"); int64(saved) != evSum.SavedFLOPs {
+		t.Fatalf("lexp_flops_saved_total sum %v != event-sum saving %d", saved, evSum.SavedFLOPs)
+	}
+	if tenantSum.PromptTokens != evSum.PromptTokens ||
+		tenantSum.OutputTokens != evSum.OutputTokens ||
+		tenantSum.DenseFLOPs != evSum.DenseFLOPs ||
+		tenantSum.ExecFLOPs != evSum.ExecFLOPs ||
+		tenantSum.SavedFLOPs != evSum.SavedFLOPs {
+		t.Fatalf("tenant rollup sum %+v != event sum %+v", tenantSum, evSum)
+	}
+	// Half the requests ran at forced half density: the saving must be
+	// real, and executed strictly below dense-equivalent.
+	if evSum.SavedFLOPs <= 0 || evSum.ExecFLOPs >= evSum.DenseFLOPs {
+		t.Fatalf("no saving attributed: %+v", evSum)
+	}
+}
+
+// TestAccountForcedDensityOneExact pins the exactness identity the FLOP
+// model promises: a forced density-1.0 plan executes full-coverage
+// selections, so the event's executed FLOPs equal the dense-equivalent
+// FLOPs exactly — integer equality, no float drift — and the attributed
+// saving is zero across both layer kinds.
+func TestAccountForcedDensityOneExact(t *testing.T) {
+	eng, plane, reg := accountedEngine(t, testConfig(), 1410)
+	defer eng.Close()
+
+	stream, err := eng.Generate(context.Background(), Request{
+		Prompt:    []int{1, 2, 3, 4},
+		MaxTokens: 8,
+		Sparsity:  nn.SparsityOptions{Mode: nn.SparsityForced, MLPDensity: 1, AttnDensity: 1},
+		Tenant:    "exact",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := stream.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	e := waitEvent(t, plane, "exact")
+	// The prefill step decodes dense; every subsequent step is planned.
+	if e.DecodeSteps == 0 || e.PlannedSteps != e.DecodeSteps-1 {
+		t.Fatalf("steps=%d planned=%d, want every post-prefill step planned", e.DecodeSteps, e.PlannedSteps)
+	}
+	if e.DenseFLOPs != e.ExecFLOPs {
+		t.Fatalf("forced 1.0: dense %d != exec %d (drift %d)", e.DenseFLOPs, e.ExecFLOPs, e.DenseFLOPs-e.ExecFLOPs)
+	}
+	if s := e.SavedFLOPs(); s != 0 {
+		t.Fatalf("forced 1.0 attributed saving %d (mlp %d, attn %d)", s, e.MLPSavedFLOPs, e.AttnSavedFLOPs)
+	}
+	if saved, _, _ := reg.SumValues("lexp_flops_saved_total"); saved != 0 {
+		t.Fatalf("lexp_flops_saved_total = %v under forced density 1.0", saved)
+	}
+	if e.PeakKVRows == 0 || e.PeakKVBytes != e.PeakKVRows*eng.base.KVRowBytes() {
+		t.Fatalf("KV footprint: rows=%d bytes=%d", e.PeakKVRows, e.PeakKVBytes)
+	}
+}
+
+// TestAccountAutoSparsitySaves runs auto-mode sparsity on a three-layer
+// base — auto keeps the first and last layers dense, so a middle layer
+// must exist for any gating to happen — and requires a positive
+// attributed saving in both the event and the layer-kind metric.
+func TestAccountAutoSparsitySaves(t *testing.T) {
+	cfg := nn.Config{Name: "infer-test-3l", Vocab: 24, Dim: 16, Layers: 3, Heads: 2, Hidden: 32, MaxSeq: 48, Act: nn.ActReLU}
+	eng, plane, reg := accountedEngine(t, cfg, 1420)
+	defer eng.Close()
+
+	stream, err := eng.Generate(context.Background(), Request{
+		Prompt:    []int{1, 2, 3, 4, 5, 6},
+		MaxTokens: 10,
+		Sparsity:  nn.SparsityOptions{Mode: nn.SparsityAuto},
+		Tenant:    "auto",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := stream.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	e := waitEvent(t, plane, "auto")
+	if e.SavedFLOPs() <= 0 || e.ExecFLOPs >= e.DenseFLOPs {
+		t.Fatalf("auto sparsity saved nothing: dense=%d exec=%d mlp=%d attn=%d",
+			e.DenseFLOPs, e.ExecFLOPs, e.MLPSavedFLOPs, e.AttnSavedFLOPs)
+	}
+	if saved, _, _ := reg.SumValues("lexp_flops_saved_total"); int64(saved) != e.SavedFLOPs() {
+		t.Fatalf("metric saving %v != event saving %d", saved, e.SavedFLOPs())
+	}
+}
+
+// waitEvent blocks until the plane holds exactly one event for tenant,
+// which retires asynchronously after the stream's terminal event.
+func waitEvent(t *testing.T, plane *account.Plane, tenant string) account.Event {
+	t.Helper()
+	for i := 0; i < 500; i++ {
+		if evs := plane.Events(account.Filter{Tenant: tenant}); len(evs) == 1 {
+			return evs[0]
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("no event for tenant %q", tenant)
+	return account.Event{}
+}

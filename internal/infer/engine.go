@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"longexposure/internal/account"
 	"longexposure/internal/nn"
 	"longexposure/internal/obs"
 	"longexposure/internal/tensor"
@@ -37,6 +38,12 @@ type Config struct {
 	// sparsity options get a per-sequence planner and decode under
 	// per-step plans. Nil (or a request with mode off) decodes dense.
 	Planner PlannerProvider
+	// Account, when set, emits one wide event per retired sequence into
+	// the accounting plane: tokens, FLOPs (dense-equivalent, executed,
+	// saved by sparsity), peak KV footprint, queue wait and phase
+	// durations. Accumulation rides the preallocated sequence struct —
+	// the per-token decode path stays zero-alloc.
+	Account *account.Plane
 }
 
 // ErrClosed rejects submissions to a closed engine.
@@ -121,6 +128,15 @@ type Request struct {
 	// AdapterID tags events for observability (not interpreted here).
 	AdapterID string
 
+	// Tenant, Route and LimitVerdict stamp the request's wide event when
+	// the engine carries an accounting plane (not interpreted here).
+	// Tenant defaults to "anonymous"; LimitVerdict is the admission
+	// controller's decision ("admitted"), empty when no limiter guards
+	// the route.
+	Tenant       string
+	Route        string
+	LimitVerdict string
+
 	// Sparsity requests contextual sparsity for this sequence. The zero
 	// value (mode off) decodes dense; "auto"/"forced" require the engine
 	// to carry a Config.Planner. Concurrent sequences may carry different
@@ -190,6 +206,17 @@ type sequence struct {
 	// event); per-step children hang off it. nil when the request is
 	// unsampled — every use below is a nil-safe no-op.
 	span *trace.Span
+
+	// Accounting accumulator: stats is written by the step goroutine
+	// (plain field arithmetic via DecodeStepConfig.Stats — the hot path
+	// stays zero-alloc), ev is assembled at Generate time and completed
+	// on the scheduler goroutine at retirement. statsp is nil when the
+	// engine carries no accounting plane, making every recording site a
+	// no-op.
+	statsp              *nn.DecodeStats
+	stats               nn.DecodeStats
+	ev                  account.Event
+	prefillNs, decodeNs int64
 
 	done   bool
 	reason string
@@ -268,6 +295,27 @@ func (e *Engine) Generate(ctx context.Context, req Request) (*Stream, error) {
 	if req.Sparsity.Enabled() {
 		s.span.SetStr("sparsity", req.Sparsity.Mode)
 	}
+	if e.cfg.Account != nil {
+		// The event's identity is fixed here, off the hot path; the
+		// resource vector fills in at retirement from s.stats.
+		s.statsp = &s.stats
+		tenant := req.Tenant
+		if tenant == "" {
+			tenant = "anonymous"
+		}
+		s.ev = account.Event{
+			Kind:         account.KindGenerate,
+			Tenant:       tenant,
+			Route:        req.Route,
+			Adapter:      req.AdapterID,
+			Base:         e.base.Cfg.Name,
+			Limit:        req.LimitVerdict,
+			PromptTokens: int64(len(req.Prompt)),
+		}
+		if tid := s.span.TraceID(); tid.Valid() {
+			s.ev.TraceID = tid.String()
+		}
+	}
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
 	if e.isClosed {
@@ -342,6 +390,7 @@ func (e *Engine) run() {
 			}
 			if s.done {
 				s.finish()
+				e.account(s)
 				if m != nil {
 					m.Retired(s.reason).Inc()
 					m.SeqSeconds.Observe(time.Since(s.admitted).Seconds())
@@ -369,6 +418,41 @@ func (e *Engine) run() {
 		default:
 		}
 	}
+}
+
+// account completes and emits the sequence's wide event — identity from
+// Generate, resource vector from the step accumulator. No-op without a
+// plane.
+func (e *Engine) account(s *sequence) {
+	p := e.cfg.Account
+	if p == nil {
+		return
+	}
+	end := time.Now()
+	ev := &s.ev
+	ev.Time = end
+	ev.Outcome = s.reason
+	ev.OutputTokens = int64(s.emitted)
+	ev.DecodeSteps = s.stats.Steps
+	ev.PlannedSteps = s.stats.PlannedSteps
+	ev.DenseFLOPs = s.stats.DenseFLOPs
+	ev.ExecFLOPs = s.stats.ExecFLOPs
+	ev.MLPSavedFLOPs = s.stats.MLPSavedFLOPs
+	ev.AttnSavedFLOPs = s.stats.AttnSavedFLOPs
+	ev.PeakKVRows = s.stats.PeakKVRows
+	ev.PeakKVBytes = s.stats.PeakKVRows * e.base.KVRowBytes()
+	ev.ArenaBytes = s.ws.AllocBytes()
+	if !s.admitted.IsZero() {
+		ev.QueueWaitNs = s.admitted.Sub(s.queued).Nanoseconds()
+	} else {
+		// Never admitted (engine closed while queued): the whole lifetime
+		// was queue wait.
+		ev.QueueWaitNs = end.Sub(s.queued).Nanoseconds()
+	}
+	ev.PrefillNs = s.prefillNs
+	ev.DecodeNs = s.decodeNs
+	ev.TotalNs = end.Sub(s.queued).Nanoseconds()
+	p.Emit(ev)
 }
 
 // admit stamps and meters a sequence entering the decode batch.
@@ -408,6 +492,7 @@ func (e *Engine) failAll(active []*sequence) {
 	for _, s := range active {
 		s.err, s.reason = ErrClosed, "error"
 		s.finish()
+		e.account(s)
 		if m != nil {
 			// Only admitted sequences retire: retired_total must never
 			// exceed admitted_total.
@@ -421,6 +506,7 @@ func (e *Engine) failAll(active []*sequence) {
 			// Never admitted — failed without counting as retired.
 			s.err, s.reason = ErrClosed, "error"
 			s.finish()
+			e.account(s)
 		default:
 			return
 		}
@@ -451,12 +537,17 @@ func (s *sequence) step(base *nn.Transformer, batch int) {
 
 	var logits *tensor.Tensor
 	var sp *trace.Span
+	var t0 time.Time
+	if s.statsp != nil {
+		t0 = time.Now()
+	}
+	prefill := !s.started
 	s.planned, s.planMLPDensity, s.planAttnDensity = false, 1, 1
-	if !s.started {
+	if prefill {
 		// Prefill always runs dense: the planner's position summaries are
 		// built from these very rows, and prefill is one step regardless.
 		sp = s.span.StartChild("infer.prefill")
-		logits = base.DecodeStepCfg(s.cache, s.prompt, nn.DecodeStepConfig{Adapter: s.ad, WS: s.ws})
+		logits = base.DecodeStepCfg(s.cache, s.prompt, nn.DecodeStepConfig{Adapter: s.ad, WS: s.ws, Stats: s.statsp})
 		s.started = true
 	} else {
 		sp = s.span.StartChild("infer.decode_step")
@@ -470,12 +561,20 @@ func (s *sequence) step(base *nn.Transformer, batch int) {
 			s.planMLPDensity, s.planAttnDensity = plan.MLPDensity, plan.AttnDensity
 			sp.SetBool("sparse", true)
 		}
-		logits = base.DecodeStepCfg(s.cache, s.nextBuf[:], nn.DecodeStepConfig{Adapter: s.ad, Plan: plan, WS: s.ws})
+		logits = base.DecodeStepCfg(s.cache, s.nextBuf[:], nn.DecodeStepConfig{Adapter: s.ad, Plan: plan, WS: s.ws, Stats: s.statsp})
 	}
 	tok := nn.SampleToken(logits.Row(0), s.temp, s.rng)
 	sp.SetInt("batch", int64(batch))
 	sp.Finish()
 	s.ws.Release()
+	if s.statsp != nil {
+		d := time.Since(t0).Nanoseconds()
+		if prefill {
+			s.prefillNs += d
+		} else {
+			s.decodeNs += d
+		}
+	}
 	s.nextBuf[0] = tok
 
 	s.out <- Event{Token: tok, Index: s.emitted} // buffered for the full run

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"longexposure/internal/account"
 	"longexposure/internal/trace"
 	"longexposure/internal/train"
 )
@@ -61,6 +62,9 @@ type Job struct {
 	ID   string `json:"id"`
 	Hash string `json:"hash"`
 	Spec Spec   `json:"spec"`
+	// Tenant is the submitting principal captured at admission; it drives
+	// the ?tenant= list filter and the job's accounting event.
+	Tenant string `json:"tenant,omitempty"`
 
 	Status Status `json:"status"`
 	// CacheHit marks a job served from the result cache without running.
@@ -84,6 +88,10 @@ type Job struct {
 	// span covers the job's whole lifetime; nil when unsampled (every
 	// use is a nil-safe no-op).
 	span *trace.Span
+	// acct accumulates the job's wide-event resource vector while it
+	// runs (nil until the worker arms it; nil for experiments and cache
+	// hits). Written only by the owning worker before finalization.
+	acct *account.TrainAccumulator
 }
 
 // EventKind tags a job event.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"time"
 
+	"longexposure/internal/account"
 	"longexposure/internal/core"
 	"longexposure/internal/data"
 	"longexposure/internal/experiments"
@@ -122,6 +123,7 @@ func (s *Store) finish(j *Job, res *Result, err error) {
 	}
 	j.span.Finish()
 	s.logJob(j, "job finished")
+	s.emitAccountLocked(j)
 }
 
 // runFinetune assembles a Long Exposure session (or dense baseline) from
@@ -181,6 +183,15 @@ func (s *Store) runFinetune(j *Job, run *trace.Span) (*Result, error) {
 	if eng.RP != nil {
 		eng.RP.Metrics = s.sparsity
 	}
+	if s.account != nil {
+		// Arm the wide-event accumulator: the engine records steps, tokens
+		// and analytic FLOPs into it at zero allocations; finish() merges
+		// it with the job identity and emits. Partial work on a failed or
+		// cancelled run is still accounted.
+		j.acct = &account.TrainAccumulator{}
+		j.acct.Event.Base = cfg.Spec.Config.Name
+		eng.Acct = j.acct
+	}
 
 	hook := func(si train.StepInfo) {
 		s.publish(j.ID, Event{
@@ -196,6 +207,11 @@ func (s *Store) runFinetune(j *Job, run *trace.Span) (*Result, error) {
 		})
 	}
 	res, err := eng.RunContext(j.ctx, batches, f.Epochs, hook)
+	if j.acct != nil {
+		if ws := eng.Workspace(); ws != nil {
+			j.acct.Event.ArenaBytes = ws.AllocBytes()
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -44,6 +44,12 @@ type Spec struct {
 	Kind     Kind `json:"kind"`
 	Priority int  `json:"priority,omitempty"`
 
+	// Tenant is the submitting principal, stamped by the API layer at
+	// admission (never client-supplied JSON). It is excluded from both the
+	// submission body and the result-cache hash — the same work submitted
+	// by two tenants is still the same work.
+	Tenant string `json:"-"`
+
 	Finetune   *FinetuneSpec   `json:"finetune,omitempty"`
 	Experiment *ExperimentSpec `json:"experiment,omitempty"`
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"longexposure/internal/account"
 	"longexposure/internal/events"
 	"longexposure/internal/obs"
 	"longexposure/internal/registry"
@@ -43,6 +44,10 @@ type Config struct {
 	// (submit → queue → run → publish), parented on the submitting
 	// request's span when SubmitCtx carries one. Nil disables tracing.
 	Tracer *trace.Tracer
+	// Account, when set, receives one wide event per terminal job
+	// (finetune or experiment) carrying the tenant, trace id, outcome and
+	// the run's resource vector. Nil disables accounting.
+	Account *account.Plane
 	// Logger, when set, receives structured lifecycle records (queued,
 	// started, terminal) tagged with the job id and trace id. Nil
 	// disables lifecycle logging.
@@ -79,8 +84,9 @@ type Store struct {
 	train    *obs.TrainMetrics
 	sparsity *obs.SparsityMetrics
 
-	tracer *trace.Tracer // nil: untraced
-	log    *slog.Logger  // nil: unlogged
+	tracer  *trace.Tracer  // nil: untraced
+	log     *slog.Logger   // nil: unlogged
+	account *account.Plane // nil: unaccounted
 }
 
 // NewStore builds a store and starts its worker pool.
@@ -108,6 +114,7 @@ func NewStore(cfg Config) *Store {
 		backlog:    cfg.EventBacklog,
 		tracer:     cfg.Tracer,
 		log:        cfg.Logger,
+		account:    cfg.Account,
 	}
 	if cfg.Obs != nil {
 		s.metrics = obs.NewJobsMetrics(cfg.Obs)
@@ -158,6 +165,7 @@ func (s *Store) SubmitCtx(ctx context.Context, spec Spec) (Job, error) {
 		ID:      fmt.Sprintf("job-%06d", s.nextSeq),
 		Hash:    hash,
 		Spec:    spec,
+		Tenant:  spec.Tenant,
 		Created: time.Now(),
 		seq:     s.nextSeq,
 	}
@@ -195,6 +203,7 @@ func (s *Store) SubmitCtx(ctx context.Context, spec Spec) (Job, error) {
 		j.span.SetStr("status", string(StatusDone))
 		j.span.Finish()
 		s.logJob(j, "job served from cache")
+		s.emitAccountLocked(j)
 		return *j, nil
 	}
 
@@ -223,6 +232,50 @@ func (s *Store) logJob(j *Job, msg string) {
 		"trace_id", j.TraceID)
 }
 
+// emitAccountLocked publishes one wide accounting event for a terminal
+// job: the worker-filled accumulator (steps, tokens, FLOPs, compute time)
+// merged with the job's identity, outcome and scheduling times. Callers
+// hold s.mu; a nil plane is a no-op.
+func (s *Store) emitAccountLocked(j *Job) {
+	if s.account == nil {
+		return
+	}
+	var ev account.Event
+	if j.acct != nil {
+		ev = j.acct.Event
+	}
+	ev.Time = j.Finished
+	ev.Kind = account.KindFinetune
+	if j.Spec.Kind == KindExperiment {
+		ev.Kind = account.KindExperiment
+	}
+	ev.Tenant = j.Tenant
+	if ev.Tenant == "" {
+		ev.Tenant = "anonymous"
+	}
+	ev.Route = "/v1/jobs"
+	ev.TraceID = j.TraceID
+	ev.Outcome = string(j.Status)
+	if j.CacheHit {
+		ev.Limit = "cache_hit"
+	}
+	if r := j.Result; r != nil && r.Finetune != nil {
+		ev.Adapter = r.Finetune.AdapterID
+		ev.Base = r.Finetune.Model
+	}
+	switch {
+	case !j.Started.IsZero():
+		ev.QueueWaitNs = j.Started.Sub(j.Created).Nanoseconds()
+	case !j.Finished.IsZero():
+		// Cancelled while queued: the whole lifetime was queue wait.
+		ev.QueueWaitNs = j.Finished.Sub(j.Created).Nanoseconds()
+	}
+	if ev.TotalNs == 0 && !j.Finished.IsZero() && !j.Started.IsZero() {
+		ev.TotalNs = j.Finished.Sub(j.Started).Nanoseconds()
+	}
+	s.account.Emit(&ev)
+}
+
 // resultServable guards cache hits against dangling artifacts: a cached
 // fine-tune result naming an adapter that has since been deleted from the
 // registry must not be served — the job re-runs and (content addressing)
@@ -249,17 +302,18 @@ func (s *Store) Get(id string) (Job, bool) {
 // List returns snapshots of every job in submission order, optionally
 // filtered by status ("" matches all).
 func (s *Store) List(status Status) []Job {
-	jobs, _ := s.ListPage(status, 0, 0)
+	jobs, _ := s.ListPage(status, "", 0, 0)
 	return jobs
 }
 
 // ListPage is List with pagination: it skips offset matching jobs and
 // returns at most limit of them (limit <= 0 means no bound), plus the
-// total number of matches. Ordering is stable — submission order — so
-// clients can walk a growing list page by page without duplicates. Only
-// jobs inside the window are copied, keeping listing cheap at high job
-// counts.
-func (s *Store) ListPage(status Status, limit, offset int) ([]Job, int) {
+// total number of matches. Jobs are matched by status ("" matches all)
+// and by submitting tenant ("" matches all). Ordering is stable —
+// submission order — so clients can walk a growing list page by page
+// without duplicates. Only jobs inside the window are copied, keeping
+// listing cheap at high job counts.
+func (s *Store) ListPage(status Status, tenant string, limit, offset int) ([]Job, int) {
 	if offset < 0 {
 		offset = 0
 	}
@@ -270,6 +324,9 @@ func (s *Store) ListPage(status Status, limit, offset int) ([]Job, int) {
 	for _, id := range s.order {
 		j := s.jobs[id]
 		if status != "" && j.Status != status {
+			continue
+		}
+		if tenant != "" && j.Tenant != tenant {
 			continue
 		}
 		total++
@@ -304,6 +361,7 @@ func (s *Store) Cancel(id string) (Job, bool) {
 		j.span.SetStr("status", string(StatusCancelled))
 		j.span.Finish()
 		s.logJob(j, "job cancelled while queued")
+		s.emitAccountLocked(j)
 	}
 	return *j, true
 }

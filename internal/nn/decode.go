@@ -153,6 +153,10 @@ type DecodeStepConfig struct {
 	// WS is the step workspace (nil allocates). The returned logits are
 	// workspace-backed and must be read before the caller's Release.
 	WS *tensor.Arena
+	// Stats, when set, accumulates the step's analytic FLOP and plan
+	// counters (see DecodeStats). Recording is plain field arithmetic on
+	// the caller-owned struct — the zero-alloc hot path stays zero-alloc.
+	Stats *DecodeStats
 }
 
 // DecodeStep feeds ids (batch 1) through the model against the cache,
@@ -211,6 +215,9 @@ func (m *Transformer) DecodeStepCfg(cache *KVCache, ids []int, cfg DecodeStepCon
 		x = decodeBlock(blk, x, &cache.layers[li], cache, p0, ad.layer(li), cfg.Plan, li, ws)
 	}
 	cache.Len = p0 + n
+	if cfg.Stats != nil {
+		m.noteDecodeStep(cfg.Stats, n, p0, cfg.Plan)
+	}
 
 	// Only the last row's logits are consumed downstream (the final norm
 	// and head feed nothing back into the blocks), so the prefill skips
@@ -487,6 +494,9 @@ type DecodeSession struct {
 	// step (the prefill always runs dense). BeginSequence is called before
 	// the loop starts.
 	Planner DecodePlanner
+	// Stats, when set, accumulates per-step FLOP and plan counters across
+	// the whole generation (prefill included).
+	Stats *DecodeStats
 }
 
 // GenerateCached is Generate on the KV-cached decode path: same sampling,
@@ -532,7 +542,7 @@ func (m *Transformer) GenerateCachedCfg(prompt []int, cfg GenerateConfig, sess D
 		if sess.Planner != nil && t > 0 {
 			plan = sess.Planner.PlanStep(feed[0], sess.Cache.Len, sess.WS)
 		}
-		logits := m.DecodeStepCfg(sess.Cache, feed, DecodeStepConfig{Adapter: sess.Adapter, Plan: plan, WS: sess.WS})
+		logits := m.DecodeStepCfg(sess.Cache, feed, DecodeStepConfig{Adapter: sess.Adapter, Plan: plan, WS: sess.WS, Stats: sess.Stats})
 		next := pickToken(logits.Row(0), cfg.Temperature, cfg.RNG)
 		sess.WS.Release()
 		out = append(out, next)

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"compress/gzip"
 	"io"
 	"math"
 	"net/http"
@@ -128,14 +129,27 @@ func escapeLabel(s string) string {
 // Handler serves the registry at GET /metrics. Clients that negotiate
 // OpenMetrics (Accept contains application/openmetrics-text) receive the
 // exemplar-annotated exposition; everyone else gets classic text format.
+// Orthogonally, clients sending Accept-Encoding: gzip get a compressed
+// body — exposition bodies grow with every registered family, and the
+// content negotiation above is unaffected by the transfer encoding.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var out io.Writer = w
+		var gz *gzip.Writer
+		if strings.Contains(req.Header.Get("Accept-Encoding"), "gzip") {
+			w.Header().Set("Content-Encoding", "gzip")
+			gz = gzip.NewWriter(w)
+			out = gz
+		}
 		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
 			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
-			_ = r.WriteOpenMetrics(w)
-			return
+			_ = r.WriteOpenMetrics(out)
+		} else {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = r.WritePrometheus(out)
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = r.WritePrometheus(w)
+		if gz != nil {
+			_ = gz.Close()
+		}
 	})
 }

@@ -338,6 +338,68 @@ func (m *SLOMetrics) Objective(name string) *ObjectiveSLOMetrics {
 	}
 }
 
+// AccountMetrics instruments the wide-event accounting plane
+// (internal/account): one emission per completed generate request,
+// fine-tune job and train run, with the resource vector folded into
+// global counters. Every handle is resolved at construction — emission
+// happens on the sequence-retire path and must stay allocation-free.
+type AccountMetrics struct {
+	events *CounterVec // lexp_account_events_total{kind}
+	saved  *CounterVec // lexp_flops_saved_total{layer_kind}
+
+	EvGenerate, EvFinetune, EvExperiment, EvTrain *Counter
+
+	PromptTokens *Counter // lexp_account_prompt_tokens_total
+	OutputTokens *Counter // lexp_account_output_tokens_total
+	DenseFLOPs   *Counter // lexp_account_flops_dense_total
+	ExecFLOPs    *Counter // lexp_account_flops_executed_total
+	SavedMLP     *Counter // lexp_flops_saved_total{layer_kind="mlp"}
+	SavedAttn    *Counter // lexp_flops_saved_total{layer_kind="attn"}
+	Shed         *Counter // lexp_account_shed_total
+	LogBytes     *Counter // lexp_account_log_bytes_total
+	LogErrors    *Counter // lexp_account_log_errors_total
+	Segments     *Counter // lexp_account_segments_total
+}
+
+// NewAccountMetrics registers the accounting instruments.
+func NewAccountMetrics(r *Registry) *AccountMetrics {
+	m := &AccountMetrics{
+		events: r.CounterVec("lexp_account_events_total",
+			"Wide events emitted into the accounting plane, by event kind.", "kind"),
+		saved: r.CounterVec("lexp_flops_saved_total",
+			"FLOPs saved by predictor-gated contextual sparsity vs the dense-equivalent run, by gated layer kind.", "layer_kind"),
+		PromptTokens: r.Counter("lexp_account_prompt_tokens_total", "Prompt tokens across accounted requests."),
+		OutputTokens: r.Counter("lexp_account_output_tokens_total", "Output tokens across accounted requests."),
+		DenseFLOPs:   r.Counter("lexp_account_flops_dense_total", "Dense-equivalent FLOPs across accounted work."),
+		ExecFLOPs:    r.Counter("lexp_account_flops_executed_total", "FLOPs actually executed across accounted work."),
+		Shed:         r.Counter("lexp_account_shed_total", "Accounted requests shed before admission."),
+		LogBytes:     r.Counter("lexp_account_log_bytes_total", "Bytes appended to the segmented event log."),
+		LogErrors:    r.Counter("lexp_account_log_errors_total", "Event-log write or rotation failures (events stay in the ring)."),
+		Segments:     r.Counter("lexp_account_segments_total", "Event-log segments sealed by rotation."),
+	}
+	m.EvGenerate = m.events.With("generate")
+	m.EvFinetune = m.events.With("finetune")
+	m.EvExperiment = m.events.With("experiment")
+	m.EvTrain = m.events.With("train")
+	m.SavedMLP = m.saved.With("mlp")
+	m.SavedAttn = m.saved.With("attn")
+	return m
+}
+
+// Event returns the cached emission counter for an event kind.
+func (m *AccountMetrics) Event(kind string) *Counter {
+	switch kind {
+	case "generate":
+		return m.EvGenerate
+	case "finetune":
+		return m.EvFinetune
+	case "experiment":
+		return m.EvExperiment
+	default:
+		return m.EvTrain
+	}
+}
+
 // LimitMetrics instruments internal/limit: every admission and shed
 // decision, in-flight and waiting levels, and wait latency, per guarded
 // endpoint. Tenants tracks the rate limiter's live tenant-bucket count.

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sync"
 
+	"longexposure/internal/account"
 	"longexposure/internal/infer"
 	"longexposure/internal/jobs"
 	"longexposure/internal/nn"
@@ -37,6 +38,9 @@ type gateway struct {
 	metrics      *obs.GatewayMetrics
 	inferMetrics *obs.InferMetrics    // shared by every engine built here
 	sparsity     *obs.SparsityMetrics // serving-density gauges, shared by every planner
+	// Wired by serve.New when WithAccounting is set: every engine built
+	// here emits one wide event per retired sequence into the plane.
+	account *account.Plane
 
 	mu        sync.Mutex
 	engines   map[string]*infer.Engine     // by BaseDesc.Hash()
@@ -77,7 +81,7 @@ func (g *gateway) engineFor(desc registry.BaseDesc) (*infer.Engine, error) {
 	if !nn.CompressedPrecision(desc.Precision) {
 		planner = predictor.NewServingPlanner(base, nil, predictor.ServingConfig{Metrics: g.sparsity})
 	}
-	eng := infer.New(base, infer.Config{MaxBatch: g.maxBatch, Metrics: g.inferMetrics, Planner: planner})
+	eng := infer.New(base, infer.Config{MaxBatch: g.maxBatch, Metrics: g.inferMetrics, Planner: planner, Account: g.account})
 	g.engines[key] = eng
 	if g.metrics != nil {
 		g.metrics.Engines.Set(float64(len(g.engines)))
@@ -259,8 +263,9 @@ func (req *generateRequest) resolveDecode() (samplingOptions, nn.SparsityOptions
 // "token" frame per emitted token, then a terminal "done" frame with the
 // finish reason and the full token list (or an "error" frame).
 func (s *Server) generate(w http.ResponseWriter, r *http.Request) {
-	release, ok := s.gdGenerate.admit(w, r)
+	release, verdict, ok := s.gdGenerate.admit(w, r)
 	if !ok {
+		s.accountShed(r, account.KindGenerate, "POST /v1/generate", verdict)
 		return
 	}
 	defer release()
@@ -321,14 +326,17 @@ func (s *Server) generate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	stream, err := eng.Generate(r.Context(), infer.Request{
-		Prompt:      req.Prompt,
-		MaxTokens:   sampling.MaxTokens,
-		Temperature: sampling.Temperature,
-		StopToken:   sampling.StopToken,
-		Seed:        sampling.Seed,
-		Sparsity:    sparsity,
-		Adapter:     adapter,
-		AdapterID:   req.Adapter,
+		Prompt:       req.Prompt,
+		MaxTokens:    sampling.MaxTokens,
+		Temperature:  sampling.Temperature,
+		StopToken:    sampling.StopToken,
+		Seed:         sampling.Seed,
+		Sparsity:     sparsity,
+		Adapter:      adapter,
+		AdapterID:    req.Adapter,
+		Tenant:       s.tenantOf(r),
+		Route:        "POST /v1/generate",
+		LimitVerdict: verdict,
 	})
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, "%v", err)

@@ -60,10 +60,13 @@ type guard struct {
 
 // admit applies rate limiting then admission control. It either returns
 // a release func (call when the request finishes) or writes the 429
-// itself and returns ok=false.
-func (g *guard) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+// itself and returns ok=false. verdict reports the admission decision
+// for the request's accounting event: "admitted", or the shed reason
+// (rate_limited, queue_full, timeout, draining, cancelled); "" when no
+// traffic control guards the route.
+func (g *guard) admit(w http.ResponseWriter, r *http.Request) (release func(), verdict string, ok bool) {
 	if g == nil {
-		return func() {}, true
+		return func() {}, "", true
 	}
 	if g.limiter != nil {
 		tenant := r.Header.Get(g.tenantHeader)
@@ -76,19 +79,19 @@ func (g *guard) admit(w http.ResponseWriter, r *http.Request) (release func(), o
 			}
 			writeRetryAfter(w, retryAfter)
 			writeError(w, r, http.StatusTooManyRequests, "rate limit exceeded for tenant %q", tenant)
-			return nil, false
+			return nil, "rate_limited", false
 		}
 	}
 	if g.adm == nil {
-		return func() {}, true
+		return func() {}, "admitted", true
 	}
 	release, shed := g.adm.Acquire(r.Context())
 	if shed != nil {
 		writeRetryAfter(w, shed.RetryAfter)
 		writeError(w, r, http.StatusTooManyRequests, "%v", shed)
-		return nil, false
+		return nil, shed.Reason, false
 	}
-	return release, true
+	return release, "admitted", true
 }
 
 // writeRetryAfter sets Retry-After in whole seconds, at least 1 — the

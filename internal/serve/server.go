@@ -4,7 +4,7 @@
 // reproduction:
 //
 //	POST   /v1/jobs             submit a job (202; 200 on a cache hit)
-//	GET    /v1/jobs             list jobs; ?status= filter, ?limit=/?offset= pages
+//	GET    /v1/jobs             list jobs; ?status=/?tenant= filter, ?limit=/?offset= pages
 //	GET    /v1/jobs/{id}        one job
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/jobs/{id}/events server-sent event stream (replay + live)
@@ -14,6 +14,8 @@
 //	DELETE /v1/adapters/{id}    delete an adapter artifact
 //	POST   /v1/generate         KV-cached token generation (SSE stream)
 //	GET    /v1/alerts           SLO alert-transition stream (SSE, WithSLO)
+//	GET    /v1/usage            per-tenant usage rollups (WithAccounting)
+//	GET    /debug/events        wide-event ring with filters and ?agg= rollups
 //	GET    /healthz             liveness + queue stats
 //	GET    /readyz              readiness (503 while draining/shedding/slo_firing)
 //	GET    /metrics             Prometheus text exposition (WithMetrics)
@@ -43,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"longexposure/internal/account"
 	"longexposure/internal/experiments"
 	"longexposure/internal/jobs"
 	"longexposure/internal/limit"
@@ -78,6 +81,10 @@ type Server struct {
 	// SLO plane (nil without WithSLO).
 	slo    *slo.Engine
 	health []slo.HealthSource // readiness inputs, checked in order
+
+	// Accounting plane (nil without WithAccounting).
+	account  *account.Plane
+	usageAPI bool
 
 	draining     atomic.Bool   // set when Shutdown begins; read by /readyz
 	shutdownC    chan struct{} // closed when Shutdown begins; ends /v1/alerts streams
@@ -236,6 +243,15 @@ func New(store *jobs.Store, opts ...Option) *Server {
 			s.mux.HandleFunc("GET /debug/flightrecorder", s.debugFlightRecorder)
 		}
 	}
+	if s.account != nil {
+		if s.gw != nil {
+			s.gw.account = s.account
+		}
+		s.mux.HandleFunc("GET /debug/events", s.debugEvents)
+		if s.usageAPI {
+			s.mux.HandleFunc("GET /v1/usage", s.usage)
+		}
+	}
 	return s
 }
 
@@ -360,8 +376,11 @@ func writeErrorCode(w http.ResponseWriter, r *http.Request, status int, code, fo
 }
 
 func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
-	release, ok := s.gdJobs.admit(w, r)
+	release, verdict, ok := s.gdJobs.admit(w, r)
 	if !ok {
+		// Sheds happen before the body is decoded, so the endpoint's
+		// primary kind stands in for the unknown spec kind.
+		s.accountShed(r, account.KindFinetune, "POST /v1/jobs", verdict)
 		return
 	}
 	defer release()
@@ -372,6 +391,7 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "decoding job spec: %v", err)
 		return
 	}
+	spec.Tenant = s.tenantOf(r)
 	j, err := s.store.SubmitCtx(r.Context(), spec)
 	switch {
 	case errors.Is(err, jobs.ErrClosed):
@@ -409,7 +429,7 @@ func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	list, total := s.store.ListPage(status, limitN, offset)
+	list, total := s.store.ListPage(status, q.Get("tenant"), limitN, offset)
 	w.Header().Set("X-Total-Count", strconv.Itoa(total))
 	writeJSON(w, http.StatusOK, list)
 }

@@ -96,6 +96,11 @@ type Dump struct {
 	SlowestSpans []*trace.SpanRecord `json:"slowest_spans,omitempty"`
 	MetricDeltas []TickDelta         `json:"metric_deltas,omitempty"`
 	SLO          *Report             `json:"slo,omitempty"`
+	// WideEvents carries the accounting plane's most recent per-request
+	// resource records, captured at snapshot time via SetEventSource. The
+	// concrete type is whatever the source returns (the account plane
+	// hands back its event slice) — slo stays decoupled from accounting.
+	WideEvents any `json:"wide_events,omitempty"`
 }
 
 // DumpFile describes one dump on disk.
@@ -134,6 +139,10 @@ type Recorder struct {
 	tickTotal int // ticks ever recorded (for first-tick delta suppression)
 	nObjs     int
 
+	// events, when set, supplies the wide-event window included in every
+	// snapshot (see Dump.WideEvents).
+	events func() any
+
 	dumpSeq int
 }
 
@@ -152,6 +161,16 @@ func NewRecorder(cfg RecorderConfig, tracer *trace.Tracer) *Recorder {
 
 // Dir returns the dump directory ("" when on-disk dumps are disabled).
 func (r *Recorder) Dir() string { return r.cfg.Dir }
+
+// SetEventSource attaches a wide-event source consulted at every
+// snapshot — typically func() any { return plane.Recent(n) } over the
+// accounting plane, so dumps carry the last requests' resource records
+// alongside the spans, logs and metric deltas they join by trace id.
+func (r *Recorder) SetEventSource(fn func() any) {
+	r.mu.Lock()
+	r.events = fn
+	r.mu.Unlock()
+}
 
 // attach is called by Engine.New.
 func (r *Recorder) attach(e *Engine, nObjs int) {
@@ -261,8 +280,12 @@ func (r *Recorder) snapshot(reason string, report *Report) Dump {
 		td.Objectives = append([]ObjectiveTick(nil), r.ticks[j]...)
 		d.MetricDeltas = append(d.MetricDeltas, td)
 	}
+	events := r.events
 	r.mu.Unlock()
 
+	if events != nil {
+		d.WideEvents = events()
+	}
 	if r.tracer != nil {
 		d.RecentTraces, d.SlowestSpans = r.tracer.Snapshot(r.cfg.SpanLimit)
 	}

@@ -47,8 +47,9 @@ type Arena struct {
 	// per-invocation state (the probsDense/probsSparse hazard).
 	state map[any]any
 
-	gets   int64 // buffers handed out since construction
-	misses int64 // Gets that had to allocate fresh storage
+	gets       int64 // buffers handed out since construction
+	misses     int64 // Gets that had to allocate fresh storage
+	allocBytes int64 // bytes of fresh storage those misses allocated
 }
 
 // NewArena returns an empty arena.
@@ -85,18 +86,19 @@ func sizeClass(n, elemBytes int) int {
 	return c
 }
 
-func (p *bucketPool[E]) get(n int) (s []E, fresh bool) {
+func (p *bucketPool[E]) get(n int) (s []E, freshBytes int64) {
 	var e E
-	class := sizeClass(n, int(unsafe.Sizeof(e)))
+	elem := int(unsafe.Sizeof(e))
+	class := sizeClass(n, elem)
 	if fl := p.free[class]; len(fl) > 0 {
 		s = fl[len(fl)-1]
 		p.free[class] = fl[:len(fl)-1]
 	} else {
 		s = make([]E, class)
-		fresh = true
+		freshBytes = int64(class * elem)
 	}
 	p.used = append(p.used, pooled[E]{class, s})
-	return s[:n], fresh
+	return s[:n], freshBytes
 }
 
 func (p *bucketPool[E]) release() {
@@ -216,10 +218,11 @@ func (a *Arena) StateFor(key any, mk func() any) any {
 	return v
 }
 
-func (a *Arena) count(fresh bool) {
+func (a *Arena) count(freshBytes int64) {
 	a.gets++
-	if fresh {
+	if freshBytes > 0 {
 		a.misses++
+		a.allocBytes += freshBytes
 	}
 }
 
@@ -229,6 +232,11 @@ func (a *Arena) Gets() int64 { return a.gets }
 // Misses reports how many Gets allocated fresh storage — constant across
 // steps once the arena is warm.
 func (a *Arena) Misses() int64 { return a.misses }
+
+// AllocBytes reports the bytes of fresh backing storage the arena has
+// allocated since construction — its resident workspace footprint (pooled
+// buffers are never freed, so this is also the high-water mark).
+func (a *Arena) AllocBytes() int64 { return a.allocBytes }
 
 func panicNegativeDim(d int) {
 	panic(fmt.Sprintf("tensor: negative dimension %d in workspace shape", d))

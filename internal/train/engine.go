@@ -9,6 +9,7 @@ import (
 	"math"
 	"time"
 
+	"longexposure/internal/account"
 	"longexposure/internal/data"
 	"longexposure/internal/nn"
 	"longexposure/internal/obs"
@@ -85,6 +86,11 @@ type Engine struct {
 	// run) costs one branch — the traced-but-unsampled step stays
 	// zero-alloc (pinned by the bench trace suite).
 	Span *trace.Span
+	// Acct, when set, accumulates the run's wide-event resource vector
+	// (steps, tokens, analytic FLOPs, wall-clock) for the accounting
+	// plane. The owner stamps identity fields and emits at completion;
+	// per-step recording is plain field arithmetic — zero allocations.
+	Acct *account.TrainAccumulator
 
 	ws *tensor.Arena
 	// stepSeq counts Steps for the span's step attribute.
@@ -162,6 +168,17 @@ func (e *Engine) Step(b data.Batch) (float64, PhaseTimes) {
 		sp.Finish()
 	}
 	e.stepSeq++
+
+	if a := e.Acct; a != nil {
+		tokens, seqLen := 0, 0
+		for _, row := range b.Inputs {
+			tokens += len(row)
+			if len(row) > seqLen {
+				seqLen = len(row)
+			}
+		}
+		a.AddStep(tokens, e.Model.TrainStepFLOPs(len(b.Inputs), seqLen), times.Total())
+	}
 
 	if m := e.Metrics; m != nil {
 		tokens := 0

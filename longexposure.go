@@ -45,6 +45,7 @@
 package longexposure
 
 import (
+	"longexposure/internal/account"
 	"longexposure/internal/core"
 	"longexposure/internal/data"
 	"longexposure/internal/experiments"
@@ -288,3 +289,29 @@ func NewFlightRecorder(cfg slo.RecorderConfig, tr *trace.Tracer) *FlightRecorder
 // recorder is attached), and readiness gating while a critical objective
 // fires.
 var WithSLO = serve.WithSLO
+
+// AccountPlane is the wide-event resource-accounting plane: one
+// structured record per completed generate request, fine-tune job and
+// train run — identity, outcome, and the full resource vector (tokens,
+// dense-equivalent vs executed FLOPs and the sparsity saving, peak KV
+// footprint, arena bytes, queue and phase durations) — kept in a bounded
+// ring, rolled up per tenant, folded into lexp_account_* metrics, and
+// optionally persisted to a crash-tolerant segmented binary log.
+type AccountPlane = account.Plane
+
+// AccountConfig sizes an AccountPlane (ring, segment/retention policy,
+// metrics fold).
+type AccountConfig = account.Config
+
+// AccountEvent is one wide accounting record.
+type AccountEvent = account.Event
+
+// NewAccountPlane opens an accounting plane, replaying any events
+// already on disk when cfg.Dir is set.
+func NewAccountPlane(cfg AccountConfig) (*AccountPlane, error) { return account.New(cfg) }
+
+// WithAccounting attaches an accounting plane to a server:
+// GET /debug/events (filtered wide-event queries with ?agg= rollups)
+// and, when usageAPI is set, GET /v1/usage per-tenant rollups. Pair it
+// with JobsConfig.Account on the same plane.
+var WithAccounting = serve.WithAccounting
